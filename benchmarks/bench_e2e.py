@@ -1,0 +1,47 @@
+"""The Section VI deployment: five tasks collecting 3/5/7/9/11 answers.
+
+Benchmarks one full protocol round (publish → n submissions → proved
+reward instruction) per task size on the simulated test net, recording
+per-phase gas — the end-to-end feasibility claim.  Runs the ideal-SNARK
+backend so the timing isolates the *platform* cost (the cryptographic
+costs are measured by bench_table1/bench_fig4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MajorityVotePolicy, Requester, Worker, ZebraLancerSystem
+
+WORKER_COUNTS = (3, 5, 7, 9, 11)
+
+
+def _full_round(n: int):
+    system = ZebraLancerSystem(profile="test", backend_name="mock")
+    requester = Requester(system, "bench-requester")
+    workers = [Worker(system, f"bench-worker-{i}") for i in range(n)]
+    task = requester.publish_task(
+        MajorityVotePolicy(num_choices=4), f"bench task n={n}",
+        num_answers=n, budget=1_000 * n, answer_window=6 * n,
+    )
+    submit_gas = []
+    for index, worker in enumerate(workers):
+        record = worker.submit_answer(task, [index % 4])
+        assert record.receipt.success
+        submit_gas.append(record.receipt.gas_used)
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success
+    assert task.phase() == "completed"
+    system.testnet.assert_consensus()
+    return {
+        "submit_gas_avg": sum(submit_gas) // n,
+        "reward_gas": receipt.gas_used,
+        "chain_height": system.testnet.height,
+    }
+
+
+@pytest.mark.parametrize("n", WORKER_COUNTS)
+def test_e2e_task_round(benchmark, n: int) -> None:
+    stats = benchmark.pedantic(_full_round, args=(n,), rounds=1, iterations=1)
+    benchmark.extra_info.update(stats)
+    benchmark.extra_info["workers"] = n

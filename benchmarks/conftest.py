@@ -1,0 +1,93 @@
+"""Shared benchmark fixtures.
+
+Profile selection: benchmarks default to the ``test`` profile so the
+whole suite finishes in minutes on one core; export
+``REPRO_BENCH_PROFILE=bench`` (or ``production``) to run the heavier
+parameterizations the EXPERIMENTS.md numbers were recorded with.
+Backend: real Groth16 throughout — these benchmarks measure the actual
+pairing-based verification the paper's Table I reports.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.contracts  # noqa: F401
+from repro.profiles import get_profile
+
+PROFILE_NAME = os.environ.get("REPRO_BENCH_PROFILE", "test")
+BACKEND_NAME = os.environ.get("REPRO_BENCH_BACKEND", "groth16")
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    return get_profile(PROFILE_NAME)
+
+
+@pytest.fixture(scope="session")
+def auth_material(bench_profile):
+    """Auth-SNARK setup + one registered user + one attestation."""
+    from repro.anonauth import AnonymousAuthScheme, UserKeyPair, setup
+
+    params, authority = setup(
+        profile=bench_profile, cert_mode="merkle",
+        backend_name=BACKEND_NAME, seed=b"bench-auth",
+    )
+    scheme = AnonymousAuthScheme(params)
+    user = UserKeyPair.generate(params.mimc, seed=b"bench-user")
+    certificate = authority.register("bench-user", user.public_key)
+    commitment = authority.registry_commitment()
+    message = b"\xbe" * 32 + b"bench-message"
+    attestation = scheme.auth(message, user, certificate, commitment)
+    return {
+        "params": params,
+        "authority": authority,
+        "scheme": scheme,
+        "user": user,
+        "certificate": certificate,
+        "commitment": commitment,
+        "message": message,
+        "attestation": attestation,
+    }
+
+
+@pytest.fixture(scope="session")
+def majority_material(bench_profile):
+    """Reward-SNARK material per paper worker count: (circuit, keys,
+    instance, statement, proof)."""
+    from repro.core.policy import MajorityVotePolicy
+    from repro.core.reward_circuit import (
+        build_reward_instance,
+        make_reward_circuit,
+        reward_statement,
+    )
+    from repro.zksnark.backend import get_backend
+    from repro.zksnark.gadgets.mimc import MiMCParameters
+
+    backend = get_backend(BACKEND_NAME)
+    mimc = MiMCParameters.for_rounds(bench_profile.mimc_rounds)
+    policy = MajorityVotePolicy(num_choices=4)
+    material = {}
+    for n in (3, 5, 7, 9, 11):
+        circuit = make_reward_circuit(policy, n, mimc)
+        keys = backend.setup(circuit, seed=b"bench-majority-%d" % n)
+        instance = build_reward_instance(
+            policy, budget=100 * n, keys=[j + 1 for j in range(n)],
+            answers=[[j % 4] for j in range(n)], mimc=mimc,
+        )
+        proof = backend.prove(keys.proving_key, circuit, instance)
+        statement = reward_statement(
+            instance.budget, instance.reward_unit, instance.entries,
+            instance.rewards,
+        )
+        material[n] = {
+            "circuit": circuit,
+            "keys": keys,
+            "instance": instance,
+            "statement": statement,
+            "proof": proof,
+            "backend": backend,
+        }
+    return material

@@ -1,0 +1,73 @@
+"""The paper's Section VI experiment: image annotation at five sizes.
+
+Deploys five task contracts collecting 3, 5, 7, 9 and 11 answers from
+anonymous-yet-accountable workers (majority-vote incentive of [10]),
+exactly like the deployment in the Ethereum test net, and reports the
+per-task outcome: who got paid, gas costs, and on-chain storage.
+
+Run:  python examples/image_annotation.py [--backend groth16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+import repro.contracts  # noqa: F401
+from repro.core import MajorityVotePolicy, Requester, Worker, ZebraLancerSystem
+from repro.core.metrics import humanize_bytes
+
+WORKER_COUNTS = (3, 5, 7, 9, 11)
+NUM_CHOICES = 4
+GROUND_TRUTH = 1  # "zebra"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--backend", default="mock", choices=["mock", "groth16"])
+    parser.add_argument("--profile", default="test")
+    args = parser.parse_args()
+
+    system = ZebraLancerSystem(profile=args.profile, backend_name=args.backend)
+    requester = Requester(system, "annotation-lab@example.com")
+    # A pool of 11 registered workers, reused across all five tasks —
+    # their cross-task participation stays unlinkable on-chain.
+    pool = [Worker(system, f"annotator-{i}@example.com") for i in range(max(WORKER_COUNTS))]
+    policy = MajorityVotePolicy(num_choices=NUM_CHOICES)
+    rng = random.Random(42)
+
+    print(f"{'n':>3} {'majority':>9} {'correct paid':>13} {'budget':>8} "
+          f"{'per-answer gas':>15} {'ciphertext':>11}")
+    for n in WORKER_COUNTS:
+        budget = 1_000 * n
+        task = requester.publish_task(
+            policy,
+            description=f"annotate image (n={n}): 0=horse 1=zebra 2=donkey 3=mule",
+            num_answers=n,
+            budget=budget,
+            answer_window=4 * n,
+        )
+        # ~75% accurate annotators (the quality regime of [10]).
+        gas_samples = []
+        for worker in pool[:n]:
+            vote = GROUND_TRUTH if rng.random() < 0.75 else rng.randrange(NUM_CHOICES)
+            record = worker.submit_answer(task, [vote])
+            gas_samples.append(record.receipt.gas_used)
+        answers, _, _ = requester.decrypt_answers(task)
+        majority = policy.majority_value(answers)
+        receipt = requester.evaluate_and_reward(task)
+        assert receipt.success, receipt.error
+        rewards = task.rewards()
+        paid = sum(1 for r in rewards if r > 0)
+        wires = system.node.call(task.address, "get_ciphertexts")
+        ct_bytes = sum(len(w) for w in wires) // len(wires)
+        print(f"{n:>3} {majority if majority is not None else '-':>9} "
+              f"{paid:>13} {budget:>8} {sum(gas_samples)//n:>15} "
+              f"{humanize_bytes(ct_bytes):>11}")
+        assert task.phase() == "completed"
+    system.testnet.assert_consensus()
+    print("\nall five contracts settled; every node agrees on the ledger.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: one crowdsourcing task, end to end, in ~5 seconds.
+
+Boots a simulated Ethereum-style test net, a registration authority and
+the SNARK establishments, publishes an image-annotation task, has three
+anonymous workers answer it, and lets the requester prove her reward
+instruction to the contract.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro.contracts  # noqa: F401  (registers the on-chain programs)
+from repro.core import MajorityVotePolicy, Requester, Worker, ZebraLancerSystem
+
+
+def main() -> None:
+    # 1. Bootstrap: chain + RA + registry contract + SNARK public params.
+    #    The "mock" backend is the ideal-SNARK functionality (fast);
+    #    switch to backend_name="groth16" for real pairing-based proofs.
+    system = ZebraLancerSystem(
+        profile="test", cert_mode="merkle", backend_name="mock"
+    )
+    print(f"chain height {system.testnet.height}, "
+          f"registry at 0x{system.registry_address.hex()}")
+
+    # 2. Register: one credential per unique real-world identity.
+    requester = Requester(system, "alice@example.com")
+    workers = [Worker(system, f"worker-{i}@example.com") for i in range(3)]
+
+    # 3. TaskPublish: the requester deposits the budget into the task
+    #    contract and anonymously authenticates her one-task address.
+    policy = MajorityVotePolicy(num_choices=4)
+    task = requester.publish_task(
+        policy,
+        description="Which animal is in image #1337? 0=horse 1=zebra 2=donkey 3=mule",
+        num_answers=3,
+        budget=3_000,
+    )
+    print(f"task deployed at 0x{task.address.hex()}, phase={task.phase()}")
+
+    # 4. AnswerCollection: workers validate the contract, then submit
+    #    encrypted, anonymously-authenticated answers from fresh addresses.
+    votes = [1, 1, 2]  # two workers say zebra, one says donkey
+    for worker, vote in zip(workers, votes):
+        record = worker.submit_answer(task, [vote])
+        print(f"  {worker.identity} submitted anonymously "
+              f"(gas {record.receipt.gas_used})")
+
+    # 5. Reward: the requester decrypts off-chain, computes rewards per
+    #    the announced policy, and proves the instruction to the contract.
+    balances_before = [w.reward_received(task.address) for w in workers]
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success, receipt.error
+    print(f"reward instruction accepted, task phase={task.phase()}")
+
+    for worker, before in zip(workers, balances_before):
+        earned = worker.reward_received(task.address) - before
+        print(f"  {worker.identity} earned {earned}")
+
+    system.testnet.assert_consensus()
+    print("all nodes in consensus — done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim: this environment has no `wheel` package, so PEP-660
+editable installs (`pip install -e .`) fall back to this legacy path."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

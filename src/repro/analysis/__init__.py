@@ -1,0 +1,6 @@
+"""Evaluation harness regenerating the paper's Table I and Fig. 4."""
+
+from repro.analysis.table1 import Table1Row, run_table1
+from repro.analysis.fig4 import Fig4Result, run_fig4
+
+__all__ = ["Table1Row", "run_table1", "Fig4Result", "run_fig4"]

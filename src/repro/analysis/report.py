@@ -1,0 +1,50 @@
+"""Command-line entry point regenerating the paper's evaluation.
+
+Usage::
+
+    python -m repro.analysis.report [--profile test|bench|production]
+                                    [--backend groth16|mock]
+                                    [--skip-fig4] [--runs N]
+
+Writes the rendered Table I and Fig. 4 to stdout (tee it into
+EXPERIMENTS.md when refreshing the recorded numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.fig4 import run_fig4
+from repro.analysis.table1 import render_table, run_table1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="bench",
+                        choices=["test", "bench", "production"])
+    parser.add_argument("--backend", default="groth16",
+                        choices=["groth16", "mock"])
+    parser.add_argument("--runs", type=int, default=12,
+                        help="Fig. 4 repetition count (paper: 12)")
+    parser.add_argument("--skip-fig4", action="store_true")
+    parser.add_argument("--skip-table1", action="store_true")
+    args = parser.parse_args(argv)
+
+    if not args.skip_table1:
+        rows = run_table1(
+            profile=args.profile, backend_name=args.backend, verbose=True
+        )
+        print(render_table(rows))
+    if not args.skip_fig4:
+        result = run_fig4(
+            profile=args.profile,
+            backend_name=args.backend,
+            runs=args.runs,
+            verbose=True,
+        )
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

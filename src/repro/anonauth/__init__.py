@@ -1,0 +1,38 @@
+"""Common-prefix-linkable anonymous authentication (Section V-A).
+
+The paper's new primitive: a certified user can authenticate messages
+anonymously, yet two authentications by the *same* key holder on
+messages sharing a λ-length common prefix are publicly linkable (and
+only those).  Algorithms:
+
+- :func:`repro.anonauth.scheme.setup` — system setup (SNARK public
+  parameters + RA master keys).
+- :class:`repro.anonauth.authority.RegistrationAuthority` — ``CertGen``.
+- :meth:`repro.anonauth.scheme.AnonymousAuthScheme.auth` /
+  :meth:`~repro.anonauth.scheme.AnonymousAuthScheme.verify` /
+  :meth:`~repro.anonauth.scheme.AnonymousAuthScheme.link`.
+
+Two certificate modes are provided (DESIGN.md §2.4): ``merkle``
+(default; RA accumulates identity commitments in a MiMC Merkle tree)
+and ``schnorr`` (paper-faithful signature certificates verified
+in-circuit).
+"""
+
+from repro.anonauth.authority import RegistrationAuthority
+from repro.anonauth.keys import UserKeyPair, derive_public_key
+from repro.anonauth.scheme import (
+    AnonymousAuthScheme,
+    Attestation,
+    SystemParameters,
+    setup,
+)
+
+__all__ = [
+    "RegistrationAuthority",
+    "UserKeyPair",
+    "derive_public_key",
+    "AnonymousAuthScheme",
+    "Attestation",
+    "SystemParameters",
+    "setup",
+]

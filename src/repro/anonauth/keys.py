@@ -1,0 +1,43 @@
+"""User identity keys for the anonymous-authentication scheme.
+
+A user's secret key is a scalar of the BN128 scalar field; the public
+key is the MiMC identity commitment ``pk = H(sk)`` (so the ``pair(pk,
+sk) = 1`` clause of the paper's language L_T is one in-circuit hash).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hashing import hash_to_int
+from repro.zksnark.field import BN128_SCALAR_FIELD
+from repro.zksnark.gadgets.mimc import MiMCParameters, mimc_hash_native
+
+_KEY_DOMAIN = b"zebralancer-identity-key"
+
+
+def derive_public_key(secret_key: int, mimc: MiMCParameters) -> int:
+    """pk = MiMC-hash(sk): the identity commitment."""
+    return mimc_hash_native([secret_key], mimc)
+
+
+@dataclass(frozen=True)
+class UserKeyPair:
+    """An identity keypair (sk, pk = H(sk))."""
+
+    secret_key: int
+    public_key: int
+
+    @classmethod
+    def generate(
+        cls, mimc: MiMCParameters, seed: Optional[bytes] = None
+    ) -> "UserKeyPair":
+        """Sample (or derive from ``seed``) a fresh identity keypair."""
+        if seed is not None:
+            sk = hash_to_int(seed, BN128_SCALAR_FIELD, domain=_KEY_DOMAIN)
+        else:
+            sk = secrets.randbelow(BN128_SCALAR_FIELD)
+        sk = sk or 1
+        return cls(secret_key=sk, public_key=derive_public_key(sk, mimc))

@@ -1,0 +1,130 @@
+"""The non-anonymous authentication mode (Section VI, last paragraph).
+
+"Our protocol can be trivially extended to support non-anonymous mode,
+in case that one gives up the anonymity privilege: s/he can generate a
+public-private key pair (for digital signatures), and then registers
+the public key at RA to receive a certificate bound to the public key;
+to authenticate, s/he can simply show the certified public key, the
+certificate, along with a message properly signed under the
+corresponding secret key, which essentially costs nearly nothing."
+
+This module implements exactly that: RSA-PSS certificates and message
+signatures, a trivially linkable ``link`` (identity is public), and the
+same Auth/Verify/Link interface shape as the anonymous scheme so the
+ablation benchmark can compare their costs head-to-head.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.errors import RegistrationError
+from repro.serialization import decode, encode
+
+_CERT_DOMAIN = b"zebralancer-plain-cert:"
+_MESSAGE_DOMAIN = b"zebralancer-plain-msg:"
+
+
+@dataclass(frozen=True)
+class PlainCertificate:
+    """The RA's RSA-PSS signature over the member's public key."""
+
+    public_key: RSAPublicKey
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class PlainAttestation:
+    """Everything shown on authentication: pk, cert, message signature.
+
+    There is nothing anonymous here — the certified public key itself is
+    the linkage handle (every authentication by the same user is
+    linkable to every other, across all tasks).
+    """
+
+    certificate: PlainCertificate
+    message_signature: bytes
+
+    def to_wire(self) -> bytes:
+        return encode(
+            [
+                self.certificate.public_key.n,
+                self.certificate.public_key.e,
+                self.certificate.signature,
+                self.message_signature,
+            ]
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "PlainAttestation":
+        n, e, cert_sig, msg_sig = decode(data)
+        return cls(
+            certificate=PlainCertificate(
+                public_key=RSAPublicKey(n=n, e=e), signature=cert_sig
+            ),
+            message_signature=msg_sig,
+        )
+
+    def size_bytes(self) -> int:
+        return len(self.to_wire())
+
+
+def _cert_payload(public_key: RSAPublicKey) -> bytes:
+    return _CERT_DOMAIN + public_key.fingerprint()
+
+
+class PlainAuthority:
+    """The RA's non-anonymous certification service."""
+
+    def __init__(self, bits: int = 1024, rng: Optional[random.Random] = None) -> None:
+        self._keys = RSAKeyPair.generate(bits, rng)
+        self._identities: Dict[str, bytes] = {}
+
+    @property
+    def master_public_key(self) -> RSAPublicKey:
+        return self._keys.public_key
+
+    def register(self, identity: str, public_key: RSAPublicKey,
+                 rng: Optional[random.Random] = None) -> PlainCertificate:
+        """One certificate per unique identity, as in the anonymous RA."""
+        if identity in self._identities:
+            raise RegistrationError(f"identity {identity!r} already registered")
+        self._identities[identity] = public_key.fingerprint()
+        signature = self._keys.sign(_cert_payload(public_key), rng)
+        return PlainCertificate(public_key=public_key, signature=signature)
+
+
+class PlainAuthScheme:
+    """Auth / Verify / Link without anonymity (costs nearly nothing)."""
+
+    def __init__(self, master_public_key: RSAPublicKey) -> None:
+        self.master_public_key = master_public_key
+
+    @staticmethod
+    def auth(message: bytes, keypair: RSAKeyPair, certificate: PlainCertificate,
+             rng: Optional[random.Random] = None) -> PlainAttestation:
+        return PlainAttestation(
+            certificate=certificate,
+            message_signature=keypair.sign(_MESSAGE_DOMAIN + message, rng),
+        )
+
+    def verify(self, message: bytes, attestation: PlainAttestation) -> bool:
+        certificate = attestation.certificate
+        if not self.master_public_key.verify(
+            _cert_payload(certificate.public_key), certificate.signature
+        ):
+            return False
+        return certificate.public_key.verify(
+            _MESSAGE_DOMAIN + message, attestation.message_signature
+        )
+
+    @staticmethod
+    def link(a: PlainAttestation, b: PlainAttestation) -> bool:
+        """Identity is in the clear: everything by one user links."""
+        return (
+            a.certificate.public_key.fingerprint()
+            == b.certificate.public_key.fingerprint()
+        )

@@ -1,0 +1,299 @@
+"""Scheme driver: Setup / Auth / Verify / Link.
+
+Messages are byte strings whose first ``PREFIX_LENGTH`` bytes are the
+common prefix p (in ZebraLancer, the task contract's address α_C).
+Digests map prefix and full message into the circuit field; tags are
+``t1 = MiMC(p̂, sk)`` and ``t2 = MiMC(m̂, sk)``; the attestation is the
+pair of tags plus a zk-SNARK proof for the language L_T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.hashing import hash_to_int
+from repro.errors import AuthenticationError
+from repro.profiles import SecurityProfile, get_profile
+from repro.zksnark.backend import KeyPair, Proof, get_backend
+from repro.zksnark.field import BN128_SCALAR_FIELD
+from repro.zksnark.gadgets.mimc import MiMCParameters, mimc_hash_native
+from repro.anonauth.authority import Certificate, RegistrationAuthority
+from repro.anonauth.circuit import AuthCircuit, AuthInstance
+from repro.anonauth.keys import UserKeyPair, derive_public_key
+
+#: λ: the prefix length in bytes (a padded contract address).
+PREFIX_LENGTH = 32
+
+
+def task_prefix(contract_address: bytes) -> bytes:
+    """The canonical λ-byte common prefix for a task: α_C zero-padded.
+
+    Every message authenticated within one task MUST start with exactly
+    these bytes — Link()'s guarantee depends on it.  (A 20-byte address
+    used directly would let per-message bytes bleed into the prefix and
+    silently disable linkability.)
+    """
+    if len(contract_address) > PREFIX_LENGTH:
+        raise AuthenticationError("address longer than the prefix length")
+    return contract_address.ljust(PREFIX_LENGTH, b"\x00")
+
+_PREFIX_DOMAIN = b"zebralancer-prefix-digest"
+_MESSAGE_DOMAIN = b"zebralancer-message-digest"
+
+
+def prefix_digest(prefix: bytes) -> int:
+    """Map the λ-byte prefix into the circuit field."""
+    return hash_to_int(prefix, BN128_SCALAR_FIELD, domain=_PREFIX_DOMAIN)
+
+
+def message_digest(message: bytes) -> int:
+    """Map the full message into the circuit field."""
+    return hash_to_int(message, BN128_SCALAR_FIELD, domain=_MESSAGE_DOMAIN)
+
+
+@dataclass(frozen=True)
+class Attestation:
+    """π = (t1, t2, η): linkability tags plus the zk proof.
+
+    ``registry_commitment`` records the registry state (Merkle root /
+    mpk commitment) the certificate was proved against, so verifiers on
+    a moving registry can check against the right historical value.
+    """
+
+    t1: int
+    t2: int
+    proof: Proof
+    registry_commitment: int
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.t1.to_bytes(32, "big")
+            + self.t2.to_bytes(32, "big")
+            + self.proof.payload
+        )
+
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())
+
+    def to_wire(self) -> bytes:
+        """Transport encoding (chain calldata)."""
+        from repro.serialization import encode
+
+        return encode(
+            [
+                self.t1,
+                self.t2,
+                self.registry_commitment,
+                self.proof.backend,
+                self.proof.payload,
+            ]
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Attestation":
+        from repro.serialization import decode
+
+        t1, t2, commitment, backend, payload = decode(data)
+        return cls(
+            t1=t1,
+            t2=t2,
+            proof=Proof(backend=backend, payload=payload),
+            registry_commitment=commitment,
+        )
+
+
+@dataclass
+class SystemParameters:
+    """Everything a participant needs: PP (SNARK keys) + scheme config.
+
+    The proving key is public in this scheme (anyone may prove), so the
+    whole bundle is distributed to all participants; the verifying key
+    additionally lives on-chain for contract-side verification.
+    """
+
+    profile: SecurityProfile
+    cert_mode: str
+    backend_name: str
+    keys: KeyPair
+    master_public_key: Optional[Tuple[int, int]]
+
+    @property
+    def mimc(self) -> MiMCParameters:
+        return MiMCParameters.for_rounds(self.profile.mimc_rounds)
+
+    def circuit(self) -> AuthCircuit:
+        return AuthCircuit(
+            self.profile, self.cert_mode, master_public_key=self.master_public_key
+        )
+
+
+def setup(
+    profile: SecurityProfile | str = "test",
+    cert_mode: str = "merkle",
+    backend_name: str = "groth16",
+    seed: Optional[bytes] = None,
+) -> Tuple[SystemParameters, RegistrationAuthority]:
+    """System setup: create the RA and establish the Auth SNARK.
+
+    Returns the public system parameters (shared by every participant
+    and the chain) and the registration authority object (held by the
+    RA operator).
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    authority = RegistrationAuthority(profile, cert_mode=cert_mode, seed=seed)
+    example = _example_instance(profile, authority)
+    circuit = AuthCircuit(
+        profile,
+        cert_mode,
+        master_public_key=authority.master_public_key,
+        example=example,
+    )
+    backend = get_backend(backend_name)
+    keys = backend.setup(circuit, seed=seed)
+    params = SystemParameters(
+        profile=profile,
+        cert_mode=cert_mode,
+        backend_name=backend_name,
+        keys=keys,
+        master_public_key=authority.master_public_key,
+    )
+    return params, authority
+
+
+def _example_instance(
+    profile: SecurityProfile, authority: RegistrationAuthority
+) -> AuthInstance:
+    """A satisfiable sample instance used only to derive key material."""
+    from repro.anonauth.authority import CERT_MODE_MERKLE, MerkleCertificate
+    from repro.zksnark.gadgets import schnorr
+    from repro.zksnark.gadgets.merkle import MerkleTree
+
+    mimc = MiMCParameters.for_rounds(profile.mimc_rounds)
+    keypair = UserKeyPair.generate(mimc, seed=b"anonauth-example-user")
+    if authority.cert_mode == CERT_MODE_MERKLE:
+        tree = MerkleTree(depth=profile.merkle_depth, params=mimc)
+        index = tree.append(keypair.public_key)
+        certificate: Certificate = MerkleCertificate(
+            leaf_index=index, path=tree.path(index)
+        )
+        commitment = tree.root
+    else:
+        # Only the RA can mint a satisfying Schnorr example.
+        signature = schnorr.sign(
+            authority.schnorr_params, authority._msk, [keypair.public_key]
+        )
+        from repro.anonauth.authority import SchnorrCertificate
+
+        certificate = SchnorrCertificate(signature=signature)
+        commitment = authority.registry_commitment()
+    message = b"\x00" * PREFIX_LENGTH + b"example-message"
+    p_digest = prefix_digest(message[:PREFIX_LENGTH])
+    m_digest = message_digest(message)
+    t1 = mimc_hash_native([p_digest, keypair.secret_key], mimc)
+    t2 = mimc_hash_native([m_digest, keypair.secret_key], mimc)
+    return AuthInstance(
+        prefix_digest=p_digest,
+        message_digest=m_digest,
+        registry_commitment=commitment,
+        t1=t1,
+        t2=t2,
+        secret_key=keypair.secret_key,
+        certificate=certificate,
+    )
+
+
+def attestation_statement(message: bytes, attestation: Attestation) -> list[int]:
+    """The SNARK statement a verifier (e.g. the task contract) checks.
+
+    Uses the registry commitment recorded in the attestation; the
+    caller must separately confirm that commitment is an acceptable
+    registry state (the registry contract keeps the history).
+    """
+    return [
+        prefix_digest(message[:PREFIX_LENGTH]),
+        message_digest(message),
+        attestation.registry_commitment,
+        attestation.t1,
+        attestation.t2,
+    ]
+
+
+class AnonymousAuthScheme:
+    """The user/verifier-facing Auth, Verify and Link algorithms."""
+
+    def __init__(self, params: SystemParameters) -> None:
+        self.params = params
+        self._backend = get_backend(params.backend_name)
+        self._circuit = params.circuit()
+
+    # ----- Auth ----------------------------------------------------------------
+
+    def auth(
+        self,
+        message: bytes,
+        keypair: UserKeyPair,
+        certificate: Certificate,
+        registry_commitment: int,
+    ) -> Attestation:
+        """Authenticate ``message`` anonymously.
+
+        ``registry_commitment`` is the public registry value the
+        certificate currently verifies against (the on-chain Merkle
+        root, or the mpk commitment in schnorr mode).
+        """
+        if len(message) <= PREFIX_LENGTH:
+            raise AuthenticationError(
+                f"message must be longer than the {PREFIX_LENGTH}-byte prefix"
+            )
+        mimc = self.params.mimc
+        p_digest = prefix_digest(message[:PREFIX_LENGTH])
+        m_digest = message_digest(message)
+        t1 = mimc_hash_native([p_digest, keypair.secret_key], mimc)
+        t2 = mimc_hash_native([m_digest, keypair.secret_key], mimc)
+        instance = AuthInstance(
+            prefix_digest=p_digest,
+            message_digest=m_digest,
+            registry_commitment=registry_commitment,
+            t1=t1,
+            t2=t2,
+            secret_key=keypair.secret_key,
+            certificate=certificate,
+        )
+        proof = self._backend.prove(
+            self.params.keys.proving_key, self._circuit, instance
+        )
+        return Attestation(
+            t1=t1, t2=t2, proof=proof, registry_commitment=registry_commitment
+        )
+
+    # ----- Verify ---------------------------------------------------------------
+
+    def verify(
+        self, message: bytes, attestation: Attestation, registry_commitment: int
+    ) -> bool:
+        """Check an attestation against the message and registry state."""
+        if len(message) <= PREFIX_LENGTH:
+            return False
+        statement = [
+            prefix_digest(message[:PREFIX_LENGTH]),
+            message_digest(message),
+            registry_commitment,
+            attestation.t1,
+            attestation.t2,
+        ]
+        return self._backend.verify(
+            self.params.keys.verifying_key, statement, attestation.proof
+        )
+
+    # ----- Link -----------------------------------------------------------------
+
+    @staticmethod
+    def link(attestation_a: Attestation, attestation_b: Attestation) -> bool:
+        """1 iff the two (valid) attestations share a prefix *and* a key.
+
+        Per the paper this is a single tag-equality check — the reason
+        the contract's O(n²) Link sweep costs "nearly nothing".
+        """
+        return attestation_a.t1 == attestation_b.t1

@@ -1,0 +1,44 @@
+"""Simulated Ethereum-like blockchain substrate.
+
+The paper deploys on a four-PC Ethereum test net (two miners, two full
+nodes) with a modified EVM embedding a libsnark verifier.  This package
+reproduces that platform as a deterministic discrete-event simulation
+that preserves the ideal-public-ledger model of Section III:
+
+- signed transactions (secp256k1, Ethereum-style addresses and nonces);
+- a mempool whose not-yet-mined contents are *visible and reorderable*
+  by an adversary (the power behind the free-riding copy attack);
+- gas accounting, block gas limits, miner fees;
+- Python smart contracts executed identically by every node;
+- a ``snark_verify`` precompile (the embedded libsnark verifier);
+- pluggable consensus (round-robin PoA, simulated PoW) over a
+  multi-node network with configurable latency.
+"""
+
+from repro.chain.account import Account
+from repro.chain.block import Block, BlockHeader
+from repro.chain.contract import Contract, external, view
+from repro.chain.gas import GasSchedule
+from repro.chain.network import Network, Testnet
+from repro.chain.node import Node
+from repro.chain.receipts import Log, Receipt
+from repro.chain.state import WorldState
+from repro.chain.transaction import SignedTransaction, Transaction
+
+__all__ = [
+    "Account",
+    "Block",
+    "BlockHeader",
+    "Contract",
+    "external",
+    "view",
+    "GasSchedule",
+    "Network",
+    "Testnet",
+    "Node",
+    "Log",
+    "Receipt",
+    "WorldState",
+    "SignedTransaction",
+    "Transaction",
+]

@@ -1,0 +1,34 @@
+"""Account model: balances, nonces and contract storage."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class Account:
+    """One ledger entry.
+
+    ``contract_name`` identifies the registered contract class for
+    contract accounts; ``storage`` holds the contract's persistent
+    state (plain Python values, deep-copyable for snapshots).
+    """
+
+    balance: int = 0
+    nonce: int = 0
+    contract_name: Optional[str] = None
+    storage: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_contract(self) -> bool:
+        return self.contract_name is not None
+
+    def clone(self) -> "Account":
+        return Account(
+            balance=self.balance,
+            nonce=self.nonce,
+            contract_name=self.contract_name,
+            storage=copy.deepcopy(self.storage),
+        )

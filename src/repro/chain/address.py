@@ -1,0 +1,32 @@
+"""Address derivation (Ethereum conventions)."""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import keccak256
+from repro.serialization import encode
+
+#: Length of an address in bytes.
+ADDRESS_LENGTH = 20
+
+#: The zero address (burn / unset).
+ZERO_ADDRESS = b"\x00" * ADDRESS_LENGTH
+
+
+def contract_address(sender: bytes, nonce: int) -> bytes:
+    """The address a contract created by (sender, nonce) receives.
+
+    Mirrors Ethereum's CREATE rule (hash of sender and nonce), which is
+    what footnote 10 of the paper relies on: α_C is predictable by the
+    requester before the contract is on-chain, so π_R can authenticate
+    α_C‖α_R ahead of deployment.
+    """
+    return keccak256(encode([sender, nonce]))[12:]
+
+
+def is_address(value: bytes) -> bool:
+    return isinstance(value, bytes) and len(value) == ADDRESS_LENGTH
+
+
+def format_address(value: bytes) -> str:
+    """0x-prefixed hex rendering."""
+    return "0x" + value.hex()

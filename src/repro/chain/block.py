@@ -1,0 +1,79 @@
+"""Blocks and headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import List
+
+from repro.crypto.hashing import keccak256
+from repro.serialization import encode
+from repro.chain.transaction import SignedTransaction
+
+GENESIS_PARENT = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Consensus-relevant block metadata."""
+
+    number: int
+    parent_hash: bytes
+    timestamp: int
+    miner: bytes
+    state_root: bytes
+    tx_root: bytes
+    gas_used: int
+    gas_limit: int
+    extra: bytes = b""
+    seal: bytes = b""  # consensus-engine data (PoW nonce / PoA tag)
+
+    def hash_without_seal(self) -> bytes:
+        return keccak256(
+            encode(
+                [
+                    self.number,
+                    self.parent_hash,
+                    self.timestamp,
+                    self.miner,
+                    self.state_root,
+                    self.tx_root,
+                    self.gas_used,
+                    self.gas_limit,
+                    self.extra,
+                ]
+            )
+        )
+
+    def block_hash(self) -> bytes:
+        return keccak256(self.hash_without_seal() + self.seal)
+
+
+def transactions_root(transactions: List[SignedTransaction]) -> bytes:
+    """Merkle commitment over the block's ordered transactions.
+
+    Backed by the binary trie in :mod:`repro.chain.txtrie` so light
+    clients can check inclusion with a logarithmic branch.
+    """
+    from repro.chain.txtrie import transactions_merkle_root
+
+    return transactions_merkle_root([stx.tx_hash for stx in transactions])
+
+
+@dataclass(frozen=True)
+class Block:
+    """A sealed block."""
+
+    header: BlockHeader
+    transactions: tuple
+
+    @cached_property
+    def block_hash(self) -> bytes:
+        return self.header.block_hash()
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    def __len__(self) -> int:
+        return len(self.transactions)

@@ -1,0 +1,20 @@
+"""Simulated time for the discrete-event network."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: int = 1_500_000_000) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, seconds: int) -> int:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,91 @@
+"""Consensus engines: proof-of-authority and simulated proof-of-work.
+
+The paper's test net runs two mining PCs and two validating full nodes;
+the default engine here is round-robin PoA over the miner set (block
+producer authenticity via an ECDSA seal), with a bounded-difficulty
+simulated PoW available for tests that need probabilistic sealing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import keccak256
+from repro.errors import InvalidBlockError
+from repro.chain.block import BlockHeader
+
+
+class ConsensusEngine(abc.ABC):
+    """Seals and validates block headers."""
+
+    @abc.abstractmethod
+    def expected_proposer(self, height: int) -> Optional[bytes]:
+        """The only address allowed to seal ``height`` (None = anyone)."""
+
+    @abc.abstractmethod
+    def seal(self, header: BlockHeader, miner_key: ecdsa.ECDSAKeyPair) -> bytes:
+        """Produce the seal bytes for an unsealed header."""
+
+    @abc.abstractmethod
+    def validate_seal(self, header: BlockHeader) -> None:
+        """Raise :class:`InvalidBlockError` if a sealed header is invalid."""
+
+
+class PoAEngine(ConsensusEngine):
+    """Round-robin proof-of-authority among a fixed validator set."""
+
+    def __init__(self, validators: Sequence[bytes]) -> None:
+        if not validators:
+            raise ValueError("PoA requires at least one validator")
+        self.validators: List[bytes] = list(validators)
+
+    def expected_proposer(self, height: int) -> bytes:
+        return self.validators[height % len(self.validators)]
+
+    def seal(self, header: BlockHeader, miner_key: ecdsa.ECDSAKeyPair) -> bytes:
+        if miner_key.address() != self.expected_proposer(header.number):
+            raise InvalidBlockError("not this validator's turn")
+        return miner_key.sign(header.hash_without_seal()).to_bytes()
+
+    def validate_seal(self, header: BlockHeader) -> None:
+        expected = self.expected_proposer(header.number)
+        if header.miner != expected:
+            raise InvalidBlockError(
+                f"block {header.number} sealed by the wrong validator"
+            )
+        try:
+            signature = ecdsa.ECDSASignature.from_bytes(header.seal)
+            signer = ecdsa.recover_address(header.hash_without_seal(), signature)
+        except Exception as exc:  # noqa: BLE001 - any failure is invalid
+            raise InvalidBlockError(f"unreadable PoA seal: {exc}") from exc
+        if signer != expected:
+            raise InvalidBlockError("PoA seal signed by the wrong key")
+
+
+class SimulatedPoWEngine(ConsensusEngine):
+    """Hash-below-target proof-of-work with test-scale difficulty."""
+
+    def __init__(self, difficulty: int = 1 << 8) -> None:
+        if difficulty < 1:
+            raise ValueError("difficulty must be positive")
+        self.difficulty = difficulty
+        self._target = (1 << 256) // difficulty
+
+    def expected_proposer(self, height: int) -> Optional[bytes]:
+        return None  # anyone with enough hash power
+
+    def seal(self, header: BlockHeader, miner_key: ecdsa.ECDSAKeyPair) -> bytes:
+        base = header.hash_without_seal()
+        nonce = 0
+        while True:
+            seal = nonce.to_bytes(8, "big")
+            if int.from_bytes(keccak256(base + seal), "big") < self._target:
+                return seal
+            nonce += 1
+
+    def validate_seal(self, header: BlockHeader) -> None:
+        digest = keccak256(header.hash_without_seal() + header.seal)
+        if int.from_bytes(digest, "big") >= self._target:
+            raise InvalidBlockError("PoW seal does not meet the target")

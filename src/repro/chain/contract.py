@@ -1,0 +1,241 @@
+"""Smart-contract programming model.
+
+Contracts are Python classes registered with the VM by name.  Every
+node re-instantiates the class over the account's persistent storage
+and executes the same method with the same inputs — the determinism the
+ideal-ledger model requires.  The base class exposes the familiar
+Solidity-ish environment: ``self.msg_sender``, ``self.msg_value``,
+``self.block_number``, ``require``, ``emit``, value transfer, and the
+``snark_verify`` precompile (the embedded libsnark verifier of the
+paper's modified EVM).
+
+Method visibility:
+
+- ``@external`` — callable via transactions (state-mutating);
+- ``@view`` — read-only; callable off-chain for free via ``Node.call``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.errors import ChainError, ContractError
+from repro.chain.gas import GasMeter
+from repro.chain.receipts import Log
+
+
+def external(func: Callable) -> Callable:
+    """Mark a contract method callable from transactions."""
+    func.__contract_visibility__ = "external"
+    return func
+
+
+def view(func: Callable) -> Callable:
+    """Mark a contract method read-only (free off-chain calls)."""
+    func.__contract_visibility__ = "view"
+    return func
+
+
+@dataclass
+class BlockContext:
+    """Block-level environment visible to contracts."""
+
+    number: int
+    timestamp: int
+    coinbase: bytes
+
+
+class MeteredStorage:
+    """Dict-backed storage charging the gas schedule on access."""
+
+    def __init__(self, backing: Dict[str, Any], meter: GasMeter) -> None:
+        self._backing = backing
+        self._meter = meter
+
+    def __getitem__(self, key: str) -> Any:
+        self._meter.consume(self._meter.schedule.storage_read, "storage read")
+        return self._backing[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._meter.consume(self._meter.schedule.storage_read, "storage read")
+        return self._backing.get(key, default)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        schedule = self._meter.schedule
+        cost = schedule.storage_update if key in self._backing else schedule.storage_set
+        self._meter.consume(cost, "storage write")
+        self._backing[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        self._meter.consume(self._meter.schedule.storage_read, "storage probe")
+        return key in self._backing
+
+    def __delitem__(self, key: str) -> None:
+        self._meter.consume(self._meter.schedule.storage_update, "storage delete")
+        del self._backing[key]
+
+    def keys(self):
+        self._meter.consume(self._meter.schedule.storage_read, "storage scan")
+        return list(self._backing.keys())
+
+
+class ExecutionContext:
+    """Everything one call frame needs (threaded through nested calls)."""
+
+    def __init__(
+        self,
+        state,  # WorldState; untyped to avoid an import cycle
+        meter: GasMeter,
+        block: BlockContext,
+        origin: bytes,
+        vm,  # VM; provides nested call + precompile dispatch
+        read_only: bool = False,
+    ) -> None:
+        self.state = state
+        self.meter = meter
+        self.block = block
+        self.origin = origin
+        self.vm = vm
+        self.read_only = read_only
+        self.logs: List[Log] = []
+
+
+class Contract:
+    """Base class for all on-chain programs."""
+
+    #: Set by ContractRegistry.register; defaults to the class name.
+    contract_name: str = ""
+
+    def __init__(
+        self,
+        address: bytes,
+        storage: MeteredStorage,
+        ctx: ExecutionContext,
+        msg_sender: bytes,
+        msg_value: int,
+    ) -> None:
+        self.address = address
+        self.storage = storage
+        self._ctx = ctx
+        self.msg_sender = msg_sender
+        self.msg_value = msg_value
+
+    # ----- environment ---------------------------------------------------------
+
+    @property
+    def block_number(self) -> int:
+        return self._ctx.block.number
+
+    @property
+    def block_timestamp(self) -> int:
+        return self._ctx.block.timestamp
+
+    @property
+    def tx_origin(self) -> bytes:
+        return self._ctx.origin
+
+    def balance_of(self, address: bytes) -> int:
+        self._ctx.meter.consume(self._ctx.meter.schedule.storage_read, "balance read")
+        return self._ctx.state.balance_of(address)
+
+    @property
+    def balance(self) -> int:
+        return self.balance_of(self.address)
+
+    # ----- effects ----------------------------------------------------------------
+
+    @staticmethod
+    def require(condition: bool, message: str = "requirement failed") -> None:
+        """Revert the call frame unless ``condition`` holds."""
+        if not condition:
+            raise ContractError(message)
+
+    def transfer(self, destination: bytes, amount: int) -> bool:
+        """Move value from this contract; mirrors Algorithm 1's transfer().
+
+        Returns False (without reverting) when the balance is short,
+        matching the paper's pseudo-code.
+        """
+        self._assert_mutable()
+        self._ctx.meter.consume(self._ctx.meter.schedule.transfer_stipend, "transfer")
+        if self._ctx.state.balance_of(self.address) < amount or amount < 0:
+            return False
+        self._ctx.state.transfer(self.address, destination, amount)
+        return True
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append an event log."""
+        log = Log(address=self.address, event=event, fields=fields)
+        schedule = self._ctx.meter.schedule
+        self._ctx.meter.consume(
+            schedule.log_base + schedule.log_byte * log.approximate_size(), "log"
+        )
+        self._ctx.logs.append(log)
+
+    def call_contract(
+        self, address: bytes, method: str, args: List[Any], value: int = 0
+    ) -> Any:
+        """Synchronous nested call into another contract."""
+        self._assert_mutable() if value else None
+        self._ctx.meter.consume(self._ctx.meter.schedule.call_base, "nested call")
+        return self._ctx.vm.nested_call(
+            self._ctx, caller=self.address, address=address, method=method,
+            args=args, value=value,
+        )
+
+    def static_read(self, address: bytes, method: str, args: List[Any]) -> Any:
+        """Read-only nested call (view methods of other contracts)."""
+        self._ctx.meter.consume(self._ctx.meter.schedule.call_base, "static call")
+        return self._ctx.vm.nested_call(
+            self._ctx, caller=self.address, address=address, method=method,
+            args=args, value=0, read_only=True,
+        )
+
+    def snark_verify(self, verifying_key: Any, public_inputs: List[int], proof: Any) -> bool:
+        """The embedded zk-SNARK verification precompile."""
+        from repro.chain.precompiles import snark_verify_precompile
+
+        return snark_verify_precompile(
+            self._ctx.meter, verifying_key, public_inputs, proof
+        )
+
+    def _assert_mutable(self) -> None:
+        if self._ctx.read_only:
+            raise ContractError("state mutation inside a read-only call")
+
+    # ----- lifecycle hook --------------------------------------------------------
+
+    def init(self, *args: Any) -> None:
+        """Constructor; override in subclasses."""
+
+
+class ContractRegistry:
+    """Name → contract class mapping shared by all nodes.
+
+    Plays the role of "known bytecode": creation transactions name the
+    class to instantiate, and all nodes resolve it identically.
+    """
+
+    _classes: Dict[str, Type[Contract]] = {}
+
+    @classmethod
+    def register(cls, contract_cls: Type[Contract]) -> Type[Contract]:
+        name = contract_cls.contract_name or contract_cls.__name__
+        contract_cls.contract_name = name
+        existing = cls._classes.get(name)
+        if existing is not None and existing is not contract_cls:
+            raise ChainError(f"contract name {name!r} already registered")
+        cls._classes[name] = contract_cls
+        return contract_cls
+
+    @classmethod
+    def resolve(cls, name: str) -> Type[Contract]:
+        try:
+            return cls._classes[name]
+        except KeyError:
+            raise ChainError(f"unknown contract class {name!r}") from None
+
+    @classmethod
+    def known(cls) -> List[str]:
+        return sorted(cls._classes)

@@ -1,0 +1,147 @@
+"""Chain introspection: the block-explorer view of a node.
+
+Clients and experiments frequently need "all events of this contract",
+"where is this transaction", or "every task ever published" — this
+module provides those read-only queries over a node's canonical chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chain.block import Block
+from repro.chain.node import Node
+from repro.chain.receipts import Log, Receipt
+from repro.chain.transaction import SignedTransaction
+
+
+@dataclass(frozen=True)
+class LocatedTransaction:
+    """A transaction with its inclusion coordinates."""
+
+    transaction: SignedTransaction
+    block_number: int
+    index_in_block: int
+    receipt: Optional[Receipt]
+
+
+@dataclass(frozen=True)
+class LocatedLog:
+    """An event log with its chain coordinates."""
+
+    log: Log
+    block_number: int
+    tx_hash: bytes
+
+
+class ChainExplorer:
+    """Read-only queries over one node's canonical chain."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+
+    # ----- blocks & transactions ---------------------------------------------------
+
+    def canonical_chain(self) -> List[Block]:
+        return self.node.chain_to_genesis()
+
+    def find_transaction(self, tx_hash: bytes) -> Optional[LocatedTransaction]:
+        """Locate a mined transaction on the canonical chain."""
+        for block in self.canonical_chain():
+            for index, stx in enumerate(block.transactions):
+                if stx.tx_hash == tx_hash:
+                    return LocatedTransaction(
+                        transaction=stx,
+                        block_number=block.number,
+                        index_in_block=index,
+                        receipt=self.node.get_receipt(tx_hash),
+                    )
+        return None
+
+    def transactions_to(self, address: bytes) -> List[LocatedTransaction]:
+        """Every canonical transaction addressed to ``address``."""
+        located: List[LocatedTransaction] = []
+        for block in self.canonical_chain():
+            for index, stx in enumerate(block.transactions):
+                if stx.transaction.to == address:
+                    located.append(
+                        LocatedTransaction(
+                            transaction=stx,
+                            block_number=block.number,
+                            index_in_block=index,
+                            receipt=self.node.get_receipt(stx.tx_hash),
+                        )
+                    )
+        return located
+
+    def transactions_from(self, sender: bytes) -> List[LocatedTransaction]:
+        located: List[LocatedTransaction] = []
+        for block in self.canonical_chain():
+            for index, stx in enumerate(block.transactions):
+                if stx.sender == sender:
+                    located.append(
+                        LocatedTransaction(
+                            transaction=stx,
+                            block_number=block.number,
+                            index_in_block=index,
+                            receipt=self.node.get_receipt(stx.tx_hash),
+                        )
+                    )
+        return located
+
+    # ----- events ---------------------------------------------------------------------
+
+    def logs(
+        self,
+        address: Optional[bytes] = None,
+        event: Optional[str] = None,
+        predicate: Optional[Callable[[Log], bool]] = None,
+    ) -> List[LocatedLog]:
+        """Filter every canonical event log by contract / name / predicate."""
+        matches: List[LocatedLog] = []
+        for block in self.canonical_chain():
+            for stx in block.transactions:
+                receipt = self.node.get_receipt(stx.tx_hash)
+                if receipt is None or not receipt.success:
+                    continue
+                for log in receipt.logs:
+                    if address is not None and log.address != address:
+                        continue
+                    if event is not None and log.event != event:
+                        continue
+                    if predicate is not None and not predicate(log):
+                        continue
+                    matches.append(
+                        LocatedLog(
+                            log=log, block_number=block.number, tx_hash=stx.tx_hash
+                        )
+                    )
+        return matches
+
+    # ----- ZebraLancer-specific views ---------------------------------------------------
+
+    def published_tasks(self) -> List[Dict[str, Any]]:
+        """Every task announced on this chain (from TaskPublished events)."""
+        tasks = []
+        for located in self.logs(event="TaskPublished"):
+            tasks.append(
+                {
+                    "address": located.log.address,
+                    "block_number": located.block_number,
+                    **located.log.fields,
+                }
+            )
+        return tasks
+
+    def task_timeline(self, task_address: bytes) -> List[LocatedLog]:
+        """The full event history of one task, in chain order."""
+        return self.logs(address=task_address)
+
+    def gas_spent_on(self, address: bytes) -> int:
+        """Total gas consumed by canonical transactions to ``address``."""
+        return sum(
+            located.receipt.gas_used
+            for located in self.transactions_to(address)
+            if located.receipt is not None
+        )

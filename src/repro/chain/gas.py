@@ -1,0 +1,67 @@
+"""Gas accounting.
+
+Costs are an abstracted EVM schedule: exact magnitudes do not matter
+for the reproduction, but the *relative* costs do — storage writes are
+expensive, the SNARK-verification precompile is priced like Ethereum's
+Byzantium pairing precompile (base + per-pairing / per-input terms),
+and every transaction pays an intrinsic cost plus calldata bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfGasError
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Abstract gas prices (in gas units)."""
+
+    tx_base: int = 21_000
+    tx_create_extra: int = 32_000
+    calldata_byte: int = 16
+    storage_set: int = 20_000
+    storage_update: int = 5_000
+    storage_read: int = 200
+    log_base: int = 375
+    log_byte: int = 8
+    transfer_stipend: int = 2_300
+    call_base: int = 700
+    compute_step: int = 10
+    # Byzantium-style pairing precompile pricing.
+    snark_verify_base: int = 100_000
+    snark_verify_per_input: int = 40_000
+
+    def intrinsic_gas(self, data: bytes, is_create: bool) -> int:
+        cost = self.tx_base + self.calldata_byte * len(data)
+        if is_create:
+            cost += self.tx_create_extra
+        return cost
+
+
+DEFAULT_SCHEDULE = GasSchedule()
+
+
+class GasMeter:
+    """Tracks gas consumption during one transaction execution."""
+
+    def __init__(self, limit: int, schedule: GasSchedule = DEFAULT_SCHEDULE) -> None:
+        self.limit = limit
+        self.schedule = schedule
+        self.used = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self.used
+
+    def consume(self, amount: int, reason: str = "") -> None:
+        if amount < 0:
+            raise ValueError("gas amounts are non-negative")
+        if self.used + amount > self.limit:
+            self.used = self.limit
+            raise OutOfGasError(
+                f"out of gas{f' while {reason}' if reason else ''}: "
+                f"limit {self.limit}"
+            )
+        self.used += amount

@@ -1,0 +1,104 @@
+"""A header-only light client.
+
+Footnote 12 of the paper: participants need not run full nodes — a
+light client that validates headers (parent links + consensus seals)
+can confirm that its crowdsourcing transactions were included, using
+Merkle inclusion proofs served by any full node, without trusting it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidBlockError
+from repro.chain.block import Block, BlockHeader, GENESIS_PARENT
+from repro.chain.consensus import ConsensusEngine
+from repro.chain.node import Node
+from repro.chain.txtrie import InclusionProof, prove_inclusion, verify_inclusion
+
+
+class LightClient:
+    """Tracks validated headers; verifies tx inclusion against them."""
+
+    def __init__(self, engine: ConsensusEngine, genesis_header: BlockHeader) -> None:
+        self.engine = engine
+        self._headers: Dict[bytes, BlockHeader] = {
+            genesis_header.block_hash(): genesis_header
+        }
+        self._head = genesis_header.block_hash()
+
+    @property
+    def head_header(self) -> BlockHeader:
+        return self._headers[self._head]
+
+    @property
+    def height(self) -> int:
+        return self.head_header.number
+
+    def import_header(self, header: BlockHeader) -> bool:
+        """Validate and adopt a header; returns False if already known."""
+        block_hash = header.block_hash()
+        if block_hash in self._headers:
+            return False
+        parent = self._headers.get(header.parent_hash)
+        if parent is None:
+            raise InvalidBlockError("unknown parent header")
+        if header.number != parent.number + 1:
+            raise InvalidBlockError("non-consecutive header number")
+        if header.timestamp < parent.timestamp:
+            raise InvalidBlockError("timestamp moves backwards")
+        self.engine.validate_seal(header)
+        self._headers[block_hash] = header
+        head = self.head_header
+        if header.number > head.number or (
+            header.number == head.number and block_hash < head.block_hash()
+        ):
+            self._head = block_hash
+        return True
+
+    def sync_from(self, node: Node) -> int:
+        """Pull every header on the node's canonical chain; returns count."""
+        imported = 0
+        for block in node.chain_to_genesis():
+            if block.header.parent_hash == GENESIS_PARENT and block.number == 0:
+                continue  # genesis was pinned at construction
+            try:
+                if self.import_header(block.header):
+                    imported += 1
+            except InvalidBlockError:
+                raise
+        return imported
+
+    def header_by_number(self, number: int) -> Optional[BlockHeader]:
+        cursor = self.head_header
+        while cursor.number > number:
+            parent = self._headers.get(cursor.parent_hash)
+            if parent is None:
+                return None
+            cursor = parent
+        return cursor if cursor.number == number else None
+
+    def verify_transaction_inclusion(
+        self, proof: InclusionProof, block_number: int
+    ) -> bool:
+        """Check a full node's inclusion proof against a tracked header."""
+        header = self.header_by_number(block_number)
+        if header is None:
+            return False
+        return verify_inclusion(header.tx_root, proof)
+
+
+def serve_inclusion_proof(node: Node, tx_hash: bytes) -> Optional[tuple]:
+    """Full-node side: produce (proof, block_number) for a mined tx."""
+    receipt = node.get_receipt(tx_hash)
+    if receipt is None or receipt.block_number is None:
+        return None
+    block: Optional[Block] = node.block_by_number(receipt.block_number)
+    if block is None:
+        return None
+    hashes = [stx.tx_hash for stx in block.transactions]
+    try:
+        index = hashes.index(tx_hash)
+    except ValueError:
+        return None
+    return prove_inclusion(hashes, index), block.number

@@ -1,0 +1,96 @@
+"""The transaction pool.
+
+Pending transactions are public knowledge before inclusion — this is
+the adversarial surface the paper emphasises: "a network adversary can
+reorder transactions that are broadcasted to the network but not yet
+written into a block", and a free-rider can read a victim's submitted
+answer out of the pool and resubmit it as his own.  The pool therefore
+deliberately exposes :meth:`pending` and accepts an ordering override.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import InvalidTransactionError
+from repro.chain.transaction import SignedTransaction
+
+OrderingPolicy = Callable[[List[SignedTransaction]], List[SignedTransaction]]
+
+
+def default_ordering(pending: List[SignedTransaction]) -> List[SignedTransaction]:
+    """Miner-default: gas price descending, arrival order as tiebreak."""
+    return sorted(
+        pending,
+        key=lambda stx: (-stx.transaction.gas_price,),
+    )
+
+
+class Mempool:
+    """A per-node pending-transaction pool."""
+
+    def __init__(self, ordering: Optional[OrderingPolicy] = None) -> None:
+        self._pool: Dict[bytes, SignedTransaction] = {}
+        self._arrival: List[bytes] = []
+        self.ordering: OrderingPolicy = ordering or default_ordering
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def add(self, stx: SignedTransaction) -> bool:
+        """Admit a transaction; returns False on duplicates."""
+        if not stx.verify_signature():
+            raise InvalidTransactionError("refusing unsigned transaction")
+        if stx.tx_hash in self._pool:
+            return False
+        self._pool[stx.tx_hash] = stx
+        self._arrival.append(stx.tx_hash)
+        return True
+
+    def remove(self, tx_hash: bytes) -> None:
+        self._pool.pop(tx_hash, None)
+
+    def contains(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._pool
+
+    def pending(self) -> List[SignedTransaction]:
+        """Every pending transaction, in arrival order.
+
+        Public on purpose: anyone watching the P2P network sees these.
+        """
+        return [self._pool[h] for h in self._arrival if h in self._pool]
+
+    def select_for_block(self, gas_limit: int) -> List[SignedTransaction]:
+        """Pick transactions for a new block under the gas limit.
+
+        Applies the ordering policy, then keeps per-sender nonce order
+        (a later-nonce tx never precedes an earlier-nonce one from the
+        same sender).
+        """
+        ordered = self.ordering(self.pending())
+        # Stable per-sender nonce repair.
+        by_sender: Dict[bytes, List[SignedTransaction]] = {}
+        for stx in ordered:
+            by_sender.setdefault(stx.sender, []).append(stx)
+        for txs in by_sender.values():
+            txs.sort(key=lambda stx: stx.transaction.nonce)
+        cursor = {sender: 0 for sender in by_sender}
+        selected: List[SignedTransaction] = []
+        budget = gas_limit
+        for stx in ordered:
+            sender = stx.sender
+            queue = by_sender[sender]
+            if cursor[sender] >= len(queue):
+                continue
+            candidate = queue[cursor[sender]]
+            if candidate.transaction.gas_limit > budget:
+                continue
+            cursor[sender] += 1
+            selected.append(candidate)
+            budget -= candidate.transaction.gas_limit
+        return selected
+
+    def drop_included(self, transactions) -> None:
+        """Remove transactions that made it into a block."""
+        for stx in transactions:
+            self.remove(stx.tx_hash)

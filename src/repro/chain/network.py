@@ -1,0 +1,259 @@
+"""The P2P network simulation and the paper-shaped test net.
+
+:class:`Network` connects nodes, gossips transactions and blocks (with
+an optional adversary that may observe, reorder, drop, or inject
+traffic before delivery — exactly the power §III grants the network
+adversary over not-yet-mined transactions).  :class:`Testnet` is a
+convenience facade reproducing the paper's deployment: a handful of
+nodes, some of them miners, with a faucet for funding one-task-only
+addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Protocol
+
+from repro.crypto import ecdsa
+from repro.errors import ChainError, InvalidTransactionError
+from repro.chain.block import Block
+from repro.chain.clock import SimClock
+from repro.chain.consensus import ConsensusEngine, PoAEngine
+from repro.chain.node import GenesisConfig, Node
+from repro.chain.transaction import SignedTransaction, Transaction
+
+
+class NetworkAdversary(Protocol):
+    """Hooks an adversary may implement (all optional in spirit).
+
+    ``on_transaction`` is called before a broadcast transaction is
+    delivered and returns the list of transactions that actually get
+    delivered — returning ``[]`` censors, returning extra transactions
+    injects (e.g. the free-rider's copy), reordering happens naturally
+    by submitting ahead of the victim with a higher gas price.
+    """
+
+    def on_transaction(self, stx: SignedTransaction) -> List[SignedTransaction]:
+        ...
+
+
+class Network:
+    """Gossip fabric between nodes."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self.nodes: List[Node] = []
+        self.adversary: Optional[NetworkAdversary] = None
+        self.transaction_log: List[SignedTransaction] = []
+        self._partition_of: Dict[int, int] = {}  # id(node) -> group
+
+    def add_node(self, node: Node) -> Node:
+        self.nodes.append(node)
+        return node
+
+    # ----- partitions --------------------------------------------------------------
+
+    def partition(self, *groups: List[Node]) -> None:
+        """Split the network: gossip only flows within each group.
+
+        Nodes not named in any group keep receiving everything (they
+        model multi-homed peers).  Call :meth:`heal` to reconnect.
+        """
+        self._partition_of = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                self._partition_of[id(node)] = index
+
+    def heal(self) -> None:
+        """Reconnect everyone and let nodes sync missing blocks."""
+        self._partition_of = {}
+        # Everyone offers its canonical chain to everyone else; longest
+        # chain wins through the ordinary fork-choice rule.
+        for source in self.nodes:
+            chain = source.chain_to_genesis()
+            for node in self.nodes:
+                if node is source:
+                    continue
+                for block in chain:
+                    try:
+                        node.import_block(block)
+                    except Exception:  # noqa: BLE001 - unknown parent mid-chain etc.
+                        continue
+
+    def _reachable(self, sender: Optional[Node], receiver: Node) -> bool:
+        if not self._partition_of or sender is None:
+            return True
+        sender_group = self._partition_of.get(id(sender))
+        receiver_group = self._partition_of.get(id(receiver))
+        if sender_group is None or receiver_group is None:
+            return True
+        return sender_group == receiver_group
+
+    # ----- gossip -------------------------------------------------------------------
+
+    def broadcast_transaction(
+        self, stx: SignedTransaction, origin: Optional[Node] = None
+    ) -> None:
+        """Gossip a transaction to every reachable node (via the adversary)."""
+        deliveries = [stx]
+        if self.adversary is not None:
+            deliveries = self.adversary.on_transaction(stx)
+        for delivered in deliveries:
+            self.transaction_log.append(delivered)
+            for node in self.nodes:
+                if not self._reachable(origin, node):
+                    continue
+                try:
+                    node.submit_transaction(delivered)
+                except InvalidTransactionError:
+                    continue  # nodes drop junk silently
+
+    def broadcast_block(self, block: Block, origin: Node) -> None:
+        for node in self.nodes:
+            if node is origin or not self._reachable(origin, node):
+                continue
+            node.import_block(block)
+
+    def pending_transactions(self) -> List[SignedTransaction]:
+        """The union view of pending traffic (what an observer sees)."""
+        seen: Dict[bytes, SignedTransaction] = {}
+        for node in self.nodes:
+            for stx in node.mempool.pending():
+                seen.setdefault(stx.tx_hash, stx)
+        return list(seen.values())
+
+
+class Testnet:
+    """The paper's deployment shape: miners + full nodes + a faucet.
+
+    (``__test__ = False`` keeps pytest from trying to collect this.)
+
+    Defaults mirror Section VI: two miners and two non-mining full
+    nodes (one of which a requester client attaches to, the other the
+    workers').  ``mine_block`` advances the chain by one block and one
+    block interval of simulated time.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        miners: int = 2,
+        full_nodes: int = 2,
+        block_interval: int = 15,
+        gas_limit: int = 30_000_000,
+        initial_faucet_balance: int = 10**30,
+        engine: Optional[ConsensusEngine] = None,
+    ) -> None:
+        if miners < 1:
+            raise ValueError("need at least one miner")
+        self.block_interval = block_interval
+        self.clock = SimClock()
+        self.network = Network(self.clock)
+        self.faucet_key = ecdsa.ECDSAKeyPair.from_seed(b"testnet-faucet")
+
+        miner_keys = [
+            ecdsa.ECDSAKeyPair.from_seed(f"miner-{i}".encode()) for i in range(miners)
+        ]
+        self.engine = engine or PoAEngine([k.address() for k in miner_keys])
+        genesis = GenesisConfig(
+            allocations={self.faucet_key.address(): initial_faucet_balance},
+            gas_limit=gas_limit,
+        )
+        self.genesis = genesis
+        self.miners: List[Node] = [
+            self.network.add_node(
+                Node(
+                    name=f"miner-{i}",
+                    genesis=genesis,
+                    engine=self.engine,
+                    keypair=key,
+                    is_miner=True,
+                )
+            )
+            for i, key in enumerate(miner_keys)
+        ]
+        self.full_nodes: List[Node] = [
+            self.network.add_node(
+                Node(name=f"full-{i}", genesis=genesis, engine=self.engine)
+            )
+            for i in range(full_nodes)
+        ]
+        self._faucet_nonce = 0
+
+    # ----- views ----------------------------------------------------------------
+
+    @property
+    def any_node(self) -> Node:
+        """A full node to read the chain through (miners work too)."""
+        return self.full_nodes[0] if self.full_nodes else self.miners[0]
+
+    @property
+    def height(self) -> int:
+        return self.any_node.height
+
+    # ----- actions ----------------------------------------------------------------
+
+    def send_transaction(self, stx: SignedTransaction) -> bytes:
+        """Broadcast a signed transaction; returns its hash."""
+        self.network.broadcast_transaction(stx)
+        return stx.tx_hash
+
+    def mine_block(self) -> Block:
+        """Let the scheduled miner seal the next block and gossip it."""
+        height = self.any_node.height + 1
+        proposer_address = self.engine.expected_proposer(height)
+        miner = self.miners[0]
+        if proposer_address is not None:
+            for candidate in self.miners:
+                if candidate.address == proposer_address:
+                    miner = candidate
+                    break
+            else:
+                raise ChainError("no local miner matches the expected proposer")
+        timestamp = self.clock.advance(self.block_interval)
+        block = miner.create_block(timestamp)
+        self.network.broadcast_block(block, origin=miner)
+        return block
+
+    def mine_blocks(self, count: int) -> List[Block]:
+        return [self.mine_block() for _ in range(count)]
+
+    def mine_until(self, predicate: Callable[[], bool], max_blocks: int = 64) -> None:
+        """Mine until ``predicate()`` holds (or fail loudly)."""
+        for _ in range(max_blocks):
+            if predicate():
+                return
+            self.mine_block()
+        if not predicate():
+            raise ChainError(f"condition not reached within {max_blocks} blocks")
+
+    def fund(self, address: bytes, amount: int, mine: bool = True) -> None:
+        """Faucet-transfer ``amount`` to ``address`` (mining one block)."""
+        tx = Transaction(
+            nonce=self._faucet_nonce,
+            gas_price=1,
+            gas_limit=50_000,
+            to=address,
+            value=amount,
+            chain_id=self.genesis.chain_id,
+        )
+        self._faucet_nonce += 1
+        self.send_transaction(tx.sign(self.faucet_key))
+        if mine:
+            self.mine_block()
+
+    def wait_for_receipt(self, tx_hash: bytes, max_blocks: int = 16):
+        """Mine until the transaction is included; returns its receipt."""
+        self.mine_until(
+            lambda: self.any_node.get_receipt(tx_hash) is not None, max_blocks
+        )
+        return self.any_node.get_receipt(tx_hash)
+
+    def assert_consensus(self) -> None:
+        """All nodes agree on head hash and state root (test invariant)."""
+        heads = {node.head_block.block_hash for node in self.network.nodes}
+        if len(heads) != 1:
+            raise ChainError("nodes diverged on the head block")
+        roots = {node.head_state.state_root() for node in self.network.nodes}
+        if len(roots) != 1:
+            raise ChainError("nodes diverged on state")

@@ -1,0 +1,265 @@
+"""A full node: keeps the chain, the state per block, and a mempool.
+
+Every node re-executes every imported block and refuses blocks whose
+declared state root disagrees with its own execution — the "correct
+computation" guarantee.  Fork choice is longest-chain (lowest hash as a
+deterministic tiebreak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto import ecdsa
+from repro.errors import InvalidBlockError, InvalidTransactionError
+from repro.chain.block import Block, BlockHeader, GENESIS_PARENT, transactions_root
+from repro.chain.consensus import ConsensusEngine, PoAEngine
+from repro.chain.contract import BlockContext
+from repro.chain.gas import DEFAULT_SCHEDULE, GasSchedule
+from repro.chain.mempool import Mempool
+from repro.chain.receipts import Receipt
+from repro.chain.state import WorldState
+from repro.chain.transaction import SignedTransaction
+from repro.chain.vm import VM
+
+DEFAULT_BLOCK_GAS_LIMIT = 30_000_000
+
+
+@dataclass
+class GenesisConfig:
+    """Initial balances and chain parameters."""
+
+    allocations: Dict[bytes, int] = field(default_factory=dict)
+    gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT
+    chain_id: int = 1337
+    timestamp: int = 1_500_000_000
+
+    def build_state(self) -> WorldState:
+        state = WorldState()
+        for address, balance in self.allocations.items():
+            state.credit(address, balance)
+        return state
+
+    def build_genesis_block(self) -> Block:
+        state = self.build_state()
+        header = BlockHeader(
+            number=0,
+            parent_hash=GENESIS_PARENT,
+            timestamp=self.timestamp,
+            miner=b"\x00" * 20,
+            state_root=state.state_root(),
+            tx_root=transactions_root([]),
+            gas_used=0,
+            gas_limit=self.gas_limit,
+            extra=b"zebralancer-genesis",
+        )
+        return Block(header=header, transactions=())
+
+
+class Node:
+    """One network participant (miner or plain full node)."""
+
+    def __init__(
+        self,
+        name: str,
+        genesis: GenesisConfig,
+        engine: Optional[ConsensusEngine] = None,
+        keypair: Optional[ecdsa.ECDSAKeyPair] = None,
+        is_miner: bool = False,
+        schedule: GasSchedule = DEFAULT_SCHEDULE,
+    ) -> None:
+        self.name = name
+        self.genesis = genesis
+        self.keypair = keypair or ecdsa.ECDSAKeyPair.from_seed(name.encode())
+        self.is_miner = is_miner
+        self.engine = engine or PoAEngine([self.keypair.address()])
+        self.vm = VM(schedule=schedule, chain_id=genesis.chain_id)
+        self.mempool = Mempool()
+
+        genesis_block = genesis.build_genesis_block()
+        self._blocks: Dict[bytes, Block] = {genesis_block.block_hash: genesis_block}
+        self._states: Dict[bytes, WorldState] = {
+            genesis_block.block_hash: genesis.build_state()
+        }
+        self._receipts: Dict[bytes, Receipt] = {}
+        self._head = genesis_block.block_hash
+
+    # ----- chain views --------------------------------------------------------------
+
+    @property
+    def address(self) -> bytes:
+        return self.keypair.address()
+
+    @property
+    def head_block(self) -> Block:
+        return self._blocks[self._head]
+
+    @property
+    def head_state(self) -> WorldState:
+        return self._states[self._head]
+
+    @property
+    def height(self) -> int:
+        return self.head_block.number
+
+    def block_by_hash(self, block_hash: bytes) -> Optional[Block]:
+        return self._blocks.get(block_hash)
+
+    def block_by_number(self, number: int) -> Optional[Block]:
+        cursor = self.head_block
+        while cursor.number > number:
+            parent = self._blocks.get(cursor.header.parent_hash)
+            if parent is None:
+                return None
+            cursor = parent
+        return cursor if cursor.number == number else None
+
+    def get_receipt(self, tx_hash: bytes) -> Optional[Receipt]:
+        return self._receipts.get(tx_hash)
+
+    def balance_of(self, address: bytes) -> int:
+        return self.head_state.balance_of(address)
+
+    def nonce_of(self, address: bytes) -> int:
+        return self.head_state.nonce_of(address)
+
+    def call(
+        self,
+        address: bytes,
+        method: str,
+        args: Optional[List[Any]] = None,
+        caller: Optional[bytes] = None,
+    ) -> Any:
+        """Execute a view method against the head state (free)."""
+        block_ctx = BlockContext(
+            number=self.height,
+            timestamp=self.head_block.header.timestamp,
+            coinbase=self.head_block.header.miner,
+        )
+        return self.vm.run_view(
+            self.head_state, address, method, args or [], block_ctx, caller
+        )
+
+    # ----- mempool --------------------------------------------------------------------
+
+    def submit_transaction(self, stx: SignedTransaction) -> bool:
+        """Admit a transaction to the local pool (light validation).
+
+        Inclusion-time validation is strict; admission only requires a
+        valid signature, a plausible nonce and fee coverage.
+        """
+        if not stx.verify_signature():
+            raise InvalidTransactionError("bad signature")
+        if stx.transaction.chain_id != self.genesis.chain_id:
+            raise InvalidTransactionError("wrong chain id")
+        state = self.head_state
+        if stx.transaction.nonce < state.nonce_of(stx.sender):
+            raise InvalidTransactionError("stale nonce")
+        if state.balance_of(stx.sender) < stx.max_cost():
+            raise InvalidTransactionError("cannot cover value + max fee")
+        return self.mempool.add(stx)
+
+    # ----- block production --------------------------------------------------------------
+
+    def create_block(self, timestamp: int) -> Block:
+        """Mine a block on the current head from the local mempool."""
+        if not self.is_miner:
+            raise InvalidBlockError(f"node {self.name} is not a miner")
+        parent = self.head_block
+        state = self.head_state.snapshot()
+        block_ctx = BlockContext(
+            number=parent.number + 1, timestamp=timestamp, coinbase=self.address
+        )
+        selected = self.mempool.select_for_block(self.genesis.gas_limit)
+        included: List[SignedTransaction] = []
+        gas_used = 0
+        for stx in selected:
+            try:
+                self.vm.validate_transaction(state, stx)
+            except InvalidTransactionError:
+                continue  # leave it out (it may become valid later)
+            receipt = self.vm.execute_transaction(state, stx, block_ctx)
+            gas_used += receipt.gas_used
+            included.append(stx)
+        header = BlockHeader(
+            number=parent.number + 1,
+            parent_hash=parent.block_hash,
+            timestamp=timestamp,
+            miner=self.address,
+            state_root=state.state_root(),
+            tx_root=transactions_root(included),
+            gas_used=gas_used,
+            gas_limit=self.genesis.gas_limit,
+        )
+        seal = self.engine.seal(header, self.keypair)
+        sealed = BlockHeader(**{**header.__dict__, "seal": seal})
+        block = Block(header=sealed, transactions=tuple(included))
+        self.import_block(block)
+        return block
+
+    # ----- block import --------------------------------------------------------------------
+
+    def import_block(self, block: Block) -> bool:
+        """Validate, re-execute and adopt a block; returns False if known."""
+        if block.block_hash in self._blocks:
+            return False
+        parent_state = self._states.get(block.header.parent_hash)
+        parent_block = self._blocks.get(block.header.parent_hash)
+        if parent_state is None or parent_block is None:
+            raise InvalidBlockError("unknown parent block")
+        if block.number != parent_block.number + 1:
+            raise InvalidBlockError("non-consecutive block number")
+        if block.header.timestamp < parent_block.header.timestamp:
+            raise InvalidBlockError("timestamp moves backwards")
+        self.engine.validate_seal(block.header)
+        if block.header.tx_root != transactions_root(list(block.transactions)):
+            raise InvalidBlockError("transaction root mismatch")
+
+        state = parent_state.snapshot()
+        block_ctx = BlockContext(
+            number=block.number,
+            timestamp=block.header.timestamp,
+            coinbase=block.header.miner,
+        )
+        receipts: List[Receipt] = []
+        gas_used = 0
+        for stx in block.transactions:
+            try:
+                receipt = self.vm.execute_transaction(state, stx, block_ctx)
+            except InvalidTransactionError as exc:
+                raise InvalidBlockError(f"invalid transaction in block: {exc}") from exc
+            receipts.append(receipt)
+            gas_used += receipt.gas_used
+        if gas_used != block.header.gas_used:
+            raise InvalidBlockError("gas-used mismatch after re-execution")
+        if state.state_root() != block.header.state_root:
+            raise InvalidBlockError("state root mismatch after re-execution")
+
+        self._blocks[block.block_hash] = block
+        self._states[block.block_hash] = state
+        for receipt in receipts:
+            self._receipts[receipt.tx_hash] = receipt
+        self.mempool.drop_included(block.transactions)
+        self._maybe_reorg(block)
+        return True
+
+    def _maybe_reorg(self, candidate: Block) -> None:
+        head = self.head_block
+        if candidate.number > head.number:
+            self._head = candidate.block_hash
+        elif candidate.number == head.number and candidate.block_hash < head.block_hash:
+            self._head = candidate.block_hash
+
+    # ----- invariants ------------------------------------------------------------------------
+
+    def chain_to_genesis(self) -> List[Block]:
+        """The head's ancestor chain, genesis first."""
+        chain: List[Block] = []
+        cursor: Optional[Block] = self.head_block
+        while cursor is not None:
+            chain.append(cursor)
+            if cursor.header.parent_hash == GENESIS_PARENT:
+                break
+            cursor = self._blocks.get(cursor.header.parent_hash)
+        return list(reversed(chain))

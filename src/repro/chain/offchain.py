@@ -1,0 +1,145 @@
+"""Content-addressed off-chain storage (the paper's open question 2).
+
+"Can we further optimize our implementations with using off-chain
+storage [51, 52] … to assist more large-scale tasks, e.g. to collect
+annotations for millions of images?"  This module implements the
+Swarm/IPFS-shaped piece such an optimization needs: a content-addressed
+blob store with chunking and Merkle-DAG-style manifests, so a task
+contract only carries a 32-byte content id while images/audio live
+off-chain.
+
+The store itself is an honest-but-curious service: integrity is
+verified by the *reader* against the content id, so a malicious store
+cannot substitute data (availability, as in Swarm/IPFS, is an
+assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crypto.hashing import sha256
+from repro.errors import ChainError
+from repro.serialization import chunk_bytes, decode, encode
+
+#: Chunk size for large blobs (Swarm uses 4 KiB chunks).
+DEFAULT_CHUNK_SIZE = 4096
+
+_LEAF_DOMAIN = b"offchain-leaf"
+_MANIFEST_DOMAIN = b"offchain-manifest"
+
+
+class IntegrityError(ChainError):
+    """Fetched content does not hash to the requested content id."""
+
+
+@dataclass(frozen=True)
+class ContentId:
+    """A 32-byte content address, printable as 0x-hex."""
+
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 32:
+            raise ValueError("content ids are 32-byte digests")
+
+    def hex(self) -> str:
+        return "0x" + self.digest.hex()
+
+    @classmethod
+    def parse(cls, text: str) -> "ContentId":
+        if text.startswith(("0x", "0X")):
+            text = text[2:]
+        return cls(bytes.fromhex(text))
+
+
+def leaf_id(chunk: bytes) -> ContentId:
+    return ContentId(sha256(_LEAF_DOMAIN, chunk))
+
+
+def manifest_id(chunk_ids: List[ContentId], length: int) -> ContentId:
+    payload = encode([length, [c.digest for c in chunk_ids]])
+    return ContentId(sha256(_MANIFEST_DOMAIN, payload))
+
+
+class ContentStore:
+    """An in-memory content-addressed store with chunked large blobs.
+
+    ``put`` returns a :class:`ContentId`; ``get`` re-verifies every
+    chunk and the manifest against it, so a tampering store is always
+    detected.
+    """
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size < 64:
+            raise ValueError("chunk size too small to be useful")
+        self.chunk_size = chunk_size
+        self._chunks: Dict[bytes, bytes] = {}
+        self._manifests: Dict[bytes, bytes] = {}
+
+    # ----- write ----------------------------------------------------------------
+
+    def put(self, blob: bytes) -> ContentId:
+        """Store a blob of any size; returns its content id."""
+        chunk_ids: List[ContentId] = []
+        for chunk in chunk_bytes(blob, self.chunk_size) if blob else [b""]:
+            cid = leaf_id(chunk)
+            self._chunks[cid.digest] = chunk
+            chunk_ids.append(cid)
+        mid = manifest_id(chunk_ids, len(blob))
+        self._manifests[mid.digest] = encode(
+            [len(blob), [c.digest for c in chunk_ids]]
+        )
+        return mid
+
+    # ----- read -----------------------------------------------------------------
+
+    def get(self, content_id: ContentId) -> bytes:
+        """Fetch + verify a blob; raises :class:`IntegrityError` on tamper."""
+        manifest_blob = self._manifests.get(content_id.digest)
+        if manifest_blob is None:
+            raise KeyError(f"unknown content id {content_id.hex()}")
+        length, digests = decode(manifest_blob)
+        ids = [ContentId(d) for d in digests]
+        if manifest_id(ids, length) != content_id:
+            raise IntegrityError("manifest does not hash to the content id")
+        pieces: List[bytes] = []
+        for cid in ids:
+            chunk = self._chunks.get(cid.digest)
+            if chunk is None:
+                raise KeyError(f"missing chunk {cid.hex()}")
+            if leaf_id(chunk) != cid:
+                raise IntegrityError("chunk does not hash to its id")
+            pieces.append(chunk)
+        blob = b"".join(pieces)
+        if len(blob) != length:
+            raise IntegrityError("reassembled length mismatch")
+        return blob
+
+    def has(self, content_id: ContentId) -> bool:
+        return content_id.digest in self._manifests
+
+    # ----- adversarial hooks for tests ---------------------------------------------
+
+    def tamper_chunk(self, content_id: ContentId, index: int, new_chunk: bytes) -> None:
+        """Corrupt the index-th chunk of a stored blob (for tests)."""
+        manifest_blob = self._manifests[content_id.digest]
+        _, digests = decode(manifest_blob)
+        self._chunks[digests[index]] = new_chunk
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(c) for c in self._chunks.values())
+
+
+def content_reference(content_id: ContentId) -> str:
+    """Render a content id as a task-description reference string."""
+    return f"offchain:{content_id.hex()}"
+
+
+def parse_content_reference(reference: str) -> Optional[ContentId]:
+    """Parse ``offchain:0x…`` references; None if not one."""
+    if not reference.startswith("offchain:"):
+        return None
+    return ContentId.parse(reference.split(":", 1)[1])

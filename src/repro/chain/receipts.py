@@ -1,0 +1,39 @@
+"""Execution receipts and event logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+STATUS_SUCCESS = 1
+STATUS_REVERTED = 0
+
+
+@dataclass(frozen=True)
+class Log:
+    """One contract-emitted event."""
+
+    address: bytes
+    event: str
+    fields: Dict[str, Any]
+
+    def approximate_size(self) -> int:
+        return len(self.event) + len(repr(self.fields))
+
+
+@dataclass
+class Receipt:
+    """Outcome of executing one transaction."""
+
+    tx_hash: bytes
+    status: int
+    gas_used: int
+    logs: List[Log] = field(default_factory=list)
+    contract_address: Optional[bytes] = None
+    return_value: Any = None
+    error: Optional[str] = None
+    block_number: Optional[int] = None
+
+    @property
+    def success(self) -> bool:
+        return self.status == STATUS_SUCCESS

@@ -1,0 +1,115 @@
+"""World state: the address → account map with snapshot support.
+
+Snapshots are cheap-enough deep copies (simulation scale); the state
+root is a content hash used by block validation to assert that every
+node executed identically — the "correct computation" property of the
+ideal public ledger.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.crypto.hashing import sha256
+from repro.errors import ChainError
+from repro.serialization import encode
+from repro.chain.account import Account
+
+
+class WorldState:
+    """The full ledger state."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[bytes, Account] = {}
+
+    # ----- account access -----------------------------------------------------
+
+    def account(self, address: bytes) -> Account:
+        """Fetch (creating lazily) the account at ``address``."""
+        account = self._accounts.get(address)
+        if account is None:
+            account = Account()
+            self._accounts[address] = account
+        return account
+
+    def has_account(self, address: bytes) -> bool:
+        return address in self._accounts
+
+    def balance_of(self, address: bytes) -> int:
+        account = self._accounts.get(address)
+        return account.balance if account else 0
+
+    def nonce_of(self, address: bytes) -> int:
+        account = self._accounts.get(address)
+        return account.nonce if account else 0
+
+    def accounts(self) -> Iterator[Tuple[bytes, Account]]:
+        return iter(self._accounts.items())
+
+    # ----- mutation -------------------------------------------------------------
+
+    def credit(self, address: bytes, amount: int) -> None:
+        if amount < 0:
+            raise ChainError("cannot credit a negative amount")
+        self.account(address).balance += amount
+
+    def debit(self, address: bytes, amount: int) -> None:
+        if amount < 0:
+            raise ChainError("cannot debit a negative amount")
+        account = self.account(address)
+        if account.balance < amount:
+            raise ChainError(
+                f"insufficient balance at 0x{address.hex()}: "
+                f"{account.balance} < {amount}"
+            )
+        account.balance -= amount
+
+    def transfer(self, source: bytes, destination: bytes, amount: int) -> None:
+        self.debit(source, amount)
+        self.credit(destination, amount)
+
+    # ----- snapshots --------------------------------------------------------------
+
+    def snapshot(self) -> "WorldState":
+        """A deep, independent copy of the whole state."""
+        clone = WorldState()
+        clone._accounts = {addr: acct.clone() for addr, acct in self._accounts.items()}
+        return clone
+
+    def restore(self, snapshot: "WorldState") -> None:
+        """Replace this state's contents with a snapshot's."""
+        self._accounts = {
+            addr: acct.clone() for addr, acct in snapshot._accounts.items()
+        }
+
+    # ----- integrity ----------------------------------------------------------------
+
+    def state_root(self) -> bytes:
+        """A canonical content hash over all accounts.
+
+        Contract storage may contain arbitrary picklable values, so the
+        root hashes a stable ``repr``-based rendering of storage — good
+        enough for cross-node execution-equality checks in this
+        simulation.
+        """
+        items = []
+        for address in sorted(self._accounts):
+            account = self._accounts[address]
+            storage_repr = repr(sorted(account.storage.items(), key=lambda kv: kv[0]))
+            items.append(
+                encode(
+                    [
+                        address,
+                        account.balance,
+                        account.nonce,
+                        account.contract_name or "",
+                        storage_repr,
+                    ]
+                )
+            )
+        return sha256(b"state-root", *items)
+
+    def total_supply(self) -> int:
+        """Sum of all balances (conserved modulo mint/burn — a test invariant)."""
+        return sum(account.balance for account in self._accounts.values())

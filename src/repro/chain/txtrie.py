@@ -1,0 +1,85 @@
+"""Binary Merkle commitment over a block's transactions.
+
+Replaces a flat hash so light clients can verify transaction inclusion
+against just a header (footnote 12: "requesters and workers can even
+run on top of so-called light-weight nodes, which eventually allows
+them receive and send messages only related to crowdsourcing tasks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import keccak256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+_EMPTY_ROOT = keccak256(b"empty-tx-trie")
+
+
+def _leaf(tx_hash: bytes) -> bytes:
+    return keccak256(_LEAF_PREFIX, tx_hash)
+
+
+def _node(left: bytes, right: bytes) -> bytes:
+    return keccak256(_NODE_PREFIX, left, right)
+
+
+def transactions_merkle_root(tx_hashes: Sequence[bytes]) -> bytes:
+    """The Merkle root of a block's ordered transaction hashes.
+
+    Odd levels duplicate the last node (Bitcoin-style padding); the
+    empty block commits to a fixed sentinel root.
+    """
+    if not tx_hashes:
+        return _EMPTY_ROOT
+    level = [_leaf(h) for h in tx_hashes]
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [_node(level[i], level[i + 1]) for i in range(0, len(level), 2)]
+    return level[0]
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """A Merkle branch proving one transaction sits in a block."""
+
+    tx_hash: bytes
+    index: int
+    siblings: Tuple[bytes, ...]
+
+    def compute_root(self) -> bytes:
+        node = _leaf(self.tx_hash)
+        position = self.index
+        for sibling in self.siblings:
+            if position & 1:
+                node = _node(sibling, node)
+            else:
+                node = _node(node, sibling)
+            position >>= 1
+        return node
+
+
+def prove_inclusion(tx_hashes: Sequence[bytes], index: int) -> InclusionProof:
+    """Build the branch for ``tx_hashes[index]``."""
+    if not 0 <= index < len(tx_hashes):
+        raise IndexError("transaction index out of range")
+    level = [_leaf(h) for h in tx_hashes]
+    siblings: List[bytes] = []
+    position = index
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        siblings.append(level[position ^ 1])
+        level = [_node(level[i], level[i + 1]) for i in range(0, len(level), 2)]
+        position >>= 1
+    return InclusionProof(
+        tx_hash=tx_hashes[index], index=index, siblings=tuple(siblings)
+    )
+
+
+def verify_inclusion(root: bytes, proof: InclusionProof) -> bool:
+    """Check a branch against a header's transaction root."""
+    return proof.compute_root() == root

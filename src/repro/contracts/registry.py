@@ -1,0 +1,58 @@
+"""The registration authority's on-chain interface contract.
+
+"The RA's contract simply posits the system's master public key as a
+common knowledge stored in the blockchain" (Section VI).  Here it
+stores the current registry commitment (Merkle root in merkle mode,
+an mpk commitment in schnorr mode), the history of past commitments
+(so attestations proved against an older root stay verifiable), and
+the Auth circuit's verification key for task contracts to fetch.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, ContractRegistry, external, view
+
+
+@ContractRegistry.register
+class RegistryContract(Contract):
+    """On-chain registry state, updatable only by the RA."""
+
+    contract_name = "ZebraLancerRegistry"
+
+    def init(self, cert_mode: str, commitment: int, auth_vk) -> None:
+        """Deploy with the initial commitment and the Auth verification key."""
+        self.storage["authority"] = self.msg_sender
+        self.storage["cert_mode"] = cert_mode
+        self.storage["commitments"] = [commitment]
+        self.storage["auth_vk"] = auth_vk
+        self.emit("RegistryDeployed", cert_mode=cert_mode, commitment=commitment)
+
+    @external
+    def update_commitment(self, commitment: int) -> None:
+        """Publish a new registry commitment (after new registrations)."""
+        self.require(
+            self.msg_sender == self.storage["authority"],
+            "only the registration authority may update the registry",
+        )
+        history = self.storage["commitments"]
+        if history and history[-1] == commitment:
+            return
+        history.append(commitment)
+        self.storage["commitments"] = history
+        self.emit("CommitmentUpdated", commitment=commitment)
+
+    @view
+    def get_commitment(self) -> int:
+        return self.storage["commitments"][-1]
+
+    @view
+    def is_known_commitment(self, commitment: int) -> bool:
+        return commitment in self.storage["commitments"]
+
+    @view
+    def get_auth_vk(self):
+        return self.storage["auth_vk"]
+
+    @view
+    def get_cert_mode(self) -> str:
+        return self.storage["cert_mode"]

@@ -1,0 +1,40 @@
+"""ZebraLancer's core: the private & anonymous crowdsourcing protocol.
+
+High-level entry points:
+
+- :class:`repro.core.protocol.ZebraLancerSystem` — one-call system
+  bootstrap (chain + RA + SNARK setup + registry contract).
+- :class:`repro.core.requester.Requester` / :class:`repro.core.worker.Worker`
+  — the off-chain clients of Fig. 3.
+- :mod:`repro.core.policy` — reward policies (majority vote per the
+  paper's evaluation, plus EM / auction extensions).
+- :mod:`repro.core.attacks` — the adversaries the design defends
+  against (free-riders, false-reporters, multi-submitters).
+- :mod:`repro.core.baselines` — centralized and naive-decentralized
+  baselines for comparison experiments.
+"""
+
+from repro.core.params import TaskParameters
+from repro.core.policy import (
+    DawidSkeneEMPolicy,
+    MajorityVotePolicy,
+    ProportionalAgreementPolicy,
+    ReverseAuctionPolicy,
+    RewardPolicy,
+)
+from repro.core.protocol import TaskHandle, ZebraLancerSystem
+from repro.core.requester import Requester
+from repro.core.worker import Worker
+
+__all__ = [
+    "TaskParameters",
+    "RewardPolicy",
+    "MajorityVotePolicy",
+    "ProportionalAgreementPolicy",
+    "DawidSkeneEMPolicy",
+    "ReverseAuctionPolicy",
+    "TaskHandle",
+    "ZebraLancerSystem",
+    "Requester",
+    "Worker",
+]

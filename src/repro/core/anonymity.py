@@ -1,0 +1,41 @@
+"""One-task-only blockchain accounts.
+
+Every interaction with a task happens through a fresh address (the
+paper's simple defence against chain-layer de-anonymization; footnote
+8).  Addresses are derived deterministically from the participant's
+master seed and a task label so clients can re-derive them, but two
+different tasks' addresses are unlinkable to an observer.
+
+Funding such an address for gas is itself a linkage channel; the paper
+leaves this to anonymous-payment layers (its open question 3).  The
+simulation funds one-task accounts from the test net's faucet, which
+stands in for any unlinkable funding mechanism (e.g. Zcash-style
+shielded payments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+
+
+@dataclass(frozen=True)
+class OneTaskAccount:
+    """A throwaway chain identity for one task."""
+
+    keypair: ecdsa.ECDSAKeyPair
+    label: str
+
+    @property
+    def address(self) -> bytes:
+        return self.keypair.address()
+
+
+def derive_one_task_account(master_seed: bytes, task_label: str) -> OneTaskAccount:
+    """Derive the fresh account a participant uses for ``task_label``."""
+    seed = sha256(b"one-task-account", master_seed, task_label.encode())
+    return OneTaskAccount(
+        keypair=ecdsa.ECDSAKeyPair.from_seed(seed), label=task_label
+    )

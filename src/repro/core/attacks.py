@@ -1,0 +1,245 @@
+"""Adversarial actors.
+
+Each class drives a concrete attack from the paper's threat analysis
+(Section V-C) against a live system, so tests and examples can show the
+attack *executing* and the defence *holding*:
+
+- :class:`FreeRiderWorker` — watches the public mempool, copies a
+  victim's broadcast ciphertext and resubmits it as his own;
+- :class:`MultiSubmissionWorker` — one identity, many one-task
+  addresses, multiple answers to one task;
+- :class:`FalseReportingRequester` — tries to underpay via a cheating
+  instruction, a forged proof, or by stonewalling;
+- :class:`SelfColludingRequester` — submits an answer to her own task
+  to downgrade the workers' majority.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.crypto.hashing import sha256
+from repro.errors import ProofError, ProtocolError, UnsatisfiedConstraintError
+from repro.chain.receipts import Receipt
+from repro.chain.transaction import Transaction, encode_call
+from repro.serialization import decode
+from repro.anonauth.scheme import task_prefix
+from repro.core.anonymity import derive_one_task_account
+from repro.core.encryption import AnswerCiphertext
+from repro.core.protocol import DEFAULT_GAS_LIMIT, DEFAULT_GAS_PRICE, TaskHandle
+from repro.core.requester import Requester
+from repro.core.reward_circuit import CiphertextEntry, build_reward_instance
+from repro.core.worker import Worker
+
+
+class FreeRiderWorker(Worker):
+    """A registered but lazy worker who plagiarizes from the mempool.
+
+    The blockchain broadcasts submissions before they are mined, so the
+    free-rider can read a victim's ciphertext in flight.  Because
+    answers are encrypted he cannot learn or re-randomize the content —
+    his only move is a verbatim copy, which he *can* authenticate (he
+    holds a valid certificate).  The task contract's duplicate check
+    (the "independence" requirement) rejects it.
+    """
+
+    def steal_pending_ciphertext(self, task_address: bytes) -> Optional[bytes]:
+        """Grab a pending submit_answer ciphertext for the task, if any."""
+        for stx in self.system.testnet.network.pending_transactions():
+            if stx.transaction.to != task_address or not stx.transaction.data:
+                continue
+            try:
+                kind, method, args = decode(stx.transaction.data)
+            except ValueError:
+                continue
+            if kind == "call" and method == "submit_answer":
+                return args[0]
+        return None
+
+    def submit_copied_ciphertext(
+        self, task_address: bytes, ciphertext_wire: bytes
+    ) -> Receipt:
+        """Resubmit someone else's ciphertext under a fresh valid attestation."""
+        system = self.system
+        account = derive_one_task_account(self._seed, f"task:{task_address.hex()}")
+        system.fund_anonymous(account.address)
+        certificate = system.current_certificate(self.keys.public_key)
+        commitment = system.registry_commitment()
+        message = task_prefix(task_address) + account.address + ciphertext_wire
+        attestation = system.scheme.auth(message, self.keys, certificate, commitment)
+        data = encode_call("submit_answer", [ciphertext_wire, attestation.to_wire()])
+        tx = Transaction(
+            nonce=system.node.nonce_of(account.address),
+            gas_price=DEFAULT_GAS_PRICE + 1,  # try to front-run the victim
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=task_address,
+            value=0,
+            data=data,
+        )
+        return system.send_and_confirm(tx.sign(account.keypair))
+
+    def replay_raw_transaction(self, victim_tx) -> bool:
+        """Re-broadcast the victim's exact signed transaction.
+
+        Returns True if the network accepted it as *new* traffic —
+        which it never does: the replay is byte-identical (same hash,
+        same nonce), so it cannot create a second submission.
+        """
+        node = self.system.node
+        before = node.mempool.contains(victim_tx.tx_hash)
+        self.system.testnet.send_transaction(victim_tx)
+        return not before and node.mempool.contains(victim_tx.tx_hash)
+
+
+class MultiSubmissionWorker(Worker):
+    """Submits k > 1 answers to one task from unlinkable fresh addresses."""
+
+    def submit_many(
+        self, handle: TaskHandle, answers: Sequence[Sequence[int]]
+    ) -> List[Receipt]:
+        """Attempt every submission; returns all receipts (reverts included)."""
+        receipts = []
+        system = self.system
+        task_address = handle.address
+        for attempt, answer_fields in enumerate(answers):
+            account = derive_one_task_account(
+                self._seed, f"task:{task_address.hex()}:sybil-{attempt}"
+            )
+            system.fund_anonymous(account.address)
+            epk = self.read_task_epk(task_address)
+            rng = random.Random(attempt + 7)
+            from repro.core.encryption import encrypt_answer
+
+            ciphertext = encrypt_answer(epk, list(answer_fields), system.mimc, rng)
+            wire = ciphertext.to_wire()
+            certificate = system.current_certificate(self.keys.public_key)
+            commitment = system.registry_commitment()
+            attestation = system.scheme.auth(
+                task_prefix(task_address) + account.address + wire,
+                self.keys,
+                certificate,
+                commitment,
+            )
+            data = encode_call("submit_answer", [wire, attestation.to_wire()])
+            tx = Transaction(
+                nonce=system.node.nonce_of(account.address),
+                gas_price=DEFAULT_GAS_PRICE,
+                gas_limit=DEFAULT_GAS_LIMIT,
+                to=task_address,
+                value=0,
+                data=data,
+            )
+            receipts.append(system.send_and_confirm(tx.sign(account.keypair)))
+        return receipts
+
+
+class FalseReportingRequester(Requester):
+    """A requester who tries every way to not pay what the policy owes."""
+
+    def attempt_cheating_instruction(
+        self, handle: TaskHandle, rewards: Sequence[int]
+    ) -> str:
+        """Try to push an arbitrary reward vector.
+
+        Returns a short outcome string: the SNARK prover refuses to
+        certify a false instruction, and a proof borrowed from another
+        statement is rejected on-chain.
+        """
+        system = self.system
+        answers, keys, flags = self.decrypt_answers(handle)
+        count = len(answers)
+        wires = system.node.call(handle.address, "get_ciphertexts")
+        entries = [
+            CiphertextEntry.from_ciphertext(
+                AnswerCiphertext.from_wire(wire), ok=bool(flag)
+            )
+            for wire, flag in zip(wires, flags)
+        ]
+        try:
+            instance = build_reward_instance(
+                policy=handle.policy,
+                budget=handle.params.budget,
+                keys=keys,
+                answers=answers,
+                mimc=system.mimc,
+                entries=entries,
+                rewards=list(rewards),
+            )
+            circuit, reward_keys = system.reward_material(handle.policy, count)
+            system.backend.prove(reward_keys.proving_key, circuit, instance)
+        except (ProofError, UnsatisfiedConstraintError):
+            return "prover-refused"
+        return "proof-produced"  # would indicate a soundness break
+
+    def attempt_forged_proof(
+        self, handle: TaskHandle, rewards: Sequence[int]
+    ) -> Receipt:
+        """Send a garbage proof with a cheating reward vector on-chain."""
+        system = self.system
+        record = self._record(handle)
+        count = len(system.node.call(handle.address, "get_ciphertexts"))
+        fake_payload = sha256(b"forged", bytes(8)) * 8
+        data = encode_call(
+            "submit_reward_instruction",
+            [list(rewards), [1] * count, system.backend_name, fake_payload[:256]],
+        )
+        tx = Transaction(
+            nonce=record.nonce,
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=handle.address,
+            value=0,
+            data=data,
+        )
+        record.nonce += 1
+        return system.send_and_confirm(tx.sign(record.account.keypair))
+
+    def stonewall(self, handle: TaskHandle) -> None:
+        """Simply never send an instruction (the contract's timeout bites)."""
+
+
+class SelfColludingRequester(Requester):
+    """Tries to downgrade workers by answering her own task.
+
+    She holds exactly one certified identity; her requester attestation
+    π_R already sits in the task's Link pool with the same prefix α_C,
+    so any answer she authenticates herself links to π_R and is dropped
+    (Algorithm 1 line 8, ``Link(π_i, π_R)``).
+    """
+
+    def attempt_colluding_answer(
+        self, handle: TaskHandle, answer_fields: Sequence[int]
+    ) -> Receipt:
+        system = self.system
+        task_address = handle.address
+        account = derive_one_task_account(self._seed, f"collude:{task_address.hex()}")
+        system.fund_anonymous(account.address)
+        epk_wire = system.node.call(task_address, "get_epk")
+        from repro.crypto.rsa import RSAPublicKey
+        from repro.core.encryption import encrypt_answer
+
+        n, e = decode(epk_wire)
+        epk = RSAPublicKey(n=n, e=e)
+        ciphertext = encrypt_answer(
+            epk, list(answer_fields), system.mimc, random.Random(99)
+        )
+        wire = ciphertext.to_wire()
+        certificate = system.current_certificate(self.keys.public_key)
+        commitment = system.registry_commitment()
+        attestation = system.scheme.auth(
+            task_prefix(task_address) + account.address + wire,
+            self.keys,
+            certificate,
+            commitment,
+        )
+        data = encode_call("submit_answer", [wire, attestation.to_wire()])
+        tx = Transaction(
+            nonce=system.node.nonce_of(account.address),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=task_address,
+            value=0,
+            data=data,
+        )
+        return system.send_and_confirm(tx.sign(account.keypair))

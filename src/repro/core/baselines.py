@@ -1,0 +1,129 @@
+"""Baseline crowdsourcing platforms for comparison experiments.
+
+Two baselines bracket ZebraLancer:
+
+- :class:`CentralizedPlatform` — an MTurk-style trusted arbiter.  It
+  sees every answer in the clear (the privacy-breach surface of §I)
+  and lets the requester reject answers after reading them (the
+  false-reporting bias of [15]).
+- :class:`NaiveDecentralizedPlatform` — a smart contract collecting
+  *plaintext* answers with no authentication: free-riders copy pending
+  answers out of the mempool and multi-submitters claim many shares.
+
+Both implement the same minimal interface so experiments can run the
+same workload against all three systems and compare outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.core.policy import Answer, RewardPolicy
+
+
+@dataclass
+class BaselineOutcome:
+    """What each participant walked away with."""
+
+    payments: List[int]
+    data_visible_to_platform: List[Answer]
+    notes: str = ""
+
+
+class CentralizedPlatform:
+    """A trusted third-party arbiter (MTurk-shaped).
+
+    The platform hosts plaintext answers and forwards whatever payment
+    decision the requester makes — including outright rejection of work
+    it has already delivered (false-reporting).
+    """
+
+    def __init__(self) -> None:
+        self._answers: Dict[str, List[Answer]] = {}
+        self._budgets: Dict[str, int] = {}
+        #: every answer the platform operator could read or leak
+        self.observed_plaintexts: List[Answer] = []
+
+    def post_task(self, task_id: str, budget: int) -> None:
+        if task_id in self._budgets:
+            raise ProtocolError("task id already used")
+        self._budgets[task_id] = budget
+        self._answers[task_id] = []
+
+    def submit(self, task_id: str, answer: Answer) -> int:
+        answers = self._answers[task_id]
+        answers.append(answer)
+        self.observed_plaintexts.append(answer)
+        return len(answers) - 1
+
+    def answers(self, task_id: str) -> List[Answer]:
+        # The requester reads the data BEFORE deciding to pay.
+        return list(self._answers[task_id])
+
+    def settle(
+        self,
+        task_id: str,
+        requester_decision: Sequence[int],
+    ) -> BaselineOutcome:
+        """Pay whatever the requester says (no policy enforcement)."""
+        answers = self._answers[task_id]
+        budget = self._budgets[task_id]
+        payments = list(requester_decision)
+        if len(payments) != len(answers):
+            raise ProtocolError("decision length mismatch")
+        if sum(payments) > budget:
+            raise ProtocolError("decision exceeds escrowed budget")
+        return BaselineOutcome(
+            payments=payments,
+            data_visible_to_platform=list(answers),
+            notes="platform enforced nothing beyond the budget cap",
+        )
+
+
+@dataclass
+class _NaiveSubmission:
+    sender: str
+    answer: Answer
+
+
+class NaiveDecentralizedPlatform:
+    """Plaintext answers on a transparent chain, no authentication.
+
+    Models the decentralized-crowdsourcing attempts the related-work
+    section criticizes ([20-22]): everything ZebraLancer adds is
+    stripped away, so the classic attacks all succeed.
+    """
+
+    def __init__(self, policy: RewardPolicy, budget: int, num_answers: int) -> None:
+        self.policy = policy
+        self.budget = budget
+        self.num_answers = num_answers
+        self.mempool: List[_NaiveSubmission] = []
+        self.included: List[_NaiveSubmission] = []
+
+    def broadcast(self, sender: str, answer: Answer) -> None:
+        """Answers sit in the open mempool before inclusion."""
+        self.mempool.append(_NaiveSubmission(sender=sender, answer=answer))
+
+    def visible_pending_answers(self) -> List[Answer]:
+        """What any observer (and any free-rider) reads for free."""
+        return [submission.answer for submission in self.mempool]
+
+    def mine(self) -> None:
+        """Include pending submissions up to the task size."""
+        while self.mempool and len(self.included) < self.num_answers:
+            self.included.append(self.mempool.pop(0))
+
+    def settle(self) -> BaselineOutcome:
+        answers = [submission.answer for submission in self.included]
+        payments = self.policy.compute_rewards(answers, self.budget)
+        return BaselineOutcome(
+            payments=payments,
+            data_visible_to_platform=answers,
+            notes="plaintext on-chain; copying and sybil submissions undetectable",
+        )
+
+    def senders(self) -> List[str]:
+        return [submission.sender for submission in self.included]

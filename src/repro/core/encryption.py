@@ -1,0 +1,150 @@
+"""Answer encryption: RSA-OAEP transport + circuit-friendly payload.
+
+The paper encrypts answers under RSA-OAEP-2048 and has the requester
+prove (in zero knowledge) that the rewards were computed from the
+decrypted answers.  Proving RSA decryption inside a SNARK is
+impractical, so — per DESIGN.md §2.3 — the reproduction uses the
+standard hybrid layout:
+
+- the worker samples a per-answer symmetric key ``k``;
+- the answer fields are MiMC-CTR encrypted under ``k``;
+- ``k`` travels to the requester inside an RSA-OAEP-2048 blob
+  (the paper's named primitive, implemented from scratch);
+- the on-chain ciphertext additionally carries ``h = MiMC(k)``, the
+  commitment the reward circuit opens, binding the proved plaintext to
+  the worker's actual submission.
+
+Nothing on-chain reveals anything about the answer (MiMC-CTR under a
+fresh key + OAEP + a hiding commitment).
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.errors import DecryptionError
+from repro.serialization import decode, encode
+from repro.zksnark.field import BN128_SCALAR_FIELD
+from repro.zksnark.gadgets.mimc import MiMCParameters, mimc_encrypt_native, mimc_hash_native
+
+_P = BN128_SCALAR_FIELD
+
+
+@dataclass(frozen=True)
+class AnswerCiphertext:
+    """One on-chain encrypted answer C_i."""
+
+    key_commitment: int       # h = MiMC(k), opened inside the reward proof
+    nonce: int                # CTR nonce for the MiMC keystream
+    body: Tuple[int, ...]     # encrypted answer field elements
+    key_blob: bytes           # RSA-OAEP-2048 encryption of k (off-circuit)
+
+    def to_wire(self) -> bytes:
+        return encode(
+            [self.key_commitment, self.nonce, list(self.body), self.key_blob]
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "AnswerCiphertext":
+        commitment, nonce, body, blob = decode(data)
+        return cls(
+            key_commitment=commitment, nonce=nonce, body=tuple(body), key_blob=blob
+        )
+
+    def size_bytes(self) -> int:
+        return len(self.to_wire())
+
+
+@dataclass
+class TaskKeyPair:
+    """The requester's one-task-only encryption keypair (epk, esk)."""
+
+    rsa: RSAKeyPair
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.rsa.public_key
+
+    @classmethod
+    def generate(
+        cls, bits: int = 1024, rng: Optional[random.Random] = None
+    ) -> "TaskKeyPair":
+        """Generate a fresh keypair.
+
+        The default modulus is 1024 bits to keep simulations snappy;
+        pass ``bits=2048`` for the paper's RSA-OAEP-2048.
+        """
+        return cls(rsa=RSAKeyPair.generate(bits, rng))
+
+
+def keystream_element(key: int, nonce: int, index: int, mimc: MiMCParameters) -> int:
+    """The CTR keystream block for position ``index``."""
+    return mimc_encrypt_native(key, (nonce + index) % _P, mimc)
+
+
+def encrypt_answer(
+    public_key: RSAPublicKey,
+    answer_fields: Sequence[int],
+    mimc: MiMCParameters,
+    rng: Optional[random.Random] = None,
+) -> AnswerCiphertext:
+    """Encrypt answer field elements for the task's epk."""
+    if not answer_fields:
+        raise ValueError("answer must contain at least one field element")
+    if rng is None:
+        key = secrets.randbelow(_P) or 1
+        nonce = secrets.randbelow(_P)
+    else:
+        key = rng.randrange(1, _P)
+        nonce = rng.randrange(_P)
+    body = tuple(
+        (int(a) + keystream_element(key, nonce, i, mimc)) % _P
+        for i, a in enumerate(answer_fields)
+    )
+    blob = public_key.encrypt(key.to_bytes(32, "big"), rng=rng)
+    return AnswerCiphertext(
+        key_commitment=mimc_hash_native([key], mimc),
+        nonce=nonce,
+        body=body,
+        key_blob=blob,
+    )
+
+
+def recover_answer_key(keypair: TaskKeyPair, ciphertext: AnswerCiphertext,
+                       mimc: MiMCParameters) -> int:
+    """Decrypt and validate the symmetric key from the OAEP blob.
+
+    Raises :class:`DecryptionError` if the blob is malformed or the key
+    does not open the on-chain commitment (a cheating submission).
+    """
+    plaintext = keypair.rsa.decrypt(ciphertext.key_blob)
+    if len(plaintext) != 32:
+        raise DecryptionError("key blob has the wrong length")
+    key = int.from_bytes(plaintext, "big")
+    if not 0 < key < _P:
+        raise DecryptionError("key blob decodes outside the field")
+    if mimc_hash_native([key], mimc) != ciphertext.key_commitment:
+        raise DecryptionError("key does not open the on-chain commitment")
+    return key
+
+
+def decrypt_answer(
+    keypair: TaskKeyPair, ciphertext: AnswerCiphertext, mimc: MiMCParameters
+) -> List[int]:
+    """Full decryption: recover k, strip the keystream."""
+    key = recover_answer_key(keypair, ciphertext, mimc)
+    return decrypt_with_key(key, ciphertext, mimc)
+
+
+def decrypt_with_key(
+    key: int, ciphertext: AnswerCiphertext, mimc: MiMCParameters
+) -> List[int]:
+    """Strip the MiMC-CTR keystream given the symmetric key."""
+    return [
+        (c - keystream_element(key, ciphertext.nonce, i, mimc)) % _P
+        for i, c in enumerate(ciphertext.body)
+    ]

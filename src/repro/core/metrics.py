@@ -1,0 +1,120 @@
+"""Measurement utilities shared by the benchmark harness.
+
+Provides wall-clock timing, box-plot statistics (for Fig. 4), byte-size
+accounting (for Table I's operand columns), and peak-memory tracking
+(for the paper's constant-17MB observation).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence
+
+
+@dataclass
+class Timer:
+    """Mutable elapsed-seconds holder filled by :func:`measure`."""
+
+    seconds: float = 0.0
+
+    @property
+    def millis(self) -> float:
+        return self.seconds * 1000.0
+
+
+@contextmanager
+def measure() -> Iterator[Timer]:
+    """Context manager measuring wall-clock time."""
+    timer = Timer()
+    started = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - started
+
+
+def time_call(fn: Callable, repeats: int = 1) -> List[float]:
+    """Run ``fn`` ``repeats`` times, returning per-run seconds."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary (what Fig. 4's box plot shows)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxStats":
+        if not samples:
+            raise ValueError("need at least one sample")
+        ordered = sorted(samples)
+        return cls(
+            minimum=ordered[0],
+            q1=_quantile(ordered, 0.25),
+            median=_quantile(ordered, 0.5),
+            q3=_quantile(ordered, 0.75),
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+            count=len(ordered),
+        )
+
+    def render(self, unit: str = "s", scale: float = 1.0) -> str:
+        return (
+            f"min {self.minimum * scale:.3f}{unit}  "
+            f"q1 {self.q1 * scale:.3f}{unit}  "
+            f"median {self.median * scale:.3f}{unit}  "
+            f"q3 {self.q3 * scale:.3f}{unit}  "
+            f"max {self.maximum * scale:.3f}{unit}  "
+            f"(mean {self.mean * scale:.3f}{unit}, n={self.count})"
+        )
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of pre-sorted samples."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+@contextmanager
+def peak_memory() -> Iterator[dict]:
+    """Track peak allocated bytes across a block (tracemalloc)."""
+    holder = {"peak_bytes": 0}
+    tracemalloc.start()
+    try:
+        yield holder
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        holder["peak_bytes"] = peak
+
+
+def humanize_bytes(count: int) -> str:
+    """1536 → '1.5KB' (Table I renders operand sizes this way)."""
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

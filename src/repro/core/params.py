@@ -1,0 +1,78 @@
+"""Task parameters: the ``Param`` bundle of the TaskPublish phase."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class TaskParameters:
+    """Everything a task contract is parameterised with (Section V-B).
+
+    Attributes:
+        description: human-readable task statement (e.g. the image URI
+            and the label choices) — stored on-chain for workers to read.
+        num_answers: n, the number of answers to collect.
+        budget: τ, deposited into the contract at deployment.
+        answer_window: T_A, the answering deadline in blocks.
+        instruction_window: T_I, the reward-instruction deadline in
+            blocks (measured from the end of collection).
+        policy_descriptor: the announced reward policy (name + params),
+            immutable once on-chain.
+        answer_arity: field elements per answer (policy-dependent).
+        encryption_key_fingerprint: binds the RSA epk to the contract.
+        submissions_per_worker: k, the per-identity submission allowance
+            (footnote 11: the contract counts linked attestations, so
+            any k is enforceable; the paper's experiments use k = 1).
+    """
+
+    description: str
+    num_answers: int
+    budget: int
+    answer_window: int
+    instruction_window: int
+    policy_descriptor: Dict[str, Any]
+    answer_arity: int
+    encryption_key_fingerprint: bytes
+    submissions_per_worker: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_answers < 1:
+            raise ProtocolError("a task must request at least one answer")
+        if self.budget < self.num_answers:
+            raise ProtocolError("budget must cover at least 1 unit per answer")
+        if self.answer_window < 1 or self.instruction_window < 1:
+            raise ProtocolError("deadlines must be at least one block")
+        if not 1 <= self.submissions_per_worker <= self.num_answers:
+            raise ProtocolError("allowance must be within [1, num_answers]")
+
+    def to_storage(self) -> Dict[str, Any]:
+        """Plain-dict rendering for contract storage."""
+        return {
+            "description": self.description,
+            "num_answers": self.num_answers,
+            "budget": self.budget,
+            "answer_window": self.answer_window,
+            "instruction_window": self.instruction_window,
+            "policy_descriptor": dict(self.policy_descriptor),
+            "answer_arity": self.answer_arity,
+            "encryption_key_fingerprint": self.encryption_key_fingerprint,
+            "submissions_per_worker": self.submissions_per_worker,
+        }
+
+    @classmethod
+    def from_storage(cls, raw: Dict[str, Any]) -> "TaskParameters":
+        return cls(
+            description=raw["description"],
+            num_answers=raw["num_answers"],
+            budget=raw["budget"],
+            answer_window=raw["answer_window"],
+            instruction_window=raw["instruction_window"],
+            policy_descriptor=dict(raw["policy_descriptor"]),
+            answer_arity=raw["answer_arity"],
+            encryption_key_fingerprint=raw["encryption_key_fingerprint"],
+            submissions_per_worker=raw.get("submissions_per_worker", 1),
+        )

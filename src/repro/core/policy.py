@@ -1,0 +1,272 @@
+"""Reward policies R(A_j; A_1..A_n, τ).
+
+The paper's evaluation instantiates the majority-vote quality-aware
+incentive of [10] (τ/n to every answer matching the majority); its
+model also covers richer quality estimators [9–11] and auction-based
+incentives [7, 8].  This module implements:
+
+- :class:`MajorityVotePolicy` — the paper's policy, fully provable in
+  R1CS (see :mod:`repro.core.reward_circuit`);
+- :class:`ProportionalAgreementPolicy` — reward ∝ agreement count;
+- :class:`DawidSkeneEMPolicy` — EM truth inference over multi-item
+  tasks (the "estimation maximization iterations" the paper cites);
+- :class:`ReverseAuctionPolicy` — budgeted uniform-price reverse
+  auction (the [7, 8] family).
+
+Only the majority policy has an R1CS compilation; the others declare
+native predicates and therefore run under the ideal-functionality
+backend (compiling them is the engineering frontier the paper's open
+question 1 points at).
+
+Answers are lists of field elements; ``None`` marks a missing or
+undecryptable submission (the paper's ⊥).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import PolicyError
+
+Answer = Optional[List[int]]
+
+
+class RewardPolicy(abc.ABC):
+    """A deterministic mapping from all answers + budget to rewards."""
+
+    #: Stable policy identifier (bound into proof digests).
+    name: str = "policy"
+
+    #: Number of field elements per answer.
+    answer_arity: int = 1
+
+    #: Whether the policy compiles to R1CS (Groth16-provable).
+    provable: bool = False
+
+    @abc.abstractmethod
+    def compute_rewards(self, answers: Sequence[Answer], budget: int) -> List[int]:
+        """Reward for each answer slot; total must not exceed ``budget``."""
+
+    def describe(self) -> Dict[str, int | str]:
+        """Parameters for digests and on-chain storage."""
+        return {"name": self.name}
+
+    def validate_answers(self, answers: Sequence[Answer]) -> None:
+        for answer in answers:
+            if answer is not None and len(answer) != self.answer_arity:
+                raise PolicyError(
+                    f"policy {self.name} expects {self.answer_arity} field "
+                    f"elements per answer, got {len(answer)}"
+                )
+
+    def _check_budget(self, rewards: Sequence[int], budget: int) -> List[int]:
+        total = sum(rewards)
+        if total > budget:
+            raise PolicyError(
+                f"policy {self.name} allocated {total} > budget {budget}"
+            )
+        if any(r < 0 for r in rewards):
+            raise PolicyError("rewards must be non-negative")
+        return list(rewards)
+
+
+class MajorityVotePolicy(RewardPolicy):
+    """τ/n to every answer equal to the majority, 0 otherwise ([10]).
+
+    Ties break toward the lowest choice value; answers outside
+    ``[0, num_choices)`` (and ⊥) never receive a reward and do not
+    vote.
+    """
+
+    name = "majority-vote"
+    provable = True
+
+    def __init__(self, num_choices: int) -> None:
+        if num_choices < 2:
+            raise PolicyError("a choice task needs at least two options")
+        self.num_choices = num_choices
+
+    def describe(self) -> Dict[str, int | str]:
+        return {"name": self.name, "num_choices": self.num_choices}
+
+    def majority_value(self, answers: Sequence[Answer]) -> Optional[int]:
+        """The winning choice (lowest-value tie-break), or None if no votes."""
+        counts = [0] * self.num_choices
+        for answer in answers:
+            if answer is None:
+                continue
+            value = answer[0]
+            if 0 <= value < self.num_choices:
+                counts[value] += 1
+        if not any(counts):
+            return None
+        best = max(counts)
+        return counts.index(best)
+
+    def compute_rewards(self, answers: Sequence[Answer], budget: int) -> List[int]:
+        self.validate_answers(answers)
+        n = len(answers)
+        if n == 0:
+            return []
+        share = budget // n
+        majority = self.majority_value(answers)
+        rewards = [
+            share
+            if answer is not None
+            and 0 <= answer[0] < self.num_choices
+            and answer[0] == majority
+            else 0
+            for answer in answers
+        ]
+        return self._check_budget(rewards, budget)
+
+
+class ProportionalAgreementPolicy(RewardPolicy):
+    """Reward proportional to how many peers agree with the answer.
+
+    A quality-aware incentive in the spirit of [9, 11]: the weight of
+    answer j is ``count(A_j) − 1`` (its agreement degree); the budget is
+    split pro rata (floored), so lone answers earn nothing.
+    """
+
+    name = "proportional-agreement"
+
+    def __init__(self, num_choices: int) -> None:
+        if num_choices < 2:
+            raise PolicyError("a choice task needs at least two options")
+        self.num_choices = num_choices
+
+    def describe(self) -> Dict[str, int | str]:
+        return {"name": self.name, "num_choices": self.num_choices}
+
+    def compute_rewards(self, answers: Sequence[Answer], budget: int) -> List[int]:
+        self.validate_answers(answers)
+        counts: Dict[int, int] = {}
+        for answer in answers:
+            if answer is not None and 0 <= answer[0] < self.num_choices:
+                counts[answer[0]] = counts.get(answer[0], 0) + 1
+        weights = [
+            counts.get(answer[0], 0) - 1
+            if answer is not None and 0 <= answer[0] < self.num_choices
+            else 0
+            for answer in answers
+        ]
+        weights = [max(w, 0) for w in weights]
+        total = sum(weights)
+        if total == 0:
+            return [0] * len(answers)
+        rewards = [budget * w // total for w in weights]
+        return self._check_budget(rewards, budget)
+
+
+class DawidSkeneEMPolicy(RewardPolicy):
+    """EM-based truth inference over multi-item labeling tasks.
+
+    Each answer is a vector of ``num_items`` labels.  A simplified
+    Dawid–Skene estimator alternates between (i) majority-weighted
+    label posteriors and (ii) per-worker accuracy estimates; rewards
+    are the budget split proportionally to estimated accuracy.
+    """
+
+    name = "dawid-skene-em"
+
+    def __init__(self, num_choices: int, num_items: int, iterations: int = 10) -> None:
+        if num_choices < 2 or num_items < 1:
+            raise PolicyError("need >=2 choices and >=1 items")
+        self.num_choices = num_choices
+        self.num_items = num_items
+        self.iterations = iterations
+        self.answer_arity = num_items
+
+    def describe(self) -> Dict[str, int | str]:
+        return {
+            "name": self.name,
+            "num_choices": self.num_choices,
+            "num_items": self.num_items,
+            "iterations": self.iterations,
+        }
+
+    def infer(self, answers: Sequence[Answer]) -> tuple[List[int], List[float]]:
+        """Return (estimated truths per item, estimated accuracy per worker)."""
+        self.validate_answers(answers)
+        workers = [a for a in answers]
+        accuracies = [1.0 if a is not None else 0.0 for a in workers]
+        truths = [0] * self.num_items
+        for _ in range(self.iterations):
+            # E-step: weighted vote per item.
+            for item in range(self.num_items):
+                scores = [0.0] * self.num_choices
+                for worker, accuracy in zip(workers, accuracies):
+                    if worker is None:
+                        continue
+                    label = worker[item]
+                    if 0 <= label < self.num_choices:
+                        scores[label] += accuracy
+                truths[item] = scores.index(max(scores)) if any(scores) else 0
+            # M-step: accuracy = fraction of items matching estimated truth.
+            for index, worker in enumerate(workers):
+                if worker is None:
+                    accuracies[index] = 0.0
+                    continue
+                hits = sum(
+                    1 for item in range(self.num_items) if worker[item] == truths[item]
+                )
+                # Laplace smoothing keeps EM from locking onto 0/1.
+                accuracies[index] = (hits + 1) / (self.num_items + 2)
+        return truths, accuracies
+
+    def compute_rewards(self, answers: Sequence[Answer], budget: int) -> List[int]:
+        if not answers:
+            return []
+        _, accuracies = self.infer(answers)
+        total = sum(accuracies)
+        if total == 0:
+            return [0] * len(answers)
+        rewards = [int(budget * acc / total) for acc in accuracies]
+        return self._check_budget(rewards, budget)
+
+
+class ReverseAuctionPolicy(RewardPolicy):
+    """Budgeted uniform-price reverse auction ([7, 8] family).
+
+    Answers carry ``[bid, data]``.  The ``k`` lowest bidders win and
+    are each paid the (k+1)-th lowest bid (truthfulness-inducing
+    uniform clearing price), capped at ``budget // k``.  Ties break by
+    submission order.
+    """
+
+    name = "reverse-auction"
+    answer_arity = 2
+
+    def __init__(self, winners: int) -> None:
+        if winners < 1:
+            raise PolicyError("auction needs at least one winner slot")
+        self.winners = winners
+
+    def describe(self) -> Dict[str, int | str]:
+        return {"name": self.name, "winners": self.winners}
+
+    def compute_rewards(self, answers: Sequence[Answer], budget: int) -> List[int]:
+        self.validate_answers(answers)
+        bidders = [
+            (answer[0], index)
+            for index, answer in enumerate(answers)
+            if answer is not None
+        ]
+        bidders.sort()
+        winners = bidders[: self.winners]
+        if not winners:
+            return [0] * len(answers)
+        cap = budget // len(winners)
+        if len(bidders) > len(winners):
+            clearing_price = min(bidders[len(winners)][0], cap)
+        else:
+            clearing_price = cap
+        clearing_price = max(clearing_price, max(bid for bid, _ in winners))
+        clearing_price = min(clearing_price, cap)
+        rewards = [0] * len(answers)
+        for bid, index in winners:
+            if bid <= clearing_price:
+                rewards[index] = clearing_price
+        return self._check_budget(rewards, budget)

@@ -1,0 +1,194 @@
+"""System orchestration: bootstrap and shared services.
+
+:class:`ZebraLancerSystem` wires together every substrate exactly as
+Fig. 3 draws it: the blockchain test net, the registration authority,
+the SNARK establishments (done once, off-line, per circuit — Section
+VI's "Establishments of zk-SNARKs"), and the on-chain registry
+contract.  Requester/worker clients hang off this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+from repro.errors import ProtocolError
+from repro.profiles import SecurityProfile, get_profile
+from repro.anonauth import AnonymousAuthScheme, RegistrationAuthority, setup as auth_setup
+from repro.anonauth.authority import Certificate
+from repro.chain.network import Testnet
+from repro.chain.node import Node
+from repro.chain.receipts import Receipt
+from repro.chain.transaction import Transaction, encode_call, encode_create
+from repro.core.params import TaskParameters
+from repro.core.policy import RewardPolicy
+from repro.core.reward_circuit import make_reward_circuit
+from repro.zksnark.backend import CircuitDefinition, KeyPair, get_backend
+from repro.zksnark.gadgets.mimc import MiMCParameters
+
+DEFAULT_GAS_PRICE = 1
+DEFAULT_GAS_LIMIT = 20_000_000
+#: Gas allowance funded to each one-task account.
+DEFAULT_GAS_ALLOWANCE = 50_000_000
+
+
+@dataclass
+class TaskHandle:
+    """A client-side reference to a deployed task contract."""
+
+    address: bytes
+    params: TaskParameters
+    policy: RewardPolicy
+    system: "ZebraLancerSystem"
+
+    def phase(self) -> str:
+        return self.system.node.call(self.address, "get_phase")
+
+    def answer_count(self) -> int:
+        return self.system.node.call(self.address, "answer_count")
+
+    def rewards(self) -> List[int]:
+        return self.system.node.call(self.address, "get_rewards")
+
+    def submitters(self) -> List[bytes]:
+        return self.system.node.call(self.address, "get_submitters")
+
+    def balance(self) -> int:
+        return self.system.node.balance_of(self.address)
+
+    def is_collection_closed(self) -> bool:
+        return self.system.node.call(self.address, "is_collection_closed")
+
+
+class ZebraLancerSystem:
+    """One fully bootstrapped ZebraLancer deployment."""
+
+    def __init__(
+        self,
+        profile: SecurityProfile | str = "test",
+        cert_mode: str = "merkle",
+        backend_name: str = "mock",
+        miners: int = 2,
+        full_nodes: int = 2,
+        seed: bytes = b"zebralancer-system",
+        testnet: Optional[Testnet] = None,
+    ) -> None:
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.cert_mode = cert_mode
+        self.backend_name = backend_name
+        self.seed = seed
+        self.backend = get_backend(backend_name)
+        self.testnet = testnet or Testnet(miners=miners, full_nodes=full_nodes)
+
+        # Off-line establishment of the Auth SNARK + RA keys.
+        self.auth_params, self.authority = auth_setup(
+            profile=self.profile,
+            cert_mode=cert_mode,
+            backend_name=backend_name,
+            seed=sha256(seed, b"auth-setup"),
+        )
+        self.scheme = AnonymousAuthScheme(self.auth_params)
+
+        # RA's chain identity and the on-chain registry contract.
+        self._ra_key = ecdsa.ECDSAKeyPair.from_seed(sha256(seed, b"ra-chain-key"))
+        self._ra_nonce = 0
+        self.testnet.fund(self._ra_key.address(), 10**24)
+        self.registry_address = self._deploy_registry()
+
+        # Reward-circuit establishments, cached per (policy, n).
+        self._reward_material: Dict[Tuple[bytes, int], Tuple[CircuitDefinition, KeyPair]] = {}
+
+    # ----- chain access ------------------------------------------------------------
+
+    @property
+    def node(self) -> Node:
+        return self.testnet.any_node
+
+    @property
+    def mimc(self) -> MiMCParameters:
+        return self.auth_params.mimc
+
+    def mine(self, blocks: int = 1) -> None:
+        self.testnet.mine_blocks(blocks)
+
+    def fund_anonymous(self, address: bytes, amount: int = DEFAULT_GAS_ALLOWANCE) -> None:
+        """Fund a one-task account (stand-in for anonymous payments)."""
+        self.testnet.fund(address, amount)
+
+    def send_and_confirm(self, signed_tx) -> Receipt:
+        tx_hash = self.testnet.send_transaction(signed_tx)
+        receipt = self.testnet.wait_for_receipt(tx_hash)
+        assert receipt is not None
+        return receipt
+
+    # ----- registry ------------------------------------------------------------------
+
+    def _deploy_registry(self) -> bytes:
+        data = encode_create(
+            "ZebraLancerRegistry",
+            [
+                self.cert_mode,
+                self.authority.registry_commitment(),
+                self.auth_params.keys.verifying_key,
+            ],
+        )
+        tx = Transaction(
+            nonce=self._ra_nonce,
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=None,
+            value=0,
+            data=data,
+        )
+        self._ra_nonce += 1
+        receipt = self.send_and_confirm(tx.sign(self._ra_key))
+        if not receipt.success or receipt.contract_address is None:
+            raise ProtocolError(f"registry deployment failed: {receipt.error}")
+        return receipt.contract_address
+
+    def register_participant(self, identity: str, public_key: int) -> Certificate:
+        """Register at the RA and publish the new commitment on-chain."""
+        certificate = self.authority.register(identity, public_key)
+        data = encode_call(
+            "update_commitment", [self.authority.registry_commitment()]
+        )
+        tx = Transaction(
+            nonce=self._ra_nonce,
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=self.registry_address,
+            value=0,
+            data=data,
+        )
+        self._ra_nonce += 1
+        receipt = self.send_and_confirm(tx.sign(self._ra_key))
+        if not receipt.success:
+            raise ProtocolError(f"commitment update failed: {receipt.error}")
+        return certificate
+
+    def current_certificate(self, public_key: int) -> Certificate:
+        return self.authority.refresh_certificate(public_key)
+
+    def registry_commitment(self) -> int:
+        return self.node.call(self.registry_address, "get_commitment")
+
+    # ----- reward SNARK establishments ---------------------------------------------------
+
+    def reward_material(
+        self, policy: RewardPolicy, n: int
+    ) -> Tuple[CircuitDefinition, KeyPair]:
+        """The (circuit, keys) for ``policy`` at ``n`` slots, set up once."""
+        described = sorted(policy.describe().items())
+        cache_key = (sha256(repr(described).encode()), n)
+        material = self._reward_material.get(cache_key)
+        if material is None:
+            circuit = make_reward_circuit(policy, n, self.mimc)
+            keys = self.backend.setup(
+                circuit, seed=sha256(self.seed, b"reward", repr(described).encode(),
+                                     n.to_bytes(4, "big"))
+            )
+            material = (circuit, keys)
+            self._reward_material[cache_key] = material
+        return material

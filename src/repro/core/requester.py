@@ -1,0 +1,231 @@
+"""The requester client (the off-chain half of Fig. 3, requester side).
+
+Drives TaskPublish and Reward: derives the one-task address α_R,
+predicts α_C, anonymously authenticates α_C‖α_R, deploys the task
+contract with the budget, and later decrypts the collected answers
+off-chain, evaluates the policy, and sends the proved instruction —
+the outsource-then-prove methodology end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import sha256
+from repro.errors import DecryptionError, ProtocolError
+from repro.anonauth.keys import UserKeyPair
+from repro.chain.address import contract_address
+from repro.chain.receipts import Receipt
+from repro.chain.transaction import Transaction, encode_call, encode_create
+from repro.core.anonymity import OneTaskAccount, derive_one_task_account
+from repro.core.encryption import (
+    AnswerCiphertext,
+    TaskKeyPair,
+    decrypt_with_key,
+    recover_answer_key,
+)
+from repro.core.params import TaskParameters
+from repro.core.policy import Answer, RewardPolicy
+from repro.core.protocol import (
+    DEFAULT_GAS_LIMIT,
+    DEFAULT_GAS_PRICE,
+    TaskHandle,
+    ZebraLancerSystem,
+)
+from repro.core.reward_circuit import (
+    CiphertextEntry,
+    build_reward_instance,
+    padding_entry,
+)
+from repro.serialization import encode
+from repro.anonauth.scheme import task_prefix
+
+
+@dataclass
+class _TaskRecord:
+    """Requester-private per-task material."""
+
+    account: OneTaskAccount
+    encryption_keys: TaskKeyPair
+    nonce: int  # next chain nonce for the one-task account
+
+
+class Requester:
+    """A registered requester."""
+
+    def __init__(
+        self, system: ZebraLancerSystem, identity: str, seed: Optional[bytes] = None
+    ) -> None:
+        self.system = system
+        self.identity = identity
+        self._seed = seed if seed is not None else sha256(b"requester", identity.encode())
+        self.keys = UserKeyPair.generate(system.mimc, seed=self._seed + b"|id")
+        self.certificate = system.register_participant(identity, self.keys.public_key)
+        self._tasks: Dict[bytes, _TaskRecord] = {}
+        self._task_counter = 0
+
+    # ----- TaskPublish ---------------------------------------------------------------
+
+    def publish_task(
+        self,
+        policy: RewardPolicy,
+        description: str,
+        num_answers: int,
+        budget: int,
+        answer_window: int = 10,
+        instruction_window: int = 10,
+        rsa_bits: int = 1024,
+        submissions_per_worker: int = 1,
+    ) -> TaskHandle:
+        """Announce a task (deploying its contract with the budget)."""
+        system = self.system
+        label = f"{self.identity}/task-{self._task_counter}"
+        self._task_counter += 1
+        account = derive_one_task_account(self._seed, label)
+        system.fund_anonymous(account.address)
+        system.fund_anonymous(account.address, budget)
+
+        rng = random.Random(
+            int.from_bytes(sha256(self._seed, label.encode(), b"rsa"), "big")
+        )
+        encryption_keys = TaskKeyPair.generate(bits=rsa_bits, rng=rng)
+
+        # α_C is predictable before deployment (footnote 10), so the
+        # requester authenticates α_C ‖ α_R ahead of time.
+        predicted_address = contract_address(account.address, nonce=0)
+        certificate = system.current_certificate(self.keys.public_key)
+        commitment = system.registry_commitment()
+        attestation = system.scheme.auth(
+            task_prefix(predicted_address) + account.address,
+            self.keys,
+            certificate,
+            commitment,
+        )
+
+        circuit, reward_keys = system.reward_material(policy, num_answers)
+        params = TaskParameters(
+            description=description,
+            num_answers=num_answers,
+            budget=budget,
+            answer_window=answer_window,
+            instruction_window=instruction_window,
+            policy_descriptor=dict(policy.describe()),
+            answer_arity=policy.answer_arity,
+            encryption_key_fingerprint=encryption_keys.public_key.fingerprint(),
+            submissions_per_worker=submissions_per_worker,
+        )
+        epk_wire = encode(
+            [encryption_keys.public_key.n, encryption_keys.public_key.e]
+        )
+        data = encode_create(
+            "ZebraLancerTask",
+            [
+                system.registry_address,
+                account.address,
+                attestation.to_wire(),
+                params.to_storage(),
+                epk_wire,
+                reward_keys.verifying_key,
+            ],
+        )
+        tx = Transaction(
+            nonce=0,
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=None,
+            value=budget,
+            data=data,
+        )
+        receipt = system.send_and_confirm(tx.sign(account.keypair))
+        if not receipt.success or receipt.contract_address != predicted_address:
+            raise ProtocolError(f"task deployment failed: {receipt.error}")
+        self._tasks[predicted_address] = _TaskRecord(
+            account=account, encryption_keys=encryption_keys, nonce=1
+        )
+        return TaskHandle(
+            address=predicted_address, params=params, policy=policy, system=system
+        )
+
+    # ----- Reward -----------------------------------------------------------------------
+
+    def decrypt_answers(
+        self, handle: TaskHandle
+    ) -> Tuple[List[Answer], List[int], List[int]]:
+        """Fetch and decrypt the collected answers off-chain.
+
+        Returns (answers with ⊥ as None, symmetric keys, ok flags).
+        """
+        record = self._record(handle)
+        wires = self.system.node.call(handle.address, "get_ciphertexts")
+        answers: List[Answer] = []
+        keys: List[int] = []
+        flags: List[int] = []
+        mimc = self.system.mimc
+        for wire in wires:
+            ciphertext = AnswerCiphertext.from_wire(wire)
+            try:
+                key = recover_answer_key(record.encryption_keys, ciphertext, mimc)
+            except DecryptionError:
+                answers.append(None)
+                keys.append(0)
+                flags.append(0)
+                continue
+            answers.append(decrypt_with_key(key, ciphertext, mimc))
+            keys.append(key)
+            flags.append(1)
+        return answers, keys, flags
+
+    def evaluate_and_reward(self, handle: TaskHandle) -> Receipt:
+        """Compute rewards per the policy, prove, and instruct the contract."""
+        system = self.system
+        record = self._record(handle)
+        answers, keys, flags = self.decrypt_answers(handle)
+        if not answers:
+            raise ProtocolError("no answers were collected; use finalize_timeout")
+        wires = system.node.call(handle.address, "get_ciphertexts")
+        entries = [
+            CiphertextEntry.from_ciphertext(
+                AnswerCiphertext.from_wire(wire), ok=bool(flag)
+            )
+            for wire, flag in zip(wires, flags)
+        ]
+        # Pad to the task's n: missing submissions become the paper's ⊥.
+        n = handle.params.num_answers
+        arity = handle.params.answer_arity
+        while len(entries) < n:
+            entries.append(padding_entry(arity))
+            answers.append(None)
+            keys.append(0)
+            flags.append(0)
+        instance = build_reward_instance(
+            policy=handle.policy,
+            budget=handle.params.budget,
+            keys=keys,
+            answers=answers,
+            mimc=system.mimc,
+            entries=entries,
+        )
+        circuit, reward_keys = system.reward_material(handle.policy, n)
+        proof = system.backend.prove(reward_keys.proving_key, circuit, instance)
+        data = encode_call(
+            "submit_reward_instruction",
+            [list(instance.rewards), flags, proof.backend, proof.payload],
+        )
+        tx = Transaction(
+            nonce=record.nonce,
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=handle.address,
+            value=0,
+            data=data,
+        )
+        record.nonce += 1
+        return system.send_and_confirm(tx.sign(record.account.keypair))
+
+    def _record(self, handle: TaskHandle) -> _TaskRecord:
+        record = self._tasks.get(handle.address)
+        if record is None:
+            raise ProtocolError("this requester did not publish that task")
+        return record

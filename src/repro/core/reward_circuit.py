@@ -1,0 +1,389 @@
+"""The reward-instruction statement (the paper's language L).
+
+The requester proves, in zero knowledge, that the reward vector R was
+computed by (i) opening each on-chain ciphertext with the key committed
+by the submitting worker and (ii) applying the announced policy to the
+decrypted answers.  Public statement layout (shared verbatim by the
+task contract, the prover, and the circuits):
+
+    [ budget τ, reward_unit u,
+      for each slot j: key_commitment h_j, nonce_j, body_j…, ok_j,
+      for each slot j: R_j ]
+
+``ok_j`` is the requester's public malformed-submission flag: a slot
+whose OAEP key blob does not open the commitment cannot be decrypted
+(and therefore cannot be proved); flagging it exempts the slot from the
+decryption constraints, forfeits its reward, and — to kill any
+incentive to flag honest answers — the task contract *burns* the
+slot's share instead of refunding it (see ``contracts/task.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import PolicyError, ProofError
+from repro.serialization import encode
+from repro.zksnark.backend import CircuitDefinition
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.field import BN128_SCALAR_FIELD
+from repro.zksnark.gadgets.arithmetic import conditional_select, enforce_one_hot
+from repro.zksnark.gadgets.boolean import (
+    assert_less_than_constant,
+    is_equal,
+    number_to_bits,
+)
+from repro.zksnark.gadgets.mimc import (
+    MiMCParameters,
+    mimc_encrypt,
+    mimc_hash,
+)
+from repro.core.encryption import AnswerCiphertext, keystream_element
+from repro.core.policy import Answer, MajorityVotePolicy, RewardPolicy
+
+_P = BN128_SCALAR_FIELD
+
+
+@dataclass(frozen=True)
+class CiphertextEntry:
+    """The public, in-statement part of one submission slot."""
+
+    key_commitment: int
+    nonce: int
+    body: Tuple[int, ...]
+    ok: int  # 1 = provably decryptable, 0 = flagged malformed
+
+    @classmethod
+    def from_ciphertext(cls, ciphertext: AnswerCiphertext, ok: bool) -> "CiphertextEntry":
+        return cls(
+            key_commitment=ciphertext.key_commitment,
+            nonce=ciphertext.nonce,
+            body=ciphertext.body,
+            ok=1 if ok else 0,
+        )
+
+
+@dataclass(frozen=True)
+class RewardInstance:
+    """Statement + witness for one reward instruction."""
+
+    budget: int
+    reward_unit: int
+    entries: Tuple[CiphertextEntry, ...]
+    rewards: Tuple[int, ...]
+    keys: Tuple[int, ...]  # witness: symmetric keys (0 for flagged slots)
+
+    def __post_init__(self) -> None:
+        if not (len(self.entries) == len(self.rewards) == len(self.keys)):
+            raise PolicyError("entries, rewards and keys must align")
+
+
+def padding_entry(arity: int) -> CiphertextEntry:
+    """The canonical ⊥ slot: a flagged, all-zero entry.
+
+    Used to pad a statement out to the task's n when fewer submissions
+    arrived by the deadline ("the requester simply sets the remaining
+    answers to ⊥").
+    """
+    return CiphertextEntry(key_commitment=0, nonce=0, body=(0,) * arity, ok=0)
+
+
+def reward_statement(
+    budget: int,
+    reward_unit: int,
+    entries: Sequence[CiphertextEntry],
+    rewards: Sequence[int],
+) -> List[int]:
+    """The canonical public-input vector (contract & prover agree on this)."""
+    statement: List[int] = [budget, reward_unit]
+    for entry in entries:
+        statement.extend([entry.key_commitment, entry.nonce, *entry.body, entry.ok])
+    statement.extend(int(r) for r in rewards)
+    return statement
+
+
+def _synthesize_decryption(
+    cs: ConstraintSystem,
+    instance: RewardInstance,
+    mimc: MiMCParameters,
+    arity: int,
+):
+    """Shared front half: allocate publics, open commitments, decrypt.
+
+    Returns (tau, unit, entry wire bundles, reward wires, answer LC lists).
+    """
+    tau = cs.alloc_public(instance.budget)
+    unit = cs.alloc_public(instance.reward_unit)
+    entry_wires = []
+    for entry in instance.entries:
+        if len(entry.body) != arity:
+            raise PolicyError("ciphertext arity does not match the policy")
+        h = cs.alloc_public(entry.key_commitment)
+        nonce = cs.alloc_public(entry.nonce)
+        body = [cs.alloc_public(c) for c in entry.body]
+        ok = cs.alloc_public(entry.ok)
+        entry_wires.append((h, nonce, body, ok))
+    reward_wires = [cs.alloc_public(r) for r in instance.rewards]
+
+    answers = []
+    for (h, nonce, body, ok), key_value in zip(entry_wires, instance.keys):
+        cs.enforce_boolean(ok, annotation="ok flag")
+        key = cs.alloc(key_value)
+        computed_commitment = mimc_hash(cs, [key], mimc)
+        cs.enforce(
+            computed_commitment - h, ok, cs.constant(0),
+            annotation="key opens on-chain commitment (when ok)",
+        )
+        slot_answers = []
+        for index, cipher_wire in enumerate(body):
+            keystream = mimc_encrypt(cs, key, nonce + index, mimc)
+            slot_answers.append(cipher_wire - keystream)
+        answers.append(slot_answers)
+    return tau, unit, entry_wires, reward_wires, answers
+
+
+class MajorityRewardCircuit(CircuitDefinition):
+    """R1CS compilation of :class:`MajorityVotePolicy` for n slots.
+
+    Inside the circuit: flagged slots decrypt to the out-of-range
+    sentinel ``K`` (no vote, no reward); the majority value enters as a
+    one-hot witness whose maximality (with lowest-value tie-break) is
+    enforced by range-checked count differences; each reward is
+    ``correct_j · u`` with ``u = ⌊τ/n⌋`` enforced via the remainder
+    range check.
+    """
+
+    def __init__(self, n: int, policy: MajorityVotePolicy, mimc: MiMCParameters) -> None:
+        if n < 1:
+            raise PolicyError("need at least one slot")
+        self.n = n
+        self.policy = policy
+        self.mimc = mimc
+        self.name = f"majority-reward-n{n}-k{policy.num_choices}"
+
+    def extra_digest(self) -> bytes:
+        return encode(["majority-reward", self.n, self.policy.num_choices])
+
+    def example_instance(self) -> RewardInstance:
+        keys = [j + 1 for j in range(self.n)]
+        answers: List[Answer] = [[0] for _ in range(self.n)]
+        budget = 10 * self.n
+        return build_reward_instance(
+            policy=self.policy,
+            budget=budget,
+            keys=keys,
+            answers=answers,
+            mimc=self.mimc,
+            nonces=[100 + j for j in range(self.n)],
+        )
+
+    def public_inputs(self, instance: RewardInstance) -> List[int]:
+        return reward_statement(
+            instance.budget, instance.reward_unit, instance.entries, instance.rewards
+        )
+
+    def synthesize(self, cs: ConstraintSystem, instance: RewardInstance) -> None:
+        num_choices = self.policy.num_choices
+        tau, unit, entry_wires, reward_wires, answers = _synthesize_decryption(
+            cs, instance, self.mimc, arity=1
+        )
+        # u = floor(tau / n): 0 <= tau - n*u < n.
+        remainder = tau - unit * self.n
+        remainder_bits = number_to_bits(cs, remainder, max(self.n.bit_length(), 1))
+        assert_less_than_constant(cs, remainder_bits, self.n)
+
+        # Effective answer: the decrypted value, or the sentinel K when flagged.
+        sentinel = num_choices
+        effective = []
+        for (h, nonce, body, ok), slot_answers in zip(entry_wires, answers):
+            effective.append(
+                conditional_select(cs, ok, slot_answers[0], cs.constant(sentinel))
+            )
+
+        # Vote matrix and per-choice counts.
+        eq_flags = [
+            [is_equal(cs, answer, choice) for choice in range(num_choices)]
+            for answer in effective
+        ]
+        counts = []
+        for choice in range(num_choices):
+            total = cs.constant(0)
+            for j in range(self.n):
+                total = total + eq_flags[j][choice]
+            counts.append(total)
+
+        # One-hot majority witness (lowest-value tie-break, as native policy).
+        native_counts = [c.value for c in counts]
+        majority = (
+            native_counts.index(max(native_counts)) if any(native_counts) else 0
+        )
+        flags = []
+        for choice in range(num_choices):
+            flag = cs.alloc(1 if choice == majority else 0)
+            cs.enforce_boolean(flag, annotation=f"majority flag {choice}")
+            flags.append(flag)
+        enforce_one_hot(cs, flags)
+
+        majority_count = cs.constant(0)
+        for flag, count in zip(flags, counts):
+            majority_count = majority_count + cs.mul(flag, count, "flagged count")
+
+        # Maximality with tie-break: for every k, counts[k] + [k before m] <= counts[m].
+        count_bits = max((self.n).bit_length(), 1) + 1
+        for choice in range(num_choices):
+            is_before = cs.constant(0)
+            for later in range(choice + 1, num_choices):
+                is_before = is_before + flags[later]
+            difference = majority_count - counts[choice] - is_before
+            number_to_bits(cs, difference, count_bits)
+
+        # R_j = (answer_j == majority) * u.
+        for j in range(self.n):
+            correct = cs.constant(0)
+            for choice in range(num_choices):
+                correct = correct + cs.mul(
+                    flags[choice], eq_flags[j][choice], "correctness term"
+                )
+            cs.enforce(correct, unit, reward_wires[j], annotation=f"reward {j}")
+
+
+class OraclePolicyCircuit(CircuitDefinition):
+    """Generic reward statement for policies without an R1CS compilation.
+
+    The decryption/commitment half is real R1CS; the policy evaluation
+    itself is a native predicate, so this circuit only runs under the
+    ideal-functionality backend (``requires_ideal_backend``).
+    """
+
+    requires_ideal_backend = True
+
+    def __init__(self, n: int, policy: RewardPolicy, mimc: MiMCParameters) -> None:
+        if n < 1:
+            raise PolicyError("need at least one slot")
+        self.n = n
+        self.policy = policy
+        self.mimc = mimc
+        self.name = f"oracle-reward-{policy.name}-n{n}"
+
+    def extra_digest(self) -> bytes:
+        described = sorted(self.policy.describe().items())
+        return encode(["oracle-reward", self.n, [[k, v] for k, v in described]])
+
+    def example_instance(self) -> RewardInstance:
+        keys = [j + 1 for j in range(self.n)]
+        answers: List[Answer] = [[0] * self.policy.answer_arity for _ in range(self.n)]
+        return build_reward_instance(
+            policy=self.policy,
+            budget=10 * self.n,
+            keys=keys,
+            answers=answers,
+            mimc=self.mimc,
+            nonces=[100 + j for j in range(self.n)],
+        )
+
+    def public_inputs(self, instance: RewardInstance) -> List[int]:
+        return reward_statement(
+            instance.budget, instance.reward_unit, instance.entries, instance.rewards
+        )
+
+    def synthesize(self, cs: ConstraintSystem, instance: RewardInstance) -> None:
+        _synthesize_decryption(cs, instance, self.mimc, arity=self.policy.answer_arity)
+
+    def native_checks(self, instance: RewardInstance) -> None:
+        answers = decrypt_instance_answers(instance, self.mimc)
+        expected = self.policy.compute_rewards(answers, instance.budget)
+        if tuple(expected) != tuple(instance.rewards):
+            raise ProofError(
+                f"reward vector does not follow policy {self.policy.name}"
+            )
+        if instance.reward_unit != instance.budget // self.n:
+            raise ProofError("reward unit must be floor(budget / n)")
+
+
+def decrypt_instance_answers(
+    instance: RewardInstance, mimc: MiMCParameters
+) -> List[Answer]:
+    """Native decryption of an instance's slots (⊥ for flagged ones)."""
+    answers: List[Answer] = []
+    for entry, key in zip(instance.entries, instance.keys):
+        if not entry.ok:
+            answers.append(None)
+            continue
+        answers.append(
+            [
+                (c - keystream_element(key, entry.nonce, i, mimc)) % _P
+                for i, c in enumerate(entry.body)
+            ]
+        )
+    return answers
+
+
+def build_reward_instance(
+    policy: RewardPolicy,
+    budget: int,
+    keys: Sequence[int],
+    answers: Sequence[Answer],
+    mimc: MiMCParameters,
+    nonces: Optional[Sequence[int]] = None,
+    entries: Optional[Sequence[CiphertextEntry]] = None,
+    rewards: Optional[Sequence[int]] = None,
+) -> RewardInstance:
+    """Assemble a consistent instance.
+
+    When ``entries`` is omitted (tests, examples) the ciphertext bodies
+    are synthesized from the given answers and keys; a ``None`` answer
+    becomes a flagged slot.  ``rewards`` defaults to the policy's
+    native evaluation.
+    """
+    from repro.zksnark.gadgets.mimc import mimc_hash_native
+
+    n = len(answers)
+    if len(keys) != n:
+        raise PolicyError("one key per answer slot required")
+    if entries is None:
+        if nonces is None:
+            nonces = [1000 + j for j in range(n)]
+        built = []
+        for j, answer in enumerate(answers):
+            if answer is None:
+                built.append(
+                    CiphertextEntry(
+                        key_commitment=0,
+                        nonce=nonces[j],
+                        body=tuple([0] * policy.answer_arity),
+                        ok=0,
+                    )
+                )
+                continue
+            body = tuple(
+                (value + keystream_element(keys[j], nonces[j], i, mimc)) % _P
+                for i, value in enumerate(answer)
+            )
+            built.append(
+                CiphertextEntry(
+                    key_commitment=mimc_hash_native([keys[j]], mimc),
+                    nonce=nonces[j],
+                    body=body,
+                    ok=1,
+                )
+            )
+        entries = built
+    if rewards is None:
+        rewards = policy.compute_rewards(answers, budget)
+    return RewardInstance(
+        budget=budget,
+        reward_unit=budget // n,
+        entries=tuple(entries),
+        rewards=tuple(int(r) for r in rewards),
+        keys=tuple(int(k) for k in keys),
+    )
+
+
+def make_reward_circuit(
+    policy: RewardPolicy, n: int, mimc: MiMCParameters
+) -> CircuitDefinition:
+    """The right circuit for a policy: compiled R1CS or oracle shell."""
+    if isinstance(policy, MajorityVotePolicy):
+        return MajorityRewardCircuit(n, policy, mimc)
+    return OraclePolicyCircuit(n, policy, mimc)

@@ -1,0 +1,151 @@
+"""The worker client (the off-chain half of Fig. 3, worker side).
+
+Drives AnswerCollection: validates the task contract, encrypts the
+answer under the task's epk, anonymously authenticates
+α_C ‖ α_i ‖ C_i, and submits from a fresh one-task address.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.hashing import sha256
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import ProtocolError
+from repro.anonauth.keys import UserKeyPair
+from repro.chain.receipts import Receipt
+from repro.chain.transaction import Transaction, encode_call
+from repro.core.anonymity import derive_one_task_account
+from repro.core.encryption import encrypt_answer
+from repro.core.params import TaskParameters
+from repro.core.protocol import (
+    DEFAULT_GAS_LIMIT,
+    DEFAULT_GAS_PRICE,
+    TaskHandle,
+    ZebraLancerSystem,
+)
+from repro.serialization import decode
+from repro.anonauth.scheme import task_prefix
+
+
+@dataclass
+class SubmissionRecord:
+    """What a worker remembers about one submission (to claim rewards)."""
+
+    task_address: bytes
+    account_address: bytes
+    receipt: Receipt
+
+
+class Worker:
+    """A registered worker."""
+
+    def __init__(
+        self, system: ZebraLancerSystem, identity: str, seed: Optional[bytes] = None
+    ) -> None:
+        self.system = system
+        self.identity = identity
+        self._seed = seed if seed is not None else sha256(b"worker", identity.encode())
+        self.keys = UserKeyPair.generate(system.mimc, seed=self._seed + b"|id")
+        self.certificate = system.register_participant(identity, self.keys.public_key)
+        self.submissions: List[SubmissionRecord] = []
+
+    # ----- task inspection ------------------------------------------------------------
+
+    def read_task(self, task_address: bytes) -> TaskParameters:
+        raw = self.system.node.call(task_address, "get_params")
+        return TaskParameters.from_storage(raw)
+
+    def read_task_epk(self, task_address: bytes) -> RSAPublicKey:
+        wire = self.system.node.call(task_address, "get_epk")
+        n, e = decode(wire)
+        return RSAPublicKey(n=n, e=e)
+
+    def validate_task(self, task_address: bytes) -> TaskParameters:
+        """A worker's due diligence before contributing.
+
+        Checks the parameters parse, the budget is actually held by the
+        contract, the announced epk matches its fingerprint, and the
+        task is still collecting.
+        """
+        params = self.read_task(task_address)
+        node = self.system.node
+        if node.balance_of(task_address) < params.budget:
+            raise ProtocolError("contract does not hold the announced budget")
+        epk = self.read_task_epk(task_address)
+        if epk.fingerprint() != params.encryption_key_fingerprint:
+            raise ProtocolError("epk does not match the announced fingerprint")
+        if node.call(task_address, "get_phase") != "collecting":
+            raise ProtocolError("task is not accepting answers")
+        if node.call(task_address, "is_collection_closed"):
+            raise ProtocolError("task already collected its answers")
+        return params
+
+    # ----- AnswerCollection --------------------------------------------------------------
+
+    def submit_answer(
+        self,
+        handle_or_address,
+        answer_fields: Sequence[int],
+        validate: bool = True,
+    ) -> SubmissionRecord:
+        """Encrypt, authenticate and submit one answer."""
+        task_address = (
+            handle_or_address.address
+            if isinstance(handle_or_address, TaskHandle)
+            else handle_or_address
+        )
+        system = self.system
+        params = (
+            self.validate_task(task_address)
+            if validate
+            else self.read_task(task_address)
+        )
+        if len(answer_fields) != params.answer_arity:
+            raise ProtocolError(
+                f"task expects {params.answer_arity} answer fields, "
+                f"got {len(answer_fields)}"
+            )
+        account = derive_one_task_account(self._seed, f"task:{task_address.hex()}")
+        system.fund_anonymous(account.address)
+
+        epk = self.read_task_epk(task_address)
+        rng = random.Random(
+            int.from_bytes(
+                sha256(self._seed, task_address, b"answer-encryption"), "big"
+            )
+        )
+        ciphertext = encrypt_answer(epk, list(answer_fields), system.mimc, rng)
+        ciphertext_wire = ciphertext.to_wire()
+
+        certificate = system.current_certificate(self.keys.public_key)
+        commitment = system.registry_commitment()
+        message = task_prefix(task_address) + account.address + ciphertext_wire
+        attestation = system.scheme.auth(message, self.keys, certificate, commitment)
+
+        data = encode_call(
+            "submit_answer", [ciphertext_wire, attestation.to_wire()]
+        )
+        tx = Transaction(
+            nonce=system.node.nonce_of(account.address),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=task_address,
+            value=0,
+            data=data,
+        )
+        receipt = system.send_and_confirm(tx.sign(account.keypair))
+        record = SubmissionRecord(
+            task_address=task_address,
+            account_address=account.address,
+            receipt=receipt,
+        )
+        self.submissions.append(record)
+        return record
+
+    def reward_received(self, task_address: bytes) -> int:
+        """The balance sitting on this worker's one-task address."""
+        account = derive_one_task_account(self._seed, f"task:{task_address.hex()}")
+        return self.system.node.balance_of(account.address)

@@ -1,0 +1,128 @@
+"""Keccak-256, implemented from the Keccak-f[1600] permutation.
+
+Ethereum addresses are the low 20 bytes of Keccak-256 of the public key,
+so the chain substrate needs the *original* Keccak padding (0x01), not
+the FIPS-202 SHA-3 padding (0x06).  This module implements the sponge
+from first principles; it is validated against known Ethereum test
+vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets r[x][y] for the rho step.
+_ROTATIONS = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+_MASK = (1 << 64) - 1
+
+
+def _rotl(value: int, shift: int) -> int:
+    shift %= 64
+    return ((value << shift) | (value >> (64 - shift))) & _MASK
+
+
+def keccak_f1600(state: list[int]) -> list[int]:
+    """Apply the 24-round Keccak-f[1600] permutation to a 5x5 lane state.
+
+    ``state`` is a flat list of 25 64-bit lanes indexed as ``x + 5*y``.
+    """
+    lanes = list(state)
+    for round_constant in _ROUND_CONSTANTS:
+        # theta
+        c = [lanes[x] ^ lanes[x + 5] ^ lanes[x + 10] ^ lanes[x + 15] ^ lanes[x + 20]
+             for x in range(5)]
+        d = [c[(x - 1) % 5] ^ _rotl(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                lanes[x + 5 * y] ^= d[x]
+        # rho + pi
+        b = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = _rotl(
+                    lanes[x + 5 * y], _ROTATIONS[x][y]
+                )
+        # chi
+        for x in range(5):
+            for y in range(5):
+                lanes[x + 5 * y] = b[x + 5 * y] ^ (
+                    (~b[(x + 1) % 5 + 5 * y] & _MASK) & b[(x + 2) % 5 + 5 * y]
+                )
+        # iota
+        lanes[0] ^= round_constant
+    return lanes
+
+
+class KeccakSponge:
+    """Incremental Keccak sponge with the original 0x01 domain padding."""
+
+    def __init__(self, rate_bytes: int, digest_bytes: int) -> None:
+        if rate_bytes <= 0 or rate_bytes >= 200 or rate_bytes % 8 != 0:
+            raise ValueError("rate must be a positive multiple of 8 below 200")
+        self._rate = rate_bytes
+        self._digest_size = digest_bytes
+        self._state = [0] * 25
+        self._buffer = bytearray()
+        self._finalized = False
+
+    def update(self, data: bytes) -> "KeccakSponge":
+        if self._finalized:
+            raise ValueError("cannot update a finalized sponge")
+        self._buffer.extend(data)
+        while len(self._buffer) >= self._rate:
+            block = bytes(self._buffer[: self._rate])
+            del self._buffer[: self._rate]
+            self._absorb(block)
+        return self
+
+    def _absorb(self, block: bytes) -> None:
+        for i in range(0, len(block), 8):
+            lane_index = i // 8
+            self._state[lane_index] ^= int.from_bytes(block[i : i + 8], "little")
+        self._state = keccak_f1600(self._state)
+
+    def digest(self) -> bytes:
+        # Pad: Keccak pad10*1 with domain bit 0x01.
+        padded = bytearray(self._buffer)
+        pad_len = self._rate - (len(padded) % self._rate)
+        padding = bytearray(pad_len)
+        padding[0] = 0x01
+        padding[-1] |= 0x80
+        padded.extend(padding)
+        state = list(self._state)
+        for offset in range(0, len(padded), self._rate):
+            block = padded[offset : offset + self._rate]
+            for i in range(0, self._rate, 8):
+                state[i // 8] ^= int.from_bytes(block[i : i + 8], "little")
+            state = keccak_f1600(state)
+        # Squeeze
+        output = bytearray()
+        while len(output) < self._digest_size:
+            for lane in state[: self._rate // 8]:
+                output.extend(lane.to_bytes(8, "little"))
+                if len(output) >= self._digest_size:
+                    break
+            if len(output) < self._digest_size:
+                state = keccak_f1600(state)
+        return bytes(output[: self._digest_size])
+
+
+def keccak_256(data: bytes) -> bytes:
+    """One-shot Keccak-256 (rate 136, original padding) of ``data``."""
+    return KeccakSponge(rate_bytes=136, digest_bytes=32).update(data).digest()

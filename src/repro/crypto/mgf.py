@@ -1,0 +1,26 @@
+"""MGF1 mask generation (RFC 8017 B.2.1), shared by OAEP and PSS."""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256
+
+
+def mgf1(seed: bytes, length: int) -> bytes:
+    """Generate a ``length``-byte mask from ``seed`` using SHA-256."""
+    if length < 0:
+        raise ValueError("mask length must be non-negative")
+    if length > (1 << 32) * 32:
+        raise ValueError("mask too long for MGF1")
+    output = bytearray()
+    counter = 0
+    while len(output) < length:
+        output.extend(sha256(seed, counter.to_bytes(4, "big")))
+        counter += 1
+    return bytes(output[:length])
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("xor operands must have equal length")
+    return bytes(x ^ y for x, y in zip(a, b))

@@ -1,0 +1,64 @@
+"""RSA-OAEP padding (RFC 8017 section 7.1) with SHA-256/MGF1."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.crypto.hashing import sha256
+from repro.crypto.mgf import mgf1, xor_bytes
+from repro.errors import DecryptionError
+
+_HASH_LEN = 32
+
+
+def max_message_length(modulus_bytes: int) -> int:
+    """Largest plaintext OAEP can carry in one ``modulus_bytes`` block."""
+    return modulus_bytes - 2 * _HASH_LEN - 2
+
+
+def oaep_encode(message: bytes, modulus_bytes: int, label: bytes = b"",
+                rng: Optional[random.Random] = None) -> bytes:
+    """EME-OAEP encode ``message`` into a ``modulus_bytes``-long block."""
+    if len(message) > max_message_length(modulus_bytes):
+        raise ValueError(
+            f"message too long for OAEP: {len(message)} > "
+            f"{max_message_length(modulus_bytes)}"
+        )
+    rng = rng or random.SystemRandom()
+    l_hash = sha256(label)
+    ps = b"\x00" * (modulus_bytes - len(message) - 2 * _HASH_LEN - 2)
+    db = l_hash + ps + b"\x01" + message
+    seed = rng.getrandbits(8 * _HASH_LEN).to_bytes(_HASH_LEN, "big")
+    masked_db = xor_bytes(db, mgf1(seed, len(db)))
+    masked_seed = xor_bytes(seed, mgf1(masked_db, _HASH_LEN))
+    return b"\x00" + masked_seed + masked_db
+
+
+def oaep_decode(em: bytes, modulus_bytes: int, label: bytes = b"") -> bytes:
+    """EME-OAEP decode; raises :class:`DecryptionError` on any padding fault.
+
+    All padding checks are accumulated into a single flag before raising
+    so the error does not reveal *which* check failed (mitigating
+    Manger-style padding oracles to the extent a Python sim can).
+    """
+    if len(em) != modulus_bytes or modulus_bytes < 2 * _HASH_LEN + 2:
+        raise DecryptionError("OAEP block has the wrong size")
+    l_hash = sha256(label)
+    y, masked_seed, masked_db = em[0], em[1 : 1 + _HASH_LEN], em[1 + _HASH_LEN :]
+    seed = xor_bytes(masked_seed, mgf1(masked_db, _HASH_LEN))
+    db = xor_bytes(masked_db, mgf1(seed, len(masked_db)))
+    bad = y != 0
+    bad |= db[:_HASH_LEN] != l_hash
+    separator = -1
+    for index in range(_HASH_LEN, len(db)):
+        byte = db[index]
+        if byte == 0x01 and separator < 0:
+            separator = index
+        elif byte != 0x00 and separator < 0:
+            bad = True
+            break
+    bad |= separator < 0
+    if bad:
+        raise DecryptionError("OAEP decoding failed")
+    return db[separator + 1 :]

@@ -1,0 +1,157 @@
+"""RSA from scratch: keygen, OAEP encryption, PSS signatures.
+
+The paper instantiates answer encryption as RSA-OAEP-2048 and the
+DApp-layer signature as an RSA signature (Section VI).  This module
+provides both on top of textbook RSA with CRT-accelerated private
+operations.  Padding lives in :mod:`repro.crypto.oaep`; this module
+exposes the user-facing key objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto import oaep
+from repro.crypto.hashing import sha256
+from repro.crypto.mgf import mgf1, xor_bytes
+from repro.crypto.primes import generate_safe_rsa_primes, inverse_mod
+from repro.errors import CryptoError, SignatureError
+
+_DEFAULT_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_size(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt(self, plaintext: bytes, rng: Optional[random.Random] = None,
+                label: bytes = b"") -> bytes:
+        """RSA-OAEP encrypt ``plaintext``; output is one modulus-width block."""
+        em = oaep.oaep_encode(plaintext, self.byte_size, label=label, rng=rng)
+        m = int.from_bytes(em, "big")
+        c = pow(m, self.e, self.n)
+        return c.to_bytes(self.byte_size, "big")
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify an RSASSA-PSS signature over ``message``."""
+        if len(signature) != self.byte_size:
+            return False
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            return False
+        em = pow(s, self.e, self.n).to_bytes(self.byte_size, "big")
+        return _pss_verify(message, em, self.n.bit_length() - 1)
+
+    def fingerprint(self) -> bytes:
+        """A stable 32-byte identifier for the key."""
+        return sha256(b"rsa-pub", self.n.to_bytes(self.byte_size, "big"),
+                      self.e.to_bytes(4, "big"))
+
+
+class RSAKeyPair:
+    """An RSA keypair with CRT-accelerated decryption and signing."""
+
+    def __init__(self, p: int, q: int, e: int = _DEFAULT_EXPONENT) -> None:
+        if p == q:
+            raise CryptoError("RSA primes must be distinct")
+        self._p = p
+        self._q = q
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        try:
+            d = inverse_mod(e, phi)
+        except ValueError as exc:
+            raise CryptoError("public exponent not invertible mod phi(n)") from exc
+        self._d = d
+        self._dp = d % (p - 1)
+        self._dq = d % (q - 1)
+        self._qinv = inverse_mod(q, p)
+        self.public_key = RSAPublicKey(n=n, e=e)
+
+    @classmethod
+    def generate(cls, bits: int = 2048, rng: Optional[random.Random] = None,
+                 e: int = _DEFAULT_EXPONENT) -> "RSAKeyPair":
+        """Generate a fresh keypair with an ``bits``-bit modulus."""
+        if bits % 2 != 0:
+            raise ValueError("modulus width must be even")
+        p, q = generate_safe_rsa_primes(bits // 2, rng)
+        return cls(p, q, e)
+
+    def _private_op(self, c: int) -> int:
+        # CRT: ~4x faster than a single pow mod n.
+        m1 = pow(c % self._p, self._dp, self._p)
+        m2 = pow(c % self._q, self._dq, self._q)
+        h = (self._qinv * (m1 - m2)) % self._p
+        return m2 + h * self._q
+
+    def decrypt(self, ciphertext: bytes, label: bytes = b"") -> bytes:
+        """RSA-OAEP decrypt one ciphertext block."""
+        k = self.public_key.byte_size
+        if len(ciphertext) != k:
+            raise CryptoError("ciphertext length does not match modulus")
+        c = int.from_bytes(ciphertext, "big")
+        if c >= self.public_key.n:
+            raise CryptoError("ciphertext representative out of range")
+        em = self._private_op(c).to_bytes(k, "big")
+        return oaep.oaep_decode(em, k, label=label)
+
+    def sign(self, message: bytes, rng: Optional[random.Random] = None) -> bytes:
+        """Produce an RSASSA-PSS signature over ``message``."""
+        em_bits = self.public_key.n.bit_length() - 1
+        em = _pss_encode(message, em_bits, rng or random.SystemRandom())
+        m = int.from_bytes(em, "big")
+        s = self._private_op(m)
+        return s.to_bytes(self.public_key.byte_size, "big")
+
+
+_PSS_SALT_LEN = 32
+
+
+def _pss_encode(message: bytes, em_bits: int, rng: random.Random) -> bytes:
+    em_len = (em_bits + 7) // 8
+    m_hash = sha256(message)
+    if em_len < len(m_hash) + _PSS_SALT_LEN + 2:
+        raise SignatureError("modulus too small for PSS with this salt length")
+    salt = rng.getrandbits(8 * _PSS_SALT_LEN).to_bytes(_PSS_SALT_LEN, "big")
+    m_prime = b"\x00" * 8 + m_hash + salt
+    h = sha256(m_prime)
+    ps = b"\x00" * (em_len - _PSS_SALT_LEN - len(h) - 2)
+    db = ps + b"\x01" + salt
+    masked_db = xor_bytes(db, mgf1(h, len(db)))
+    # Clear the leftmost 8*em_len - em_bits bits.
+    leading_zero_bits = 8 * em_len - em_bits
+    first = masked_db[0] & (0xFF >> leading_zero_bits)
+    return bytes([first]) + masked_db[1:] + h + b"\xbc"
+
+
+def _pss_verify(message: bytes, em: bytes, em_bits: int) -> bool:
+    em_len = (em_bits + 7) // 8
+    if len(em) > em_len:
+        em = em[-em_len:]
+    m_hash = sha256(message)
+    if em_len < len(m_hash) + _PSS_SALT_LEN + 2:
+        return False
+    if em[-1] != 0xBC:
+        return False
+    h = em[-1 - len(m_hash) : -1]
+    masked_db = em[: em_len - len(m_hash) - 1]
+    leading_zero_bits = 8 * em_len - em_bits
+    if masked_db[0] & ~(0xFF >> leading_zero_bits) & 0xFF:
+        return False
+    db = bytearray(xor_bytes(masked_db, mgf1(h, len(masked_db))))
+    db[0] &= 0xFF >> leading_zero_bits
+    pad_len = em_len - len(m_hash) - _PSS_SALT_LEN - 2
+    if any(db[:pad_len]) or db[pad_len] != 0x01:
+        return False
+    salt = bytes(db[pad_len + 1 :])
+    m_prime = b"\x00" * 8 + m_hash + salt
+    return sha256(m_prime) == h

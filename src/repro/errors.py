@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ZebraLancer reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can
+catch library failures without accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, bad padding, ...)."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext could not be decrypted (wrong key or corrupted data)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify or could not be produced."""
+
+
+class CircuitError(ReproError):
+    """A constraint system was built or used incorrectly."""
+
+
+class UnsatisfiedConstraintError(CircuitError):
+    """A witness assignment does not satisfy the constraint system."""
+
+
+class ProofError(ReproError):
+    """A zero-knowledge proof could not be generated or is malformed."""
+
+
+class VerificationError(ReproError):
+    """A proof or attestation failed verification."""
+
+
+class AuthenticationError(ReproError):
+    """An anonymous-authentication operation failed."""
+
+
+class RegistrationError(AuthenticationError):
+    """Registration at the registration authority failed."""
+
+
+class ChainError(ReproError):
+    """Blockchain substrate failure (invalid tx, bad block, ...)."""
+
+
+class InvalidTransactionError(ChainError):
+    """A transaction failed validation (signature, nonce, balance, gas)."""
+
+
+class InvalidBlockError(ChainError):
+    """A proposed block failed validation."""
+
+
+class ContractError(ChainError):
+    """A smart-contract execution reverted."""
+
+
+class OutOfGasError(ContractError):
+    """Contract execution exceeded its gas allowance."""
+
+
+class ProtocolError(ReproError):
+    """The crowdsourcing protocol was driven into an invalid state."""
+
+
+class PolicyError(ProtocolError):
+    """A reward policy was configured or evaluated incorrectly."""

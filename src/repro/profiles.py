@@ -1,0 +1,66 @@
+"""Security profiles.
+
+The paper's implementation runs 128-bit-security parameters (91-round
+MiMC at a 254-bit field, deep registration trees, full-width scalars).
+Those are faithful but slow under a pure-Python Groth16 prover, so the
+whole stack is parameterised by a :class:`SecurityProfile`.  Profiles
+change only *sizes* (rounds, tree depth, scalar width) — every line of
+protocol logic is identical across profiles, so the fast ``TEST``
+profile still exercises the real pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SecurityProfile:
+    """Parameter bundle controlling circuit sizes.
+
+    Attributes:
+        name: human-readable identifier.
+        mimc_rounds: number of MiMC rounds (91 gives ~128-bit security
+            for exponent-7 MiMC over a 254-bit field).
+        merkle_depth: depth of the RA registration Merkle tree, i.e.
+            log2 of the maximum anonymity-set size.
+        scalar_bits: bit width of in-circuit Schnorr scalars.
+    """
+
+    name: str
+    mimc_rounds: int
+    merkle_depth: int
+    scalar_bits: int
+
+    def __post_init__(self) -> None:
+        if self.mimc_rounds < 2:
+            raise ValueError("MiMC needs at least 2 rounds")
+        if self.merkle_depth < 1:
+            raise ValueError("Merkle depth must be >= 1")
+        if self.scalar_bits < 4:
+            raise ValueError("scalar width must be >= 4 bits")
+
+
+#: Paper-faithful parameters (what a deployment would run).
+PRODUCTION = SecurityProfile(
+    name="production", mimc_rounds=91, merkle_depth=16, scalar_bits=251
+)
+
+#: Mid-size parameters used by the benchmark harness so Table I /
+#: Fig. 4 runs finish in minutes rather than hours under pure Python.
+BENCH = SecurityProfile(name="bench", mimc_rounds=46, merkle_depth=8, scalar_bits=64)
+
+#: Small parameters for the test suite; same code paths, tiny circuits.
+TEST = SecurityProfile(name="test", mimc_rounds=7, merkle_depth=5, scalar_bits=16)
+
+_PROFILES = {p.name: p for p in (PRODUCTION, BENCH, TEST)}
+
+
+def get_profile(name: str) -> SecurityProfile:
+    """Look a profile up by name (``production``, ``bench``, ``test``)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown security profile {name!r}; expected one of {sorted(_PROFILES)}"
+        ) from None

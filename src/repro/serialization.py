@@ -1,0 +1,147 @@
+"""Canonical byte encodings shared across the library.
+
+Everything written to the simulated blockchain, hashed, or signed goes
+through these helpers so that two nodes always agree byte-for-byte on
+what a message looks like.  The format is a tiny, deterministic
+length-prefixed encoding (a simplified RLP): values are encoded as
+``tag || length || payload`` and lists concatenate their encoded items.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_TAG_BYTES = 0x01
+_TAG_INT = 0x02
+_TAG_STR = 0x03
+_TAG_LIST = 0x04
+_TAG_NONE = 0x05
+_TAG_NEGINT = 0x06
+_TAG_DICT = 0x07
+_TAG_OBJECT = 0x08
+
+Encodable = "None | int | str | bytes | Sequence[Encodable]"
+
+
+def _encode_length(n: int) -> bytes:
+    return n.to_bytes(4, "big")
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Encode a non-negative integer big-endian, minimally or fixed-width."""
+    if value < 0:
+        raise ValueError("only non-negative integers are encodable")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def encode(value) -> bytes:
+    """Deterministically encode ``value`` (ints, bytes, str, None, lists)."""
+    if value is None:
+        return bytes([_TAG_NONE]) + _encode_length(0)
+    if isinstance(value, bool):
+        # bool is an int subclass; normalize so True encodes like 1.
+        value = int(value)
+    if isinstance(value, int):
+        if value < 0:
+            payload = int_to_bytes(-value)
+            return bytes([_TAG_NEGINT]) + _encode_length(len(payload)) + payload
+        payload = int_to_bytes(value)
+        return bytes([_TAG_INT]) + _encode_length(len(payload)) + payload
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        payload = bytes(value)
+        return bytes([_TAG_BYTES]) + _encode_length(len(payload)) + payload
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return bytes([_TAG_STR]) + _encode_length(len(payload)) + payload
+    if isinstance(value, (list, tuple)):
+        body = b"".join(encode(item) for item in value)
+        return bytes([_TAG_LIST]) + _encode_length(len(body)) + body
+    if isinstance(value, dict):
+        body = b"".join(
+            encode(key) + encode(item) for key, item in value.items()
+        )
+        return bytes([_TAG_DICT]) + _encode_length(len(body)) + body
+    # Opaque objects (e.g. SNARK verification keys in contract calldata)
+    # fall back to pickle.  The encoder output is produced once and then
+    # signed/hashed as bytes, so round-trip fidelity — not re-encoding
+    # canonicity — is what matters here.
+    import pickle
+
+    payload = pickle.dumps(value, protocol=5)
+    return bytes([_TAG_OBJECT]) + _encode_length(len(payload)) + payload
+
+
+def decode(data: bytes):
+    """Inverse of :func:`encode`; raises ``ValueError`` on trailing bytes."""
+    value, rest = _decode_one(memoryview(data))
+    if len(rest) != 0:
+        raise ValueError("trailing bytes after canonical value")
+    return value
+
+
+def _decode_one(view: memoryview):
+    if len(view) < 5:
+        raise ValueError("truncated canonical encoding")
+    tag = view[0]
+    length = int.from_bytes(view[1:5], "big")
+    payload = view[5 : 5 + length]
+    if len(payload) != length:
+        raise ValueError("truncated canonical payload")
+    rest = view[5 + length :]
+    if tag == _TAG_NONE:
+        return None, rest
+    if tag == _TAG_INT:
+        return int.from_bytes(payload, "big"), rest
+    if tag == _TAG_NEGINT:
+        return -int.from_bytes(payload, "big"), rest
+    if tag == _TAG_BYTES:
+        return bytes(payload), rest
+    if tag == _TAG_STR:
+        return bytes(payload).decode("utf-8"), rest
+    if tag == _TAG_LIST:
+        items = []
+        inner = payload
+        while len(inner):
+            item, inner = _decode_one(inner)
+            items.append(item)
+        return items, rest
+    if tag == _TAG_DICT:
+        result = {}
+        inner = payload
+        while len(inner):
+            key, inner = _decode_one(inner)
+            item, inner = _decode_one(inner)
+            result[key] = item
+        return result, rest
+    if tag == _TAG_OBJECT:
+        import pickle
+
+        return pickle.loads(bytes(payload)), rest
+    raise ValueError(f"unknown canonical tag {tag:#x}")
+
+
+def hex_str(data: bytes, prefix: bool = True) -> str:
+    """Render bytes as a 0x-prefixed hex string (Ethereum style)."""
+    return ("0x" if prefix else "") + data.hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Parse a hex string, tolerating an optional 0x prefix."""
+    if text.startswith(("0x", "0X")):
+        text = text[2:]
+    return bytes.fromhex(text)
+
+
+def chunk_bytes(data: bytes, size: int) -> Iterable[bytes]:
+    """Yield successive ``size``-byte chunks of ``data`` (last may be short)."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for start in range(0, len(data), size):
+        yield data[start : start + size]

@@ -1,0 +1,172 @@
+"""Backend abstraction for proving systems.
+
+A :class:`CircuitDefinition` knows how to synthesize its constraints
+into a :class:`~repro.zksnark.circuit.ConstraintSystem` for a concrete
+instance (public + private values together).  A
+:class:`ProvingBackend` turns circuit definitions into key material,
+proofs, and verification decisions.
+
+Two backends ship with the library:
+
+- :class:`repro.zksnark.groth16.Groth16Backend` — the real pairing-based
+  SNARK (succinct proofs, slow in pure Python);
+- :class:`repro.zksnark.mock.MockBackend` — the ideal SNARK
+  functionality (fast; used for protocol-scale simulations and tests).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProofError
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.field import FR, PrimeField
+
+
+class CircuitDefinition(abc.ABC):
+    """A reusable circuit template.
+
+    Subclasses must synthesize an *instance-independent structure*: the
+    set of constraints may depend only on the circuit's parameters
+    (e.g. number of workers), never on wire values, so that keys
+    generated from :meth:`example_instance` fit every real instance.
+    """
+
+    #: Human-readable circuit name (appears in key digests and errors).
+    name: str = "circuit"
+
+    field: PrimeField = FR
+
+    #: True for circuits whose statement includes native predicates that
+    #: have no R1CS encoding (e.g. EM-based reward policies); only the
+    #: ideal-functionality MockBackend accepts them.
+    requires_ideal_backend: bool = False
+
+    @abc.abstractmethod
+    def example_instance(self) -> Any:
+        """A syntactically valid instance used to derive the structure."""
+
+    @abc.abstractmethod
+    def synthesize(self, cs: ConstraintSystem, instance: Any) -> None:
+        """Allocate wires (publics first) and enforce all constraints."""
+
+    def build(self, instance: Any) -> ConstraintSystem:
+        """Synthesize a fresh constraint system for ``instance``."""
+        cs = ConstraintSystem(self.field)
+        self.synthesize(cs, instance)
+        return cs
+
+    def public_inputs(self, instance: Any) -> List[int]:
+        """The statement vector for ``instance`` (via full synthesis).
+
+        Backends use this when a verifier-side caller hands them an
+        instance rather than a raw statement vector; concrete circuits
+        may override it with a cheaper direct computation.
+        """
+        return self.build(instance).public_values()
+
+    def extra_digest(self) -> bytes:
+        """Extra semantics folded into the circuit digest.
+
+        Circuits with native predicates (``requires_ideal_backend``)
+        must return a digest binding those semantics, so a proof for
+        one policy never verifies for another with the same R1CS shell.
+        """
+        return b""
+
+    def native_checks(self, instance: Any) -> None:
+        """Raise if ``instance`` violates predicates outside the R1CS.
+
+        Only consulted by the ideal-functionality backend.
+        """
+
+
+def full_circuit_digest(circuit: CircuitDefinition, r1cs) -> bytes:
+    """The digest key material binds to: R1CS structure + extra semantics."""
+    from repro.crypto.hashing import sha256
+
+    return sha256(b"circuit-digest", r1cs.structure_digest(), circuit.extra_digest())
+
+
+@dataclass
+class Proof:
+    """A proof with its backend tag and serialized payload."""
+
+    backend: str
+    payload: bytes
+
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class VerifyingKey:
+    """Opaque verification material plus the circuit digest it binds to."""
+
+    backend: str
+    circuit_digest: bytes
+    num_public: int
+    payload: Any
+
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class KeyPair:
+    """Setup output: proving key and verification key."""
+
+    proving_key: Any
+    verifying_key: Any
+
+
+class ProvingBackend(abc.ABC):
+    """Interface every proof system implements."""
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def setup(self, circuit: CircuitDefinition, seed: Optional[bytes] = None) -> KeyPair:
+        """Run the (trusted) setup for ``circuit``."""
+
+    @abc.abstractmethod
+    def prove(self, proving_key: Any, circuit: CircuitDefinition, instance: Any) -> Proof:
+        """Produce a proof that ``instance`` satisfies ``circuit``."""
+
+    @abc.abstractmethod
+    def verify(self, verifying_key: Any, public_inputs: List[int], proof: Proof) -> bool:
+        """Check a proof against the statement vector."""
+
+    def _check_backend(self, proof: Proof) -> None:
+        if proof.backend != self.name:
+            raise ProofError(
+                f"proof was produced by backend {proof.backend!r}, "
+                f"not {self.name!r}"
+            )
+
+
+_REGISTRY: Dict[str, "ProvingBackend"] = {}
+
+
+def register_backend(backend: ProvingBackend) -> None:
+    """Register a backend instance under its name."""
+    _REGISTRY[backend.name] = backend
+
+
+def get_backend(name: str) -> ProvingBackend:
+    """Fetch a registered backend (``groth16`` or ``mock``)."""
+    # Import lazily so registration happens on first use.
+    if not _REGISTRY:
+        from repro.zksnark.groth16 import Groth16Backend
+        from repro.zksnark.mock import MockBackend
+
+        register_backend(Groth16Backend())
+        register_backend(MockBackend())
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown proving backend {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None

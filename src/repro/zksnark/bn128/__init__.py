@@ -1,0 +1,44 @@
+"""The BN128 (alt_bn128) pairing-friendly curve, from scratch.
+
+This is the curve Ethereum's Byzantium release exposes through the
+ecAdd/ecMul/ecPairing precompiles (the very integration the paper cites
+in Section VI).  The tower is FQ → FQ2 (i² = −1) → FQ12
+(w¹² − 18w⁶ + 82 = 0); the pairing is the optimal ate pairing.
+"""
+
+from repro.zksnark.bn128.fq import FIELD_MODULUS, CURVE_ORDER
+from repro.zksnark.bn128.fq2 import FQ2
+from repro.zksnark.bn128.fq12 import FQ12
+from repro.zksnark.bn128.curve import (
+    G1,
+    G2,
+    g1_add,
+    g1_mul,
+    g1_neg,
+    g2_add,
+    g2_mul,
+    g2_neg,
+    is_on_g1,
+    is_on_g2,
+)
+from repro.zksnark.bn128.pairing import final_exponentiate, miller_loop, pairing
+
+__all__ = [
+    "FIELD_MODULUS",
+    "CURVE_ORDER",
+    "FQ2",
+    "FQ12",
+    "G1",
+    "G2",
+    "g1_add",
+    "g1_mul",
+    "g1_neg",
+    "g2_add",
+    "g2_mul",
+    "g2_neg",
+    "is_on_g1",
+    "is_on_g2",
+    "final_exponentiate",
+    "miller_loop",
+    "pairing",
+]

@@ -1,0 +1,240 @@
+"""BN128 group operations.
+
+G1 points are affine ``(x, y)`` int pairs (or ``None`` for infinity) on
+``y² = x³ + 3`` over FQ; scalar multiplication runs in Jacobian
+coordinates.  G2 points are affine pairs of :class:`FQ2` on the twist
+``y² = x³ + 3/(9+i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.zksnark.bn128.fq import CURVE_ORDER, FIELD_MODULUS
+from repro.zksnark.bn128.fq2 import FQ2
+
+_Q = FIELD_MODULUS
+
+G1Point = Optional[Tuple[int, int]]
+G2Point = Optional[Tuple[FQ2, FQ2]]
+
+#: Curve coefficient b for G1.
+B1 = 3
+#: Twist coefficient b2 = 3 / (9 + i) for G2.
+B2 = FQ2(3, 0) / FQ2(9, 1)
+
+#: Canonical generators (matching Ethereum's alt_bn128 precompiles).
+G1: G1Point = (1, 2)
+G2: G2Point = (
+    FQ2(
+        10857046999023057135944570762232829481370756359578518086990519993285655852781,
+        11559732032986387107991004021392285783925812861821192530917403151452391805634,
+    ),
+    FQ2(
+        8495653923123431417604973247489272438418190587263600148770280649306958101930,
+        4082367875863433681332203403145435568316851327593401208105741076214120093531,
+    ),
+)
+
+
+def is_on_g1(point: G1Point) -> bool:
+    """Membership test for G1 (affine curve equation)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - x * x * x - B1) % _Q == 0
+
+
+def is_on_g2(point: G2Point) -> bool:
+    """Curve-equation test for the twist (subgroup check via cofactor-free order)."""
+    if point is None:
+        return True
+    x, y = point
+    return y.square() - x.square() * x == B2
+
+
+def g1_neg(point: G1Point) -> G1Point:
+    if point is None:
+        return None
+    return (point[0], -point[1] % _Q)
+
+
+def _g1_jac_double(pt):
+    x, y, z = pt
+    if y == 0 or z == 0:
+        return (0, 1, 0)
+    ysq = (y * y) % _Q
+    s = (4 * x * ysq) % _Q
+    m = (3 * x * x) % _Q
+    nx = (m * m - 2 * s) % _Q
+    ny = (m * (s - nx) - 8 * ysq * ysq) % _Q
+    nz = (2 * y * z) % _Q
+    return (nx, ny, nz)
+
+
+def _g1_jac_add(p1, p2):
+    if p1[2] == 0:
+        return p2
+    if p2[2] == 0:
+        return p1
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    z1sq = (z1 * z1) % _Q
+    z2sq = (z2 * z2) % _Q
+    u1 = (x1 * z2sq) % _Q
+    u2 = (x2 * z1sq) % _Q
+    s1 = (y1 * z2sq * z2) % _Q
+    s2 = (y2 * z1sq * z1) % _Q
+    if u1 == u2:
+        if s1 != s2:
+            return (0, 1, 0)
+        return _g1_jac_double(p1)
+    h = (u2 - u1) % _Q
+    r = (s2 - s1) % _Q
+    h2 = (h * h) % _Q
+    h3 = (h * h2) % _Q
+    u1h2 = (u1 * h2) % _Q
+    nx = (r * r - h3 - 2 * u1h2) % _Q
+    ny = (r * (u1h2 - nx) - s1 * h3) % _Q
+    nz = (h * z1 * z2) % _Q
+    return (nx, ny, nz)
+
+
+def _g1_from_jac(pt) -> G1Point:
+    x, y, z = pt
+    if z == 0:
+        return None
+    zi = pow(z, -1, _Q)
+    zi2 = (zi * zi) % _Q
+    return ((x * zi2) % _Q, (y * zi2 * zi) % _Q)
+
+
+def g1_add(p1: G1Point, p2: G1Point) -> G1Point:
+    """Affine G1 addition (via one Jacobian round trip)."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    return _g1_from_jac(_g1_jac_add((p1[0], p1[1], 1), (p2[0], p2[1], 1)))
+
+
+def g1_mul(point: G1Point, scalar: int) -> G1Point:
+    """Scalar multiplication on G1 (Jacobian double-and-add)."""
+    scalar %= CURVE_ORDER
+    if point is None or scalar == 0:
+        return None
+    acc = (0, 1, 0)
+    addend = (point[0], point[1], 1)
+    while scalar:
+        if scalar & 1:
+            acc = _g1_jac_add(acc, addend)
+        addend = _g1_jac_double(addend)
+        scalar >>= 1
+    return _g1_from_jac(acc)
+
+
+def g1_msm(points, scalars) -> G1Point:
+    """Multi-scalar multiplication Σ s_i·P_i (simple Jacobian accumulation)."""
+    acc = (0, 1, 0)
+    for point, scalar in zip(points, scalars):
+        scalar %= CURVE_ORDER
+        if point is None or scalar == 0:
+            continue
+        addend = (point[0], point[1], 1)
+        partial = (0, 1, 0)
+        while scalar:
+            if scalar & 1:
+                partial = _g1_jac_add(partial, addend)
+            addend = _g1_jac_double(addend)
+            scalar >>= 1
+        acc = _g1_jac_add(acc, partial)
+    return _g1_from_jac(acc)
+
+
+def g2_neg(point: G2Point) -> G2Point:
+    if point is None:
+        return None
+    return (point[0], -point[1])
+
+
+def g2_double(point: G2Point) -> G2Point:
+    if point is None:
+        return None
+    x, y = point
+    if y.is_zero():
+        return None
+    slope = (x.square() * 3) / (y * 2)
+    nx = slope.square() - x * 2
+    ny = slope * (x - nx) - y
+    return (nx, ny)
+
+
+def g2_add(p1: G2Point, p2: G2Point) -> G2Point:
+    """Affine G2 addition over FQ2."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2:
+        if y1 == y2:
+            return g2_double(p1)
+        return None
+    slope = (y2 - y1) / (x2 - x1)
+    nx = slope.square() - x1 - x2
+    ny = slope * (x1 - nx) - y1
+    return (nx, ny)
+
+
+def g2_mul(point: G2Point, scalar: int) -> G2Point:
+    """Scalar multiplication on G2 (affine double-and-add)."""
+    scalar %= CURVE_ORDER
+    result: G2Point = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = g2_add(result, addend)
+        addend = g2_double(addend)
+        scalar >>= 1
+    return result
+
+
+def g1_to_bytes(point: G1Point) -> bytes:
+    """Serialize a G1 point (64 bytes; infinity encodes as zeros)."""
+    if point is None:
+        return b"\x00" * 64
+    return point[0].to_bytes(32, "big") + point[1].to_bytes(32, "big")
+
+
+def g1_from_bytes(data: bytes) -> G1Point:
+    if len(data) != 64:
+        raise ValueError("G1 encoding must be 64 bytes")
+    x = int.from_bytes(data[:32], "big")
+    y = int.from_bytes(data[32:], "big")
+    if x == 0 and y == 0:
+        return None
+    point = (x, y)
+    if not is_on_g1(point):
+        raise ValueError("bytes do not encode a G1 point")
+    return point
+
+
+def g2_to_bytes(point: G2Point) -> bytes:
+    """Serialize a G2 point (128 bytes; infinity encodes as zeros)."""
+    if point is None:
+        return b"\x00" * 128
+    return point[0].to_bytes() + point[1].to_bytes()
+
+
+def g2_from_bytes(data: bytes) -> G2Point:
+    if len(data) != 128:
+        raise ValueError("G2 encoding must be 128 bytes")
+    x = FQ2.from_bytes(data[:64])
+    y = FQ2.from_bytes(data[64:])
+    if x.is_zero() and y.is_zero():
+        return None
+    point = (x, y)
+    if not is_on_g2(point):
+        raise ValueError("bytes do not encode a G2 point")
+    return point

@@ -1,0 +1,40 @@
+"""BN128 base-field constants and scalar helpers.
+
+Base-field elements are plain Python ints reduced modulo
+``FIELD_MODULUS``; keeping them unboxed is what makes the pure-Python
+pairing usable.
+"""
+
+from __future__ import annotations
+
+#: The BN128 base-field modulus q (coordinates of curve points).
+FIELD_MODULUS = (
+    21888242871839275222246405745257275088696311157297823662689037894645226208583
+)
+
+#: The BN128 group order r (the scalar field; also the R1CS field).
+CURVE_ORDER = (
+    21888242871839275222246405745257275088548364400416034343698204186575808495617
+)
+
+
+def fq_add(a: int, b: int) -> int:
+    return (a + b) % FIELD_MODULUS
+
+
+def fq_sub(a: int, b: int) -> int:
+    return (a - b) % FIELD_MODULUS
+
+
+def fq_mul(a: int, b: int) -> int:
+    return (a * b) % FIELD_MODULUS
+
+
+def fq_inv(a: int) -> int:
+    if a % FIELD_MODULUS == 0:
+        raise ZeroDivisionError("inverse of zero in FQ")
+    return pow(a, -1, FIELD_MODULUS)
+
+
+def fq_neg(a: int) -> int:
+    return -a % FIELD_MODULUS

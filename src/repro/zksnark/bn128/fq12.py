@@ -1,0 +1,159 @@
+"""FQ12 = FQ[w] / (w^12 − 18·w^6 + 82): the pairing target field.
+
+Elements are fixed 12-tuples of base-field ints.  Multiplication is
+schoolbook followed by reduction against the sparse modulus polynomial;
+inversion runs the extended Euclid algorithm in FQ[w].
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.zksnark.bn128.fq import FIELD_MODULUS
+
+_Q = FIELD_MODULUS
+_DEGREE = 12
+#: Modulus polynomial coefficients of w^12 - 18 w^6 + 82.
+MODULUS_COEFFS = (82, 0, 0, 0, 0, 0, -18, 0, 0, 0, 0, 0)
+
+
+class FQ12:
+    """An element of FQ12 as 12 base-field coefficients (low first)."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Sequence[int]) -> None:
+        if len(coeffs) != _DEGREE:
+            raise ValueError("FQ12 needs exactly 12 coefficients")
+        self.coeffs = tuple(c % _Q for c in coeffs)
+
+    @classmethod
+    def zero(cls) -> "FQ12":
+        return cls((0,) * _DEGREE)
+
+    @classmethod
+    def one(cls) -> "FQ12":
+        return cls((1,) + (0,) * (_DEGREE - 1))
+
+    @classmethod
+    def from_fq(cls, value: int) -> "FQ12":
+        return cls((value,) + (0,) * (_DEGREE - 1))
+
+    def __add__(self, other: "FQ12") -> "FQ12":
+        return FQ12([a + b for a, b in zip(self.coeffs, other.coeffs)])
+
+    def __sub__(self, other: "FQ12") -> "FQ12":
+        return FQ12([a - b for a, b in zip(self.coeffs, other.coeffs)])
+
+    def __neg__(self) -> "FQ12":
+        return FQ12([-a for a in self.coeffs])
+
+    def __mul__(self, other) -> "FQ12":
+        if isinstance(other, int):
+            return FQ12([a * other for a in self.coeffs])
+        a = self.coeffs
+        b = other.coeffs
+        # Schoolbook product, degree 22, reduced lazily at the end.
+        prod: List[int] = [0] * (2 * _DEGREE - 1)
+        for i in range(_DEGREE):
+            ai = a[i]
+            if ai == 0:
+                continue
+            for j in range(_DEGREE):
+                prod[i + j] += ai * b[j]
+        # Reduce against w^12 = 18 w^6 - 82, from the top down.
+        for i in range(2 * _DEGREE - 2, _DEGREE - 1, -1):
+            top = prod[i]
+            if top == 0:
+                continue
+            prod[i] = 0
+            prod[i - 6] += 18 * top
+            prod[i - 12] -= 82 * top
+        return FQ12(prod[:_DEGREE])
+
+    __rmul__ = __mul__
+
+    def square(self) -> "FQ12":
+        return self * self
+
+    def __pow__(self, exponent: int) -> "FQ12":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = FQ12.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def inverse(self) -> "FQ12":
+        """Extended Euclid in FQ[w] against the modulus polynomial."""
+        if all(c == 0 for c in self.coeffs):
+            raise ZeroDivisionError("inverse of zero in FQ12")
+        return _poly_inverse(self.coeffs)
+
+    def conjugate(self) -> "FQ12":
+        """Negate odd coefficients (the w → −w automorphism = q^6 Frobenius)."""
+        return FQ12(
+            [c if i % 2 == 0 else -c for i, c in enumerate(self.coeffs)]
+        )
+
+    def is_one(self) -> bool:
+        return self.coeffs[0] == 1 and all(c == 0 for c in self.coeffs[1:])
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FQ12):
+            return NotImplemented
+        return self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FQ12({list(self.coeffs)})"
+
+    def to_bytes(self) -> bytes:
+        return b"".join(c.to_bytes(32, "big") for c in self.coeffs)
+
+
+def _poly_degree(coeffs: Sequence[int]) -> int:
+    for i in range(len(coeffs) - 1, -1, -1):
+        if coeffs[i] % _Q:
+            return i
+    return 0
+
+
+def _poly_rounded_div(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    dega = _poly_degree(a)
+    degb = _poly_degree(b)
+    temp = [c % _Q for c in a]
+    out = [0] * len(a)
+    inv_lead = pow(b[degb], -1, _Q)
+    for i in range(dega - degb, -1, -1):
+        factor = (temp[degb + i] * inv_lead) % _Q
+        out[i] = factor
+        for j in range(degb + 1):
+            temp[i + j] = (temp[i + j] - factor * b[j]) % _Q
+    return out[: _poly_degree(out) + 1]
+
+
+def _poly_inverse(coeffs: Sequence[int]) -> "FQ12":
+    """Inverse in FQ[w]/(modulus) via the extended Euclid algorithm."""
+    lm: List[int] = [1] + [0] * _DEGREE
+    hm: List[int] = [0] * (_DEGREE + 1)
+    low: List[int] = [c % _Q for c in coeffs] + [0]
+    high: List[int] = [c % _Q for c in MODULUS_COEFFS] + [1]
+    while _poly_degree(low):
+        r = _poly_rounded_div(high, low)
+        r += [0] * (_DEGREE + 1 - len(r))
+        nm = list(hm)
+        new = list(high)
+        for i in range(_DEGREE + 1):
+            for j in range(_DEGREE + 1 - i):
+                nm[i + j] = (nm[i + j] - lm[i] * r[j]) % _Q
+                new[i + j] = (new[i + j] - low[i] * r[j]) % _Q
+        high, low, hm, lm = low, new, lm, nm
+    inv_const = pow(low[0], -1, _Q)
+    return FQ12([(c * inv_const) % _Q for c in lm[:_DEGREE]])

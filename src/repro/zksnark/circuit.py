@@ -1,0 +1,239 @@
+"""Gadget-friendly constraint-system builder.
+
+:class:`ConstraintSystem` is used in "synthesize" style: circuit code
+allocates wires with concrete values and records constraints as it
+computes.  The same synthesis function therefore produces both the
+constraint structure (for setup) and the witness (for proving) — the
+structure must not depend on wire *values*, which every gadget in
+:mod:`repro.zksnark.gadgets` respects.
+
+Public (statement) wires must be allocated before any private wire so
+that the Groth16 wire layout ``(1, publics..., aux...)`` holds without
+re-indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import CircuitError
+from repro.zksnark.field import FR, PrimeField
+from repro.zksnark.r1cs import R1CS, R1CSConstraint, SparseLC
+
+
+class Variable:
+    """A wire in the constraint system, carrying its assigned value."""
+
+    __slots__ = ("index", "value", "_cs")
+
+    def __init__(self, index: int, value: int, cs: "ConstraintSystem") -> None:
+        self.index = index
+        self.value = value
+        self._cs = cs
+
+    def lc(self) -> "LinearCombination":
+        return LinearCombination(self._cs, {self.index: 1})
+
+    # Operator sugar delegates to LinearCombination.
+    def __add__(self, other):
+        return self.lc() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.lc() - other
+
+    def __rsub__(self, other):
+        return (-1 * self.lc()) + other
+
+    def __mul__(self, scalar: int):
+        return self.lc() * scalar
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self.lc() * -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Var({self.index}={self.value})"
+
+
+LCLike = Union["LinearCombination", Variable, int]
+
+
+class LinearCombination:
+    """A sparse linear combination of wires, with its evaluated value."""
+
+    __slots__ = ("_cs", "terms")
+
+    def __init__(self, cs: "ConstraintSystem", terms: Dict[int, int]) -> None:
+        self._cs = cs
+        self.terms = {i: c % cs.field.modulus for i, c in terms.items() if c % cs.field.modulus}
+
+    @property
+    def value(self) -> int:
+        assignment = self._cs.assignment
+        p = self._cs.field.modulus
+        return sum(c * assignment[i] for i, c in self.terms.items()) % p
+
+    def _coerce(self, other: LCLike) -> "LinearCombination":
+        return self._cs.coerce(other)
+
+    def __add__(self, other: LCLike) -> "LinearCombination":
+        rhs = self._coerce(other)
+        merged = dict(self.terms)
+        for i, c in rhs.terms.items():
+            merged[i] = merged.get(i, 0) + c
+        return LinearCombination(self._cs, merged)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: LCLike) -> "LinearCombination":
+        return self + (self._coerce(other) * -1)
+
+    def __rsub__(self, other: LCLike) -> "LinearCombination":
+        return self._coerce(other) - self
+
+    def __mul__(self, scalar: int) -> "LinearCombination":
+        if not isinstance(scalar, int):
+            raise TypeError("linear combinations scale by int constants only")
+        return LinearCombination(self._cs, {i: c * scalar for i, c in self.terms.items()})
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearCombination":
+        return self * -1
+
+    def sparse(self) -> SparseLC:
+        return dict(self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LC({self.terms})"
+
+
+class ConstraintSystem:
+    """A growable R1CS with live witness values.
+
+    Wire 0 is the constant 1.  ``alloc_public`` wires form the SNARK
+    statement (in allocation order); ``alloc`` wires are private.
+    """
+
+    def __init__(self, field: PrimeField = FR) -> None:
+        self.field = field
+        self.assignment: List[int] = [1]
+        self.num_public = 0
+        self.constraints: List[R1CSConstraint] = []
+        self._sealed_public = False
+
+    # ----- wire allocation -------------------------------------------------
+
+    @property
+    def one(self) -> LinearCombination:
+        return LinearCombination(self, {0: 1})
+
+    def alloc_public(self, value: int) -> Variable:
+        """Allocate a statement wire; must precede all private wires."""
+        if self._sealed_public:
+            raise CircuitError("public wires must be allocated before private wires")
+        var = Variable(len(self.assignment), value % self.field.modulus, self)
+        self.assignment.append(var.value)
+        self.num_public += 1
+        return var
+
+    def alloc(self, value: int) -> Variable:
+        """Allocate a private (auxiliary) wire with the given value."""
+        self._sealed_public = True
+        var = Variable(len(self.assignment), value % self.field.modulus, self)
+        self.assignment.append(var.value)
+        return var
+
+    def constant(self, value: int) -> LinearCombination:
+        return LinearCombination(self, {0: value})
+
+    def coerce(self, value: LCLike) -> LinearCombination:
+        if isinstance(value, LinearCombination):
+            if value._cs is not self:
+                raise CircuitError("linear combination belongs to another system")
+            return value
+        if isinstance(value, Variable):
+            if value._cs is not self:
+                raise CircuitError("variable belongs to another system")
+            return value.lc()
+        if isinstance(value, int):
+            return self.constant(value)
+        raise TypeError(f"cannot use {type(value).__name__} in a constraint")
+
+    # ----- constraints -----------------------------------------------------
+
+    def enforce(self, a: LCLike, b: LCLike, c: LCLike, annotation: str = "") -> None:
+        """Record the constraint a * b = c."""
+        lc_a = self.coerce(a)
+        lc_b = self.coerce(b)
+        lc_c = self.coerce(c)
+        self.constraints.append(
+            R1CSConstraint(lc_a.sparse(), lc_b.sparse(), lc_c.sparse(), annotation)
+        )
+
+    def enforce_equal(self, a: LCLike, b: LCLike, annotation: str = "") -> None:
+        """Record the linear constraint a = b (as a * 1 = b)."""
+        self.enforce(a, self.one, b, annotation or "equality")
+
+    def enforce_zero(self, a: LCLike, annotation: str = "") -> None:
+        self.enforce(a, self.one, self.constant(0), annotation or "zero")
+
+    def enforce_boolean(self, a: LCLike, annotation: str = "") -> None:
+        """Record a * (a - 1) = 0, i.e. a is a bit."""
+        lc = self.coerce(a)
+        self.enforce(lc, lc - 1, self.constant(0), annotation or "boolean")
+
+    # ----- derived allocation helpers (compute + constrain) ----------------
+
+    def mul(self, a: LCLike, b: LCLike, annotation: str = "") -> Variable:
+        """Allocate c := a*b with the constraint a*b=c."""
+        lc_a = self.coerce(a)
+        lc_b = self.coerce(b)
+        product = self.alloc(lc_a.value * lc_b.value % self.field.modulus)
+        self.enforce(lc_a, lc_b, product, annotation or "mul")
+        return product
+
+    def square(self, a: LCLike, annotation: str = "") -> Variable:
+        lc_a = self.coerce(a)
+        return self.mul(lc_a, lc_a, annotation or "square")
+
+    def inverse(self, a: LCLike, annotation: str = "") -> Variable:
+        """Allocate inv := a^-1 with a * inv = 1; requires a != 0."""
+        lc_a = self.coerce(a)
+        inv = self.alloc(self.field.inv(lc_a.value))
+        self.enforce(lc_a, inv, self.one, annotation or "inverse")
+        return inv
+
+    def div(self, a: LCLike, b: LCLike, annotation: str = "") -> Variable:
+        """Allocate q := a/b with q * b = a; requires b != 0."""
+        lc_a = self.coerce(a)
+        lc_b = self.coerce(b)
+        q = self.alloc(self.field.div(lc_a.value, lc_b.value))
+        self.enforce(q, lc_b, lc_a, annotation or "div")
+        return q
+
+    # ----- export -----------------------------------------------------------
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def public_values(self) -> List[int]:
+        """Statement wire values, in allocation order (without the 1)."""
+        return list(self.assignment[1 : 1 + self.num_public])
+
+    def to_r1cs(self) -> R1CS:
+        system = R1CS(
+            field=self.field,
+            num_public=self.num_public,
+            num_wires=len(self.assignment),
+            constraints=list(self.constraints),
+        )
+        return system
+
+    def check_satisfied(self) -> None:
+        """Assert the current witness satisfies every recorded constraint."""
+        self.to_r1cs().check_satisfied(self.assignment)

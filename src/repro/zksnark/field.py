@@ -1,0 +1,173 @@
+"""Prime-field arithmetic.
+
+:class:`PrimeField` is a lightweight field descriptor; circuit code works
+with plain Python ints reduced modulo the field order (for speed inside
+the prover's hot loops) while :class:`FieldElement` offers an ergonomic
+wrapper for user-facing code and tests.
+
+``FR`` is the BN128 *scalar* field — the field R1CS constraints live in,
+and also the base field of the embedded Baby-Jubjub curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+#: BN128 group order (a.k.a. the scalar field / circuit field modulus).
+BN128_SCALAR_FIELD = (
+    21888242871839275222246405745257275088548364400416034343698204186575808495617
+)
+
+#: BN128 base-field modulus (coordinates of G1 points live here).
+BN128_BASE_FIELD = (
+    21888242871839275222246405745257275088696311157297823662689037894645226208583
+)
+
+
+class PrimeField:
+    """A prime field GF(p) with helpers for int-based arithmetic."""
+
+    def __init__(self, modulus: int, name: str = "GF(p)") -> None:
+        if modulus < 2:
+            raise ValueError("field modulus must be at least 2")
+        self.modulus = modulus
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PrimeField({self.name}, bits={self.modulus.bit_length()})"
+
+    def reduce(self, value: int) -> int:
+        return value % self.modulus
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.modulus
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.modulus
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.modulus
+
+    def neg(self, a: int) -> int:
+        return -a % self.modulus
+
+    def inv(self, a: int) -> int:
+        if a % self.modulus == 0:
+            raise ZeroDivisionError("inverse of zero in prime field")
+        return pow(a, -1, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        return (a * self.inv(b)) % self.modulus
+
+    def exp(self, a: int, e: int) -> int:
+        return pow(a, e, self.modulus)
+
+    def element(self, value: int) -> "FieldElement":
+        return FieldElement(self, value % self.modulus)
+
+    def zero(self) -> "FieldElement":
+        return self.element(0)
+
+    def one(self) -> "FieldElement":
+        return self.element(1)
+
+    def sum(self, values: Iterable[int]) -> int:
+        total = 0
+        for v in values:
+            total += v
+        return total % self.modulus
+
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+    def to_bytes(self, value: int) -> bytes:
+        return (value % self.modulus).to_bytes(self.byte_length(), "big")
+
+    def from_bytes(self, data: bytes) -> int:
+        return int.from_bytes(data, "big") % self.modulus
+
+
+@dataclass(frozen=True)
+class FieldElement:
+    """An immutable element of a :class:`PrimeField` with operator sugar."""
+
+    field: PrimeField
+    value: int
+
+    def _coerce(self, other) -> int:
+        if isinstance(other, FieldElement):
+            if other.field.modulus != self.field.modulus:
+                raise ValueError("field mismatch")
+            return other.value
+        if isinstance(other, int):
+            return other % self.field.modulus
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, (self.value + v) % self.field.modulus)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, (self.value - v) % self.field.modulus)
+
+    def __rsub__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, (v - self.value) % self.field.modulus)
+
+    def __mul__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, (self.value * v) % self.field.modulus)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.div(self.value, v))
+
+    def __neg__(self):
+        return FieldElement(self.field, -self.value % self.field.modulus)
+
+    def __pow__(self, exponent: int):
+        return FieldElement(self.field, pow(self.value, exponent, self.field.modulus))
+
+    def inverse(self) -> "FieldElement":
+        return FieldElement(self.field, self.field.inv(self.value))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FieldElement):
+            return (
+                self.field.modulus == other.field.modulus and self.value == other.value
+            )
+        if isinstance(other, int):
+            return self.value == other % self.field.modulus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field.modulus, self.value))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Fp({self.value})"
+
+
+#: The BN128 scalar field: every R1CS constraint in this library is over FR.
+FR = PrimeField(BN128_SCALAR_FIELD, name="BN128-Fr")
+
+#: The BN128 base field (used by the pairing tower in :mod:`repro.zksnark.bn128`).
+FQ_FIELD = PrimeField(BN128_BASE_FIELD, name="BN128-Fq")

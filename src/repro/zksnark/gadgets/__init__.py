@@ -1,0 +1,44 @@
+"""Reusable R1CS gadgets.
+
+Each gadget comes in two flavours that are kept in lock-step:
+
+- a *native* function computing the same map on plain field ints (used
+  off-circuit by clients, the RA, and the contract's Link algorithm);
+- a *circuit* function that allocates wires inside a
+  :class:`~repro.zksnark.circuit.ConstraintSystem` and enforces the map.
+
+The test suite checks the two flavours agree on random inputs.
+"""
+
+from repro.zksnark.gadgets.boolean import (
+    assert_bit_length,
+    bits_to_number,
+    is_equal,
+    is_zero,
+    less_than,
+    number_to_bits,
+)
+from repro.zksnark.gadgets.arithmetic import conditional_select, inner_product
+from repro.zksnark.gadgets.mimc import (
+    MiMCParameters,
+    mimc_encrypt,
+    mimc_encrypt_native,
+    mimc_hash,
+    mimc_hash_native,
+)
+
+__all__ = [
+    "assert_bit_length",
+    "bits_to_number",
+    "is_equal",
+    "is_zero",
+    "less_than",
+    "number_to_bits",
+    "conditional_select",
+    "inner_product",
+    "MiMCParameters",
+    "mimc_encrypt",
+    "mimc_encrypt_native",
+    "mimc_hash",
+    "mimc_hash_native",
+]

@@ -1,0 +1,63 @@
+"""Arithmetic helper gadgets: selection, inner products, argmax support."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.zksnark.circuit import ConstraintSystem, LCLike, LinearCombination, Variable
+
+
+def conditional_select(
+    cs: ConstraintSystem, condition: LCLike, if_true: LCLike, if_false: LCLike
+) -> Variable:
+    """out = condition ? if_true : if_false, for a boolean condition.
+
+    One constraint: out = condition * (if_true - if_false) + if_false.
+    """
+    cond = cs.coerce(condition)
+    t = cs.coerce(if_true)
+    f = cs.coerce(if_false)
+    delta = t - f
+    out = cs.alloc((cond.value * delta.value + f.value) % cs.field.modulus)
+    cs.enforce(cond, delta, out - f, annotation="select")
+    return out
+
+
+def inner_product(
+    cs: ConstraintSystem, left: Sequence[LCLike], right: Sequence[LCLike]
+) -> LinearCombination:
+    """Σ left_i * right_i as a chain of product wires."""
+    if len(left) != len(right):
+        raise ValueError("inner product operands must have equal length")
+    acc = cs.constant(0)
+    for a, b in zip(left, right):
+        acc = acc + cs.mul(a, b, annotation="inner product term")
+    return acc
+
+
+def linear_sum(cs: ConstraintSystem, terms: Sequence[LCLike]) -> LinearCombination:
+    """Σ terms, purely linear (no constraints)."""
+    acc = cs.constant(0)
+    for term in terms:
+        acc = acc + cs.coerce(term)
+    return acc
+
+
+def enforce_one_hot(cs: ConstraintSystem, flags: Sequence[LCLike]) -> None:
+    """Enforce that boolean flags sum to exactly 1."""
+    acc = cs.constant(0)
+    for flag in flags:
+        acc = acc + cs.coerce(flag)
+    cs.enforce_equal(acc, cs.one, annotation="one-hot")
+
+
+def scaled_sum(
+    cs: ConstraintSystem, values: Sequence[LCLike], weights: Sequence[int]
+) -> LinearCombination:
+    """Σ weights_i * values_i with constant weights (purely linear)."""
+    if len(values) != len(weights):
+        raise ValueError("values/weights length mismatch")
+    acc = cs.constant(0)
+    for value, weight in zip(values, weights):
+        acc = acc + cs.coerce(value) * weight
+    return acc

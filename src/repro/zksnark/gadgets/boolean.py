@@ -1,0 +1,150 @@
+"""Boolean / bit-twiddling gadgets: decomposition, equality, comparisons."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CircuitError
+from repro.zksnark.circuit import ConstraintSystem, LCLike, LinearCombination, Variable
+
+
+def number_to_bits(cs: ConstraintSystem, value: LCLike, bits: int) -> List[Variable]:
+    """Decompose ``value`` into ``bits`` little-endian boolean wires.
+
+    Enforces each wire is a bit and that the weighted sum reconstructs
+    the value, i.e. the decomposition also acts as a range check
+    ``value < 2**bits``.
+    """
+    lc = cs.coerce(value)
+    native = lc.value
+    if native.bit_length() > bits:
+        raise CircuitError(
+            f"value needs {native.bit_length()} bits, gadget allows {bits}"
+        )
+    bit_vars: List[Variable] = []
+    for i in range(bits):
+        bit = cs.alloc((native >> i) & 1)
+        cs.enforce_boolean(bit, annotation=f"bit[{i}]")
+        bit_vars.append(bit)
+    acc = cs.constant(0)
+    for i, bit in enumerate(bit_vars):
+        acc = acc + bit * (1 << i)
+    cs.enforce_equal(acc, lc, annotation="bit recomposition")
+    return bit_vars
+
+
+def bits_to_number(cs: ConstraintSystem, bits: List[LCLike]) -> LinearCombination:
+    """Pack little-endian bits into a number (callers must know they are bits)."""
+    acc = cs.constant(0)
+    for i, bit in enumerate(bits):
+        acc = acc + cs.coerce(bit) * (1 << i)
+    return acc
+
+
+def assert_bit_length(cs: ConstraintSystem, value: LCLike, bits: int) -> None:
+    """Range-check ``value < 2**bits`` (throwaway decomposition)."""
+    number_to_bits(cs, value, bits)
+
+
+def is_zero(cs: ConstraintSystem, value: LCLike) -> Variable:
+    """Allocate a bit that is 1 iff ``value == 0``.
+
+    Classic construction: witness ``inv`` = value^-1 (or anything when
+    value is 0) and enforce ``out = 1 - value*inv`` and ``value*out = 0``.
+    """
+    lc = cs.coerce(value)
+    native = lc.value
+    inv = cs.alloc(0 if native == 0 else cs.field.inv(native))
+    out = cs.alloc(1 if native == 0 else 0)
+    cs.enforce(lc, inv, cs.one - out, annotation="is_zero inverse")
+    cs.enforce(lc, out, cs.constant(0), annotation="is_zero annihilation")
+    return out
+
+
+def is_equal(cs: ConstraintSystem, a: LCLike, b: LCLike) -> Variable:
+    """Allocate a bit that is 1 iff a == b."""
+    return is_zero(cs, cs.coerce(a) - cs.coerce(b))
+
+
+def less_than(cs: ConstraintSystem, a: LCLike, b: LCLike, bits: int) -> Variable:
+    """Allocate a bit = (a < b) for values known to fit in ``bits`` bits.
+
+    Uses the shifted-difference trick: ``diff = 2**bits + a - b`` fits in
+    ``bits+1`` bits and its top bit is 0 exactly when a < b.
+    """
+    lc_a = cs.coerce(a)
+    lc_b = cs.coerce(b)
+    assert_bit_length(cs, lc_a, bits)
+    assert_bit_length(cs, lc_b, bits)
+    shifted = lc_a + (1 << bits) - lc_b
+    diff_bits = number_to_bits(cs, shifted, bits + 1)
+    top = diff_bits[-1]
+    result = cs.alloc(1 - top.value)
+    cs.enforce_equal(result, cs.one - top, annotation="less_than flip")
+    return result
+
+
+def assert_less_than_constant(
+    cs: ConstraintSystem, bits: List[Variable], constant: int
+) -> None:
+    """Enforce that little-endian ``bits`` encode an integer < ``constant``.
+
+    Used for *strict* field-element decompositions: a 254-bit
+    decomposition of x ∈ Fr is ambiguous (x and x + r may both fit), so
+    the bits are additionally constrained below the field modulus.
+    Scans from the most significant bit maintaining an "equal so far"
+    product; ~1 constraint per bit.
+    """
+    if constant <= 0:
+        raise CircuitError("constant must be positive")
+    if constant.bit_length() > len(bits):
+        return  # everything representable is already smaller
+    eq_so_far = cs.one
+    lt_acc = cs.constant(0)
+    for i in range(len(bits) - 1, -1, -1):
+        bit = bits[i]
+        c_bit = (constant >> i) & 1
+        if c_bit == 1:
+            # value is smaller if this bit is 0 while all higher bits matched
+            lt_term = cs.mul(eq_so_far, cs.one - bit, annotation="ltc term")
+            lt_acc = lt_acc + lt_term
+            eq_so_far = cs.mul(eq_so_far, bit, annotation="ltc eq").lc()
+        else:
+            # constant bit is 0: staying equal requires our bit to be 0 too
+            eq_so_far = cs.mul(eq_so_far, cs.one - bit, annotation="ltc eq0").lc()
+    cs.enforce_equal(lt_acc, cs.one, annotation="strictly less than constant")
+
+
+def number_to_bits_strict(
+    cs: ConstraintSystem, value: LCLike, bits: int | None = None
+) -> List[Variable]:
+    """Canonical (unique) bit decomposition of a field element.
+
+    Decomposes into ``bits`` wires (default: enough for the modulus) and
+    additionally enforces the integer they encode is below the field
+    modulus, removing the +r aliasing of plain :func:`number_to_bits`.
+    """
+    width = bits if bits is not None else cs.field.modulus.bit_length()
+    bit_vars = number_to_bits(cs, value, width)
+    assert_less_than_constant(cs, bit_vars, cs.field.modulus)
+    return bit_vars
+
+
+def logical_and(cs: ConstraintSystem, a: LCLike, b: LCLike) -> Variable:
+    """AND of two bits (callers guarantee booleanness)."""
+    return cs.mul(a, b, annotation="and")
+
+
+def logical_or(cs: ConstraintSystem, a: LCLike, b: LCLike) -> Variable:
+    """OR of two bits: a + b - a*b."""
+    lc_a = cs.coerce(a)
+    lc_b = cs.coerce(b)
+    prod = cs.mul(lc_a, lc_b, annotation="or product")
+    out = cs.alloc((lc_a.value + lc_b.value - prod.value) % cs.field.modulus)
+    cs.enforce_equal(out, lc_a + lc_b - prod, annotation="or")
+    return out
+
+
+def logical_not(cs: ConstraintSystem, a: LCLike) -> LinearCombination:
+    """NOT of a bit, as a linear combination (no new constraint)."""
+    return cs.one - cs.coerce(a)

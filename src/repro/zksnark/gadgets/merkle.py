@@ -1,0 +1,147 @@
+"""MiMC Merkle trees: the RA's registration accumulator.
+
+In the default ``merkle`` certificate mode the registration authority
+maintains a fixed-depth append-only Merkle tree of certified public
+keys and publishes the root on-chain; a certificate is the membership
+path, and the Auth circuit proves membership without revealing which
+leaf (Semaphore-style — see DESIGN.md §2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from repro.errors import CircuitError, RegistrationError
+from repro.zksnark.circuit import ConstraintSystem, LinearCombination
+from repro.zksnark.gadgets.arithmetic import conditional_select
+from repro.zksnark.gadgets.mimc import MiMCParameters, mimc_hash, mimc_hash_native
+
+
+@lru_cache(maxsize=None)
+def _empty_subtree_roots(depth: int, params: MiMCParameters) -> Tuple[int, ...]:
+    """Roots of all-empty subtrees per level (level 0 = leaves)."""
+    roots = [0]
+    for _ in range(depth):
+        roots.append(mimc_hash_native([roots[-1], roots[-1]], params))
+    return tuple(roots)
+
+
+@dataclass(frozen=True)
+class MerklePath:
+    """A membership proof: leaf index plus one sibling per level."""
+
+    leaf_index: int
+    siblings: Tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.siblings)
+
+
+class MerkleTree:
+    """A fixed-depth append-only MiMC Merkle tree.
+
+    Leaves default to 0; appending re-hashes one path, so inserts are
+    O(depth).  The tree keeps all filled nodes in dicts keyed by
+    (level, index).
+    """
+
+    def __init__(self, depth: int, params: MiMCParameters) -> None:
+        if depth < 1:
+            raise ValueError("tree depth must be >= 1")
+        self.depth = depth
+        self.params = params
+        self._nodes: dict[Tuple[int, int], int] = {}
+        self._next_index = 0
+        self._empty = _empty_subtree_roots(depth, params)
+
+    @property
+    def capacity(self) -> int:
+        return 1 << self.depth
+
+    @property
+    def size(self) -> int:
+        return self._next_index
+
+    def _node(self, level: int, index: int) -> int:
+        return self._nodes.get((level, index), self._empty[level])
+
+    @property
+    def root(self) -> int:
+        return self._node(self.depth, 0)
+
+    def append(self, leaf: int) -> int:
+        """Insert a leaf; returns its index."""
+        if self._next_index >= self.capacity:
+            raise RegistrationError("registration tree is full")
+        index = self._next_index
+        self._next_index += 1
+        self._nodes[(0, index)] = leaf
+        node_index = index
+        for level in range(self.depth):
+            node_index //= 2
+            left = self._node(level, 2 * node_index)
+            right = self._node(level, 2 * node_index + 1)
+            self._nodes[(level + 1, node_index)] = mimc_hash_native(
+                [left, right], self.params
+            )
+        return index
+
+    def leaf(self, index: int) -> int:
+        return self._node(0, index)
+
+    def path(self, leaf_index: int) -> MerklePath:
+        """The membership path for a (filled or empty) leaf slot."""
+        if not 0 <= leaf_index < self.capacity:
+            raise IndexError("leaf index out of range")
+        siblings: List[int] = []
+        node_index = leaf_index
+        for level in range(self.depth):
+            siblings.append(self._node(level, node_index ^ 1))
+            node_index //= 2
+        return MerklePath(leaf_index=leaf_index, siblings=tuple(siblings))
+
+    def verify_path(self, leaf: int, path: MerklePath, root: int | None = None) -> bool:
+        """Native path verification (used by tests and the RA)."""
+        return (
+            compute_root_native(leaf, path, self.params)
+            == (self.root if root is None else root)
+        )
+
+
+def compute_root_native(leaf: int, path: MerklePath, params: MiMCParameters) -> int:
+    """Fold a membership path into the implied root."""
+    state = leaf
+    index = path.leaf_index
+    for sibling in path.siblings:
+        if index & 1:
+            state = mimc_hash_native([sibling, state], params)
+        else:
+            state = mimc_hash_native([state, sibling], params)
+        index >>= 1
+    return state
+
+
+def merkle_root_gadget(
+    cs: ConstraintSystem,
+    leaf: LinearCombination,
+    path: MerklePath,
+    params: MiMCParameters,
+) -> LinearCombination:
+    """Compute the root implied by ``leaf`` and a witnessed ``path``.
+
+    Path bits and siblings enter as private wires; callers enforce the
+    returned root equals the public registration root.
+    """
+    state = cs.coerce(leaf)
+    index = path.leaf_index
+    for level, sibling_value in enumerate(path.siblings):
+        bit = cs.alloc((index >> level) & 1)
+        cs.enforce_boolean(bit, annotation=f"merkle path bit {level}")
+        sibling = cs.alloc(sibling_value).lc()
+        left = conditional_select(cs, bit, sibling, state)
+        right = conditional_select(cs, bit, state, sibling)
+        state = mimc_hash(cs, [left, right], params)
+    return state

@@ -1,0 +1,105 @@
+"""MiMC-7: the SNARK-friendly keyed permutation / hash.
+
+MiMC (Albrecht et al., Asiacrypt 2016) with exponent 7, which is a
+permutation of the BN128 scalar field (gcd(7, r−1) = 1).  This is the
+in-circuit hash the paper's statements need (tags ``t1 = H(p, sk)``,
+``t2 = H(p‖m, sk)``, certificate trees, and the circuit-friendly answer
+encryption described in DESIGN.md §2.3).
+
+Primitives:
+
+- ``mimc_encrypt(k, x)``: E_k(x) = r_R + k where r_0 = x and
+  r_{i+1} = (r_i + k + c_i)^7 — the classic MiMC block cipher.
+- ``mimc_hash(x_1..x_n)``: Miyaguchi–Preneel chaining of E:
+  h_0 = iv, h_{j+1} = E_{h_j}(x_j) + h_j + x_j.
+
+Round constants are nothing-up-my-sleeve values derived from SHA-256;
+``c_0 = 0`` as in the reference design.  Each round costs 4 constraints
+(x², x⁴, x⁶, x⁷).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import hash_to_int
+from repro.zksnark.circuit import ConstraintSystem, LCLike, LinearCombination
+from repro.zksnark.field import FR, PrimeField
+
+_DEFAULT_IV_DOMAIN = b"zebralancer-mimc-iv"
+
+
+@dataclass(frozen=True)
+class MiMCParameters:
+    """Round count + derived constants for a field."""
+
+    rounds: int
+    constants: Tuple[int, ...]
+    modulus: int
+
+    @classmethod
+    @lru_cache(maxsize=None)
+    def for_rounds(cls, rounds: int, field: PrimeField = FR) -> "MiMCParameters":
+        constants = [0]
+        for i in range(1, rounds):
+            constants.append(
+                hash_to_int(i.to_bytes(4, "big"), field.modulus, domain=b"mimc-round")
+            )
+        return cls(rounds=rounds, constants=tuple(constants), modulus=field.modulus)
+
+    @property
+    def iv(self) -> int:
+        return hash_to_int(_DEFAULT_IV_DOMAIN, self.modulus, domain=b"mimc-iv")
+
+
+def mimc_encrypt_native(key: int, message: int, params: MiMCParameters) -> int:
+    """E_k(x) on plain ints."""
+    p = params.modulus
+    state = message % p
+    key %= p
+    for constant in params.constants:
+        state = pow((state + key + constant) % p, 7, p)
+    return (state + key) % p
+
+
+def mimc_hash_native(inputs: Sequence[int], params: MiMCParameters) -> int:
+    """Miyaguchi–Preneel MiMC hash of a sequence of field elements."""
+    p = params.modulus
+    state = params.iv
+    for value in inputs:
+        value %= p
+        state = (mimc_encrypt_native(state, value, params) + state + value) % p
+    return state
+
+
+def _seventh_power(cs: ConstraintSystem, base: LinearCombination) -> LinearCombination:
+    x2 = cs.mul(base, base, annotation="mimc x^2")
+    x4 = cs.mul(x2, x2, annotation="mimc x^4")
+    x6 = cs.mul(x4, x2, annotation="mimc x^6")
+    x7 = cs.mul(x6, base, annotation="mimc x^7")
+    return x7.lc()
+
+
+def mimc_encrypt(
+    cs: ConstraintSystem, key: LCLike, message: LCLike, params: MiMCParameters
+) -> LinearCombination:
+    """In-circuit E_k(x); 4 constraints per round."""
+    key_lc = cs.coerce(key)
+    state = cs.coerce(message)
+    for constant in params.constants:
+        state = _seventh_power(cs, state + key_lc + constant)
+    return state + key_lc
+
+
+def mimc_hash(
+    cs: ConstraintSystem, inputs: Sequence[LCLike], params: MiMCParameters
+) -> LinearCombination:
+    """In-circuit Miyaguchi–Preneel MiMC hash."""
+    state: LinearCombination = cs.constant(params.iv)
+    for value in inputs:
+        value_lc = cs.coerce(value)
+        encrypted = mimc_encrypt(cs, state, value_lc, params)
+        state = encrypted + state + value_lc
+    return state

@@ -1,0 +1,134 @@
+"""Schnorr signatures over Baby-Jubjub with an in-circuit verifier.
+
+This backs the paper-faithful ``schnorr`` certificate mode: the RA signs
+a worker's public key, and the Auth circuit verifies the signature
+inside the SNARK (the ``CertVrfy(cert, pk, mpk) = 1`` clause of the
+language L_T in Section V-A).
+
+To keep the circuit free of non-native modular reductions, the scheme
+uses *reduction-free* scalars: with secrets and nonces below
+2^scalar_bits and challenges truncated to scalar_bits bits, the response
+``s = k + e·sk`` is computed over the integers, and the verification
+equation ``s·B = R + e·PK`` holds in the group directly.  The
+:class:`~repro.profiles.SecurityProfile` fixes ``scalar_bits`` (251 in
+production).
+"""
+
+from __future__ import annotations
+
+import secrets as _secrets
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.crypto.hashing import hash_to_int
+from repro.errors import SignatureError
+from repro.zksnark.circuit import ConstraintSystem, LinearCombination
+from repro.zksnark.field import BN128_SCALAR_FIELD
+from repro.zksnark.gadgets import babyjubjub as bjj
+from repro.zksnark.gadgets.boolean import bits_to_number, number_to_bits, number_to_bits_strict
+from repro.zksnark.gadgets.mimc import MiMCParameters, mimc_hash_native, mimc_hash
+
+_P = BN128_SCALAR_FIELD
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A signature (R, s) with s a plain integer (reduction-free)."""
+
+    r_point: bjj.Point
+    s: int
+
+
+@dataclass(frozen=True)
+class SchnorrParameters:
+    """Scheme parameters: scalar width and the MiMC challenge hash."""
+
+    scalar_bits: int
+    mimc: MiMCParameters
+
+    @property
+    def s_bits(self) -> int:
+        # s = k + e*sk with k, e, sk < 2^scalar_bits, so s < 2^(2*scalar_bits+1).
+        return 2 * self.scalar_bits + 1
+
+
+def generate_keypair(
+    params: SchnorrParameters, seed: Optional[bytes] = None
+) -> Tuple[int, bjj.Point]:
+    """Sample sk < 2^scalar_bits and derive pk = sk·B."""
+    if seed is not None:
+        sk = hash_to_int(seed, 1 << params.scalar_bits, domain=b"schnorr-sk")
+    else:
+        sk = _secrets.randbelow(1 << params.scalar_bits)
+    sk = sk or 1
+    return sk, bjj.point_mul(sk, bjj.BASE_POINT)
+
+
+def _challenge(
+    params: SchnorrParameters, r_point: bjj.Point, message: Sequence[int]
+) -> int:
+    digest = mimc_hash_native([r_point[0], r_point[1], *message], params.mimc)
+    return digest % (1 << params.scalar_bits)
+
+
+def sign(params: SchnorrParameters, secret_key: int, message: Sequence[int]) -> SchnorrSignature:
+    """Sign a tuple of field elements (deterministic nonce)."""
+    if not 0 < secret_key < (1 << params.scalar_bits):
+        raise SignatureError("secret key outside the reduction-free range")
+    nonce_material = b"".join(v.to_bytes(32, "big") for v in (secret_key, *message))
+    k = hash_to_int(nonce_material, 1 << params.scalar_bits, domain=b"schnorr-nonce") or 1
+    r_point = bjj.point_mul(k, bjj.BASE_POINT)
+    e = _challenge(params, r_point, message)
+    s = k + e * secret_key
+    return SchnorrSignature(r_point=r_point, s=s)
+
+
+def verify(
+    params: SchnorrParameters,
+    public_key: bjj.Point,
+    message: Sequence[int],
+    signature: SchnorrSignature,
+) -> bool:
+    """Native verification of s·B = R + e·PK."""
+    if not bjj.is_on_curve(signature.r_point) or not bjj.is_on_curve(public_key):
+        return False
+    if not 0 <= signature.s < (1 << params.s_bits):
+        return False
+    e = _challenge(params, signature.r_point, message)
+    lhs = bjj.point_mul(signature.s, bjj.BASE_POINT)
+    rhs = bjj.point_add(signature.r_point, bjj.point_mul(e, public_key))
+    return lhs == rhs
+
+
+def verify_gadget(
+    cs: ConstraintSystem,
+    params: SchnorrParameters,
+    mpk: bjj.Point,
+    message: Sequence[LinearCombination],
+    pk_message_extra: Sequence[LinearCombination],
+    signature: SchnorrSignature,
+) -> None:
+    """Enforce, in-circuit, that ``signature`` is the RA's signature.
+
+    ``mpk`` is a *circuit constant* (the RA key is fixed at SNARK setup,
+    matching the paper where Setup emits both PP and the RA keys), so
+    both scalar multiplications are fixed-base.  ``message`` is the list
+    of signed field elements as circuit wires; ``pk_message_extra`` is
+    appended to it (kept separate purely for call-site clarity).
+    """
+    full_message = list(message) + list(pk_message_extra)
+    # Witness the signature.
+    r_x = cs.alloc(signature.r_point[0]).lc()
+    r_y = cs.alloc(signature.r_point[1]).lc()
+    bjj.enforce_on_curve(cs, (r_x, r_y))
+    s_wire = cs.alloc(signature.s)
+    s_bits = number_to_bits(cs, s_wire, params.s_bits)
+    # Challenge e = H(Rx, Ry, message...) truncated to scalar_bits.
+    e_full = mimc_hash(cs, [r_x, r_y, *full_message], params.mimc)
+    e_bits_full = number_to_bits_strict(cs, e_full)
+    e_bits = e_bits_full[: params.scalar_bits]
+    # s·B and R + e·MPK, both fixed-base.
+    lhs = bjj.fixed_base_mul(cs, s_bits, bjj.BASE_POINT)
+    e_mpk = bjj.fixed_base_mul(cs, e_bits, mpk)
+    rhs = bjj.point_add_gadget(cs, (r_x, r_y), e_mpk)
+    bjj.point_equal_gadget(cs, lhs, rhs)

@@ -1,0 +1,283 @@
+"""Groth16-style preprocessing zk-SNARK over BN128.
+
+The trusted setup samples toxic waste (τ, α, β, γ, δ), evaluates the QAP
+columns at τ and publishes group-encoded key material; proofs are the
+classic three group elements (A ∈ G1, B ∈ G2, C ∈ G1); verification is
+one multi-pairing plus a statement-dependent MSM — exactly the
+asymmetric cost profile the paper exploits with its outsource-then-prove
+methodology (heavy proving off-chain, tiny verification on-chain).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.crypto.hashing import sha256
+from repro.errors import ProofError, UnsatisfiedConstraintError
+from repro.zksnark.backend import (
+    CircuitDefinition,
+    KeyPair,
+    Proof,
+    ProvingBackend,
+    full_circuit_digest,
+)
+from repro.zksnark.bn128.curve import (
+    G1,
+    G2,
+    G1Point,
+    G2Point,
+    g1_add,
+    g1_from_bytes,
+    g1_msm,
+    g1_mul,
+    g1_neg,
+    g1_to_bytes,
+    g2_add,
+    g2_from_bytes,
+    g2_mul,
+    g2_to_bytes,
+)
+from repro.zksnark.bn128.fq import CURVE_ORDER
+from repro.zksnark.bn128.fq12 import FQ12
+from repro.zksnark.bn128.pairing import multi_pairing, pairing
+from repro.zksnark.qap import QAP
+
+
+class _Drbg:
+    """A tiny SHA-256 counter DRBG for reproducible trusted setups."""
+
+    def __init__(self, seed: bytes) -> None:
+        self._seed = seed
+        self._counter = 0
+
+    def field_element(self) -> int:
+        """A uniform nonzero scalar in [1, r)."""
+        while True:
+            block = sha256(self._seed, b"drbg", self._counter.to_bytes(8, "big"))
+            block += sha256(self._seed, b"drbg2", self._counter.to_bytes(8, "big"))
+            self._counter += 1
+            value = int.from_bytes(block, "big") % CURVE_ORDER
+            if value != 0:
+                return value
+
+
+@dataclass
+class Groth16VerifyingKey:
+    """Verification material: 4 group elements + one IC point per input."""
+
+    circuit_digest: bytes
+    num_public: int
+    alpha_g1: G1Point
+    beta_g2: G2Point
+    gamma_g2: G2Point
+    delta_g2: G2Point
+    ic: List[G1Point]
+    alpha_beta: FQ12  # precomputed e(alpha, beta)
+
+    def size_bytes(self) -> int:
+        """Serialized size (what Table I's "Key" column measures)."""
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        parts = [
+            g1_to_bytes(self.alpha_g1),
+            g2_to_bytes(self.beta_g2),
+            g2_to_bytes(self.gamma_g2),
+            g2_to_bytes(self.delta_g2),
+        ]
+        parts.extend(g1_to_bytes(point) for point in self.ic)
+        return b"".join(parts)
+
+
+@dataclass
+class Groth16ProvingKey:
+    """Proving material (per-wire queries plus the H-polynomial powers)."""
+
+    circuit_digest: bytes
+    num_public: int
+    alpha_g1: G1Point
+    beta_g1: G1Point
+    beta_g2: G2Point
+    delta_g1: G1Point
+    delta_g2: G2Point
+    a_query: List[G1Point]
+    b_g1_query: List[G1Point]
+    b_g2_query: List[G2Point]
+    k_query: List[G1Point]  # aux wires only, indexed from num_public+1
+    h_query: List[G1Point]
+
+    def size_bytes(self) -> int:
+        g1_count = (
+            3 + len(self.a_query) + len(self.b_g1_query) + len(self.k_query) + len(self.h_query)
+        )
+        g2_count = 2 + len(self.b_g2_query)
+        return 64 * g1_count + 128 * g2_count
+
+
+_PROOF_LEN = 64 + 128 + 64
+
+
+class Groth16Backend(ProvingBackend):
+    """The real pairing-based backend."""
+
+    name = "groth16"
+
+    def setup(self, circuit: CircuitDefinition, seed: Optional[bytes] = None) -> KeyPair:
+        if circuit.requires_ideal_backend:
+            raise ProofError(
+                f"circuit {circuit.name!r} declares native predicates that "
+                "Groth16 cannot compile; use the mock backend"
+            )
+        cs = circuit.build(circuit.example_instance())
+        cs.check_satisfied()
+        r1cs = cs.to_r1cs()
+        digest = full_circuit_digest(circuit, r1cs)
+        qap = QAP(r1cs)
+        drbg = _Drbg(seed if seed is not None else secrets.token_bytes(32))
+        tau = drbg.field_element()
+        alpha = drbg.field_element()
+        beta = drbg.field_element()
+        gamma = drbg.field_element()
+        delta = drbg.field_element()
+
+        evaluation = qap.evaluate_at(tau)
+        p = CURVE_ORDER
+        gamma_inv = pow(gamma, -1, p)
+        delta_inv = pow(delta, -1, p)
+
+        num_wires = r1cs.num_wires
+        num_public = r1cs.num_public
+
+        a_query = [g1_mul(G1, evaluation.a_at[i]) for i in range(num_wires)]
+        b_g1_query = [g1_mul(G1, evaluation.b_at[i]) for i in range(num_wires)]
+        b_g2_query = [g2_mul(G2, evaluation.b_at[i]) for i in range(num_wires)]
+
+        def combined(i: int) -> int:
+            return (
+                beta * evaluation.a_at[i]
+                + alpha * evaluation.b_at[i]
+                + evaluation.c_at[i]
+            ) % p
+
+        ic = [g1_mul(G1, combined(i) * gamma_inv % p) for i in range(num_public + 1)]
+        k_query = [
+            g1_mul(G1, combined(i) * delta_inv % p)
+            for i in range(num_public + 1, num_wires)
+        ]
+        z_delta = evaluation.z_at * delta_inv % p
+        h_query = []
+        power = 1
+        for _ in range(max(0, evaluation.degree - 1)):
+            h_query.append(g1_mul(G1, power * z_delta % p))
+            power = power * tau % p
+
+        alpha_g1 = g1_mul(G1, alpha)
+        beta_g1 = g1_mul(G1, beta)
+        beta_g2 = g2_mul(G2, beta)
+        proving_key = Groth16ProvingKey(
+            circuit_digest=digest,
+            num_public=num_public,
+            alpha_g1=alpha_g1,
+            beta_g1=beta_g1,
+            beta_g2=beta_g2,
+            delta_g1=g1_mul(G1, delta),
+            delta_g2=g2_mul(G2, delta),
+            a_query=a_query,
+            b_g1_query=b_g1_query,
+            b_g2_query=b_g2_query,
+            k_query=k_query,
+            h_query=h_query,
+        )
+        verifying_key = Groth16VerifyingKey(
+            circuit_digest=digest,
+            num_public=num_public,
+            alpha_g1=alpha_g1,
+            beta_g2=beta_g2,
+            gamma_g2=g2_mul(G2, gamma),
+            delta_g2=proving_key.delta_g2,
+            ic=ic,
+            alpha_beta=pairing(beta_g2, alpha_g1),
+        )
+        return KeyPair(proving_key=proving_key, verifying_key=verifying_key)
+
+    def prove(
+        self,
+        proving_key: Groth16ProvingKey,
+        circuit: CircuitDefinition,
+        instance: Any,
+        rng: Optional[_Drbg] = None,
+    ) -> Proof:
+        cs = circuit.build(instance)
+        r1cs = cs.to_r1cs()
+        if full_circuit_digest(circuit, r1cs) != proving_key.circuit_digest:
+            raise ProofError("proving key does not match this circuit structure")
+        r1cs.check_satisfied(cs.assignment)
+        assignment = cs.assignment
+        qap = QAP(r1cs)
+        h_coeffs = qap.witness_quotient(assignment)
+
+        drbg = rng or _Drbg(secrets.token_bytes(32))
+        blind_r = drbg.field_element()
+        blind_s = drbg.field_element()
+        p = CURVE_ORDER
+
+        a_acc = g1_msm(proving_key.a_query, assignment)
+        proof_a = g1_add(
+            g1_add(proving_key.alpha_g1, a_acc), g1_mul(proving_key.delta_g1, blind_r)
+        )
+
+        b1_acc = g1_msm(proving_key.b_g1_query, assignment)
+        proof_b_g1 = g1_add(
+            g1_add(proving_key.beta_g1, b1_acc), g1_mul(proving_key.delta_g1, blind_s)
+        )
+        b2_acc: G2Point = None
+        for point, value in zip(proving_key.b_g2_query, assignment):
+            if value == 0 or point is None:
+                continue
+            b2_acc = g2_add(b2_acc, g2_mul(point, value))
+        proof_b = g2_add(
+            g2_add(proving_key.beta_g2, b2_acc), g2_mul(proving_key.delta_g2, blind_s)
+        )
+
+        aux_values = assignment[proving_key.num_public + 1 :]
+        k_acc = g1_msm(proving_key.k_query, aux_values)
+        h_acc = g1_msm(proving_key.h_query[: len(h_coeffs)], h_coeffs)
+        proof_c = k_acc
+        proof_c = g1_add(proof_c, h_acc)
+        proof_c = g1_add(proof_c, g1_mul(proof_a, blind_s))
+        proof_c = g1_add(proof_c, g1_mul(proof_b_g1, blind_r))
+        proof_c = g1_add(proof_c, g1_neg(g1_mul(proving_key.delta_g1, blind_r * blind_s % p)))
+
+        payload = g1_to_bytes(proof_a) + g2_to_bytes(proof_b) + g1_to_bytes(proof_c)
+        return Proof(backend=self.name, payload=payload)
+
+    def verify(
+        self,
+        verifying_key: Groth16VerifyingKey,
+        public_inputs: List[int],
+        proof: Proof,
+    ) -> bool:
+        self._check_backend(proof)
+        if len(proof.payload) != _PROOF_LEN:
+            return False
+        if len(public_inputs) != verifying_key.num_public:
+            return False
+        try:
+            proof_a = g1_from_bytes(proof.payload[:64])
+            proof_b = g2_from_bytes(proof.payload[64:192])
+            proof_c = g1_from_bytes(proof.payload[192:])
+        except ValueError:
+            return False
+        ic_acc = verifying_key.ic[0]
+        ic_points = verifying_key.ic[1:]
+        ic_acc = g1_add(ic_acc, g1_msm(ic_points, [v % CURVE_ORDER for v in public_inputs]))
+        lhs = multi_pairing(
+            [
+                (proof_b, proof_a),
+                (verifying_key.gamma_g2, g1_neg(ic_acc)),
+                (verifying_key.delta_g2, g1_neg(proof_c)),
+            ]
+        )
+        return lhs == verifying_key.alpha_beta

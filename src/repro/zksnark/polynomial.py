@@ -1,0 +1,168 @@
+"""Dense univariate polynomial arithmetic over a prime field.
+
+Coefficients are plain ints (low index = constant term).  The QAP layer
+relies on interpolation, multiplication and exact division by the
+vanishing polynomial; no FFT is used, so everything here is O(n^2) —
+adequate for the circuit sizes this reproduction targets and documented
+as such in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.zksnark.field import PrimeField
+
+
+def trim(coeffs: Sequence[int]) -> List[int]:
+    """Drop trailing zero coefficients (canonical representation)."""
+    out = list(coeffs)
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def poly_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    p = field.modulus
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = (out[i] + c) % p
+    return trim(out)
+
+
+def poly_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    p = field.modulus
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = (out[i] - c) % p
+    return trim(out)
+
+
+def poly_scale(field: PrimeField, a: Sequence[int], k: int) -> List[int]:
+    p = field.modulus
+    return trim([(c * k) % p for c in a])
+
+
+def poly_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    if not a or not b:
+        return []
+    p = field.modulus
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] += ca * cb
+    return trim([c % p for c in out])
+
+
+def poly_eval(field: PrimeField, coeffs: Sequence[int], x: int) -> int:
+    """Horner evaluation of the polynomial at ``x``."""
+    p = field.modulus
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % p
+    return acc
+
+
+def poly_divmod(
+    field: PrimeField, numerator: Sequence[int], denominator: Sequence[int]
+) -> tuple[List[int], List[int]]:
+    """Polynomial long division; returns (quotient, remainder)."""
+    den = trim(denominator)
+    if not den:
+        raise ZeroDivisionError("polynomial division by zero")
+    p = field.modulus
+    num = [c % p for c in trim(numerator)]
+    quot = [0] * max(0, len(num) - len(den) + 1)
+    inv_lead = field.inv(den[-1])
+    while len(num) >= len(den):
+        shift = len(num) - len(den)
+        factor = (num[-1] * inv_lead) % p
+        quot[shift] = factor
+        for i, c in enumerate(den):
+            num[shift + i] = (num[shift + i] - factor * c) % p
+        num = trim(num)
+        if not num:
+            break
+    return trim(quot), num
+
+
+def vanishing_polynomial(field: PrimeField, points: Sequence[int]) -> List[int]:
+    """Z(x) = prod_j (x - points[j])."""
+    p = field.modulus
+    z = [1]
+    for pt in points:
+        z = poly_mul(field, z, [(-pt) % p, 1])
+    return z
+
+
+def lagrange_interpolate(
+    field: PrimeField, points: Sequence[int], values: Sequence[int]
+) -> List[int]:
+    """Interpolate the unique degree-<n polynomial through (points, values).
+
+    Uses the barycentric-ish construction: build Z(x), then each basis
+    polynomial is Z(x)/(x - x_j) scaled by 1/Z'(x_j).  O(n^2) total.
+    """
+    if len(points) != len(values):
+        raise ValueError("points/values length mismatch")
+    if len(set(points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+    p = field.modulus
+    n = len(points)
+    if n == 0:
+        return []
+    z = vanishing_polynomial(field, points)
+    result = [0] * n
+    for j in range(n):
+        if values[j] == 0:
+            continue
+        # basis_j = Z(x) / (x - x_j), computed by synthetic division.
+        basis = _divide_by_linear(field, z, points[j])
+        denom = poly_eval(field, basis, points[j])  # = Z'(x_j)
+        scale = (values[j] * field.inv(denom)) % p
+        for i, c in enumerate(basis):
+            result[i] = (result[i] + c * scale) % p
+    return trim(result)
+
+
+def _divide_by_linear(field: PrimeField, coeffs: Sequence[int], root: int) -> List[int]:
+    """Exact synthetic division of ``coeffs`` by (x - root)."""
+    p = field.modulus
+    out = [0] * (len(coeffs) - 1)
+    carry = 0
+    for i in range(len(coeffs) - 1, 0, -1):
+        carry = (coeffs[i] + carry * root) % p
+        out[i - 1] = carry
+    return out
+
+
+def lagrange_basis_at(
+    field: PrimeField, points: Sequence[int], x: int
+) -> List[int]:
+    """Evaluate every Lagrange basis polynomial L_j at a single point x.
+
+    Returns [L_0(x), ..., L_{n-1}(x)] in O(n^2); used by the trusted
+    setup to evaluate the QAP column polynomials at the toxic tau.
+    """
+    p = field.modulus
+    n = len(points)
+    out = []
+    for j in range(n):
+        num = 1
+        den = 1
+        xj = points[j]
+        for k in range(n):
+            if k == j:
+                continue
+            num = (num * (x - points[k])) % p
+            den = (den * (xj - points[k])) % p
+        out.append((num * field.inv(den)) % p)
+    return out

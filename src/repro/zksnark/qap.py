@@ -1,0 +1,112 @@
+"""R1CS → Quadratic Arithmetic Program reduction.
+
+Constraint j is associated with the domain point ``d_j = j+1``; the QAP
+column polynomials A_i, B_i, C_i interpolate each wire's coefficients
+over the domain, and an assignment ``w`` satisfies the R1CS iff
+``A(x)·B(x) − C(x)`` is divisible by ``Z(x) = Π (x − d_j)`` where
+``A(x) = Σ w_i A_i(x)`` etc.  The trusted setup only needs the columns
+*evaluated at τ* (computed via Lagrange basis values, never
+materialising full polynomials), while the prover materialises the three
+aggregated polynomials to compute the quotient H(x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import UnsatisfiedConstraintError
+from repro.zksnark import polynomial as poly
+from repro.zksnark.field import PrimeField
+from repro.zksnark.r1cs import R1CS
+
+
+@dataclass
+class QAPEvaluation:
+    """QAP column polynomials evaluated at a single point tau.
+
+    ``a_at[i]``, ``b_at[i]``, ``c_at[i]`` give A_i(tau) etc. for every
+    wire i (including wire 0); ``z_at`` is Z(tau); ``degree`` is the
+    domain size n.
+    """
+
+    a_at: List[int]
+    b_at: List[int]
+    c_at: List[int]
+    z_at: int
+    degree: int
+
+
+class QAP:
+    """The QAP view of an R1CS instance."""
+
+    def __init__(self, r1cs: R1CS) -> None:
+        if r1cs.num_constraints == 0:
+            raise ValueError("cannot build a QAP from an empty constraint system")
+        self.r1cs = r1cs
+        self.field: PrimeField = r1cs.field
+        self.domain: List[int] = [j + 1 for j in range(r1cs.num_constraints)]
+
+    @property
+    def degree(self) -> int:
+        return len(self.domain)
+
+    def evaluate_at(self, tau: int) -> QAPEvaluation:
+        """Evaluate every column polynomial at ``tau`` (trusted setup)."""
+        field = self.field
+        p = field.modulus
+        basis = poly.lagrange_basis_at(field, self.domain, tau)
+        wires = self.r1cs.num_wires
+        a_at = [0] * wires
+        b_at = [0] * wires
+        c_at = [0] * wires
+        for j, cons in enumerate(self.r1cs.constraints):
+            lj = basis[j]
+            if lj == 0:
+                continue
+            for i, coeff in cons.a.items():
+                a_at[i] = (a_at[i] + coeff * lj) % p
+            for i, coeff in cons.b.items():
+                b_at[i] = (b_at[i] + coeff * lj) % p
+            for i, coeff in cons.c.items():
+                c_at[i] = (c_at[i] + coeff * lj) % p
+        z_at = 1
+        for d in self.domain:
+            z_at = z_at * (tau - d) % p
+        return QAPEvaluation(a_at=a_at, b_at=b_at, c_at=c_at, z_at=z_at, degree=self.degree)
+
+    def _aggregate_evaluations(self, assignment: Sequence[int]) -> tuple[list, list, list]:
+        """Evaluate the aggregated A, B, C polynomials over the domain.
+
+        Because the domain point d_j belongs to constraint j, the value
+        of the aggregate polynomial at d_j is just the constraint row
+        dotted with the assignment — O(nnz) overall.
+        """
+        p = self.field.modulus
+        a_evals, b_evals, c_evals = [], [], []
+        for cons in self.r1cs.constraints:
+            a_evals.append(sum(c * assignment[i] for i, c in cons.a.items()) % p)
+            b_evals.append(sum(c * assignment[i] for i, c in cons.b.items()) % p)
+            c_evals.append(sum(c * assignment[i] for i, c in cons.c.items()) % p)
+        return a_evals, b_evals, c_evals
+
+    def witness_quotient(self, assignment: Sequence[int]) -> List[int]:
+        """Compute the coefficients of H(x) = (A·B − C)(x) / Z(x).
+
+        Raises :class:`UnsatisfiedConstraintError` if the division is not
+        exact, i.e. the assignment does not satisfy the R1CS.
+        """
+        field = self.field
+        a_evals, b_evals, c_evals = self._aggregate_evaluations(assignment)
+        a_poly = poly.lagrange_interpolate(field, self.domain, a_evals)
+        b_poly = poly.lagrange_interpolate(field, self.domain, b_evals)
+        c_poly = poly.lagrange_interpolate(field, self.domain, c_evals)
+        product = poly.poly_mul(field, a_poly, b_poly)
+        numerator = poly.poly_sub(field, product, c_poly)
+        z = poly.vanishing_polynomial(field, self.domain)
+        quotient, remainder = poly.poly_divmod(field, numerator, z)
+        if remainder:
+            raise UnsatisfiedConstraintError(
+                "A*B - C is not divisible by Z: assignment does not satisfy the R1CS"
+            )
+        return quotient

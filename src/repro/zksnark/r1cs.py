@@ -1,0 +1,111 @@
+"""Rank-1 constraint systems.
+
+An R1CS over field F is a list of constraints ``<A_i, w> * <B_i, w> =
+<C_i, w>`` where ``w`` is the wire assignment ``(1, x_1..x_l,
+a_1..a_m)`` — constant one, then public (statement) wires, then private
+(auxiliary) wires.  Linear combinations are stored sparsely as
+``{wire_index: coefficient}`` dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Sequence
+
+from repro.errors import UnsatisfiedConstraintError
+from repro.zksnark.field import PrimeField
+
+SparseLC = Dict[int, int]
+
+
+@dataclass
+class R1CSConstraint:
+    """A single constraint <a,w> * <b,w> = <c,w> with sparse rows."""
+
+    a: SparseLC
+    b: SparseLC
+    c: SparseLC
+    annotation: str = ""
+
+
+@dataclass
+class R1CS:
+    """A full constraint system plus wire layout metadata.
+
+    Attributes:
+        field: the prime field constraints live in.
+        num_public: number of statement wires (excluding the constant 1).
+        num_wires: total wires including the constant-one wire 0.
+        constraints: the constraint list.
+    """
+
+    field: PrimeField
+    num_public: int
+    num_wires: int
+    constraints: List[R1CSConstraint] = dataclass_field(default_factory=list)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_aux(self) -> int:
+        return self.num_wires - 1 - self.num_public
+
+    def eval_lc(self, lc: SparseLC, assignment: Sequence[int]) -> int:
+        total = 0
+        for index, coeff in lc.items():
+            total += coeff * assignment[index]
+        return total % self.field.modulus
+
+    def is_satisfied(self, assignment: Sequence[int]) -> bool:
+        """Check a full wire assignment against every constraint."""
+        try:
+            self.check_satisfied(assignment)
+        except UnsatisfiedConstraintError:
+            return False
+        return True
+
+    def check_satisfied(self, assignment: Sequence[int]) -> None:
+        """Like :meth:`is_satisfied` but raises with the failing constraint."""
+        if len(assignment) != self.num_wires:
+            raise UnsatisfiedConstraintError(
+                f"assignment has {len(assignment)} wires, system has {self.num_wires}"
+            )
+        if assignment[0] != 1:
+            raise UnsatisfiedConstraintError("wire 0 must carry the constant 1")
+        p = self.field.modulus
+        for idx, cons in enumerate(self.constraints):
+            lhs = self.eval_lc(cons.a, assignment) * self.eval_lc(cons.b, assignment) % p
+            rhs = self.eval_lc(cons.c, assignment)
+            if lhs != rhs:
+                label = f" ({cons.annotation})" if cons.annotation else ""
+                raise UnsatisfiedConstraintError(
+                    f"constraint {idx}{label} unsatisfied: {lhs} != {rhs}"
+                )
+
+    def structure_digest(self) -> bytes:
+        """A stable hash of the constraint structure (not of any witness).
+
+        Backends key their proving/verifying material on this digest so a
+        proof can never be verified against keys for a different circuit.
+        """
+        from repro.crypto.hashing import sha256
+        from repro.serialization import encode
+
+        rows = []
+        for cons in self.constraints:
+            rows.append(
+                [
+                    sorted(cons.a.items()),
+                    sorted(cons.b.items()),
+                    sorted(cons.c.items()),
+                ]
+            )
+        flat = [
+            self.field.modulus,
+            self.num_public,
+            self.num_wires,
+            [[ [list(t) for t in row_part] for row_part in row] for row in rows],
+        ]
+        return sha256(b"r1cs-digest", encode(flat))

@@ -1,0 +1,43 @@
+"""Identity keypairs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.anonauth.keys import UserKeyPair, derive_public_key
+from repro.zksnark.field import BN128_SCALAR_FIELD
+from repro.zksnark.gadgets.mimc import MiMCParameters
+
+MIMC = MiMCParameters.for_rounds(7)
+
+
+def test_seeded_generation_deterministic() -> None:
+    a = UserKeyPair.generate(MIMC, seed=b"same")
+    b = UserKeyPair.generate(MIMC, seed=b"same")
+    assert a == b
+
+
+def test_different_seeds_different_keys() -> None:
+    a = UserKeyPair.generate(MIMC, seed=b"one")
+    b = UserKeyPair.generate(MIMC, seed=b"two")
+    assert a.secret_key != b.secret_key
+    assert a.public_key != b.public_key
+
+
+def test_public_key_is_commitment_of_secret() -> None:
+    keypair = UserKeyPair.generate(MIMC, seed=b"x")
+    assert keypair.public_key == derive_public_key(keypair.secret_key, MIMC)
+
+
+def test_random_generation_in_field() -> None:
+    keypair = UserKeyPair.generate(MIMC)
+    assert 0 < keypair.secret_key < BN128_SCALAR_FIELD
+    assert 0 <= keypair.public_key < BN128_SCALAR_FIELD
+
+
+@given(st.binary(min_size=1, max_size=16))
+@settings(max_examples=20)
+def test_seed_avalanche(seed: bytes) -> None:
+    base = UserKeyPair.generate(MIMC, seed=seed)
+    tweaked = UserKeyPair.generate(MIMC, seed=seed + b"\x00")
+    assert base.public_key != tweaked.public_key

@@ -1,0 +1,115 @@
+"""Common-prefix-linkability (Definition 1), played as the game.
+
+The adversary holds q certificates and tries to produce q+1 valid,
+pairwise-unlinked attestations on messages sharing one prefix.  With
+tags t1 = PRF_sk(prefix), any two attestations from the same key and
+prefix collide on t1 — so q keys can yield at most q unlinked tags.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.anonauth import AnonymousAuthScheme, UserKeyPair, setup
+from repro.anonauth.scheme import PREFIX_LENGTH
+
+PREFIX = b"\x77" * PREFIX_LENGTH
+
+
+@pytest.fixture(scope="module")
+def world():
+    params, authority = setup(
+        profile="test", cert_mode="merkle", backend_name="mock", seed=b"linkgame"
+    )
+    scheme = AnonymousAuthScheme(params)
+    return params, authority, scheme
+
+
+def _corrupted_users(world, q: int):
+    params, authority, _ = world
+    users = []
+    for index in range(q):
+        user = UserKeyPair.generate(params.mimc, seed=b"corrupt-%d" % index)
+        try:
+            authority.register(f"corrupt-{index}", user.public_key)
+        except Exception:
+            pass  # already registered by a previous parametrization
+        users.append(user)
+    return users
+
+
+@pytest.mark.parametrize("q", [1, 2, 3])
+def test_q_keys_yield_at_most_q_unlinked_attestations(world, q: int) -> None:
+    params, authority, scheme = world
+    users = _corrupted_users(world, q)
+    commitment = authority.registry_commitment()
+
+    # Best adversarial strategy available: spread q+1 messages over the
+    # q corrupted keys — some key must sign twice.
+    attestations = []
+    for index in range(q + 1):
+        user = users[index % q]
+        certificate = authority.refresh_certificate(user.public_key)
+        attestations.append(
+            scheme.auth(PREFIX + b"msg-%d" % index, user, certificate, commitment)
+        )
+    for index, attestation in enumerate(attestations):
+        assert scheme.verify(PREFIX + b"msg-%d" % index, attestation, commitment)
+
+    linked_pairs = [
+        (i, j)
+        for (i, a), (j, b) in combinations(enumerate(attestations), 2)
+        if scheme.link(a, b)
+    ]
+    assert linked_pairs, "q+1 attestations from q keys must contain a linked pair"
+
+
+def test_q_attestations_from_q_keys_are_unlinked(world) -> None:
+    params, authority, scheme = world
+    users = _corrupted_users(world, 3)
+    commitment = authority.registry_commitment()
+    attestations = [
+        scheme.auth(
+            PREFIX + b"one-each-%d" % index,
+            user,
+            authority.refresh_certificate(user.public_key),
+            commitment,
+        )
+        for index, user in enumerate(users)
+    ]
+    for a, b in combinations(attestations, 2):
+        assert not scheme.link(a, b)
+
+
+def test_tag_determinism_is_what_links(world) -> None:
+    params, authority, scheme = world
+    (user,) = _corrupted_users(world, 1)
+    commitment = authority.registry_commitment()
+    certificate = authority.refresh_certificate(user.public_key)
+    a1 = scheme.auth(PREFIX + b"alpha", user, certificate, commitment)
+    a2 = scheme.auth(PREFIX + b"beta", user, certificate, commitment)
+    assert a1.t1 == a2.t1          # prefix tag is a PRF of (prefix, sk)
+    assert a1.t2 != a2.t2          # message tag differs per message
+
+
+def test_submission_counting_with_k_allowance(world) -> None:
+    """The paper's footnote 11: counting linked attestations lets a
+    contract enforce any per-task allowance k, not just k = 1."""
+    params, authority, scheme = world
+    (user,) = _corrupted_users(world, 1)
+    commitment = authority.registry_commitment()
+    certificate = authority.refresh_certificate(user.public_key)
+    pool = []
+    k = 3
+    accepted = 0
+    for index in range(5):
+        attestation = scheme.auth(
+            PREFIX + b"count-%d" % index, user, certificate, commitment
+        )
+        linked = sum(1 for seen in pool if scheme.link(seen, attestation))
+        if linked < k:
+            pool.append(attestation)
+            accepted += 1
+    assert accepted == k

@@ -1,0 +1,187 @@
+"""Auth / Verify / Link — the full algorithm matrix on the ideal backend,
+plus one real-Groth16 pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthenticationError, RegistrationError
+from repro.anonauth import AnonymousAuthScheme, UserKeyPair, setup
+from repro.anonauth.scheme import (
+    Attestation,
+    PREFIX_LENGTH,
+    attestation_statement,
+    message_digest,
+    prefix_digest,
+    task_prefix,
+)
+
+PREFIX_A = b"\xaa" * PREFIX_LENGTH
+PREFIX_B = b"\xbb" * PREFIX_LENGTH
+
+
+@pytest.fixture(scope="module")
+def world():
+    params, authority = setup(
+        profile="test", cert_mode="merkle", backend_name="mock", seed=b"scheme"
+    )
+    scheme = AnonymousAuthScheme(params)
+    alice = UserKeyPair.generate(params.mimc, seed=b"alice")
+    bob = UserKeyPair.generate(params.mimc, seed=b"bob")
+    authority.register("alice", alice.public_key)
+    authority.register("bob", bob.public_key)
+    return params, authority, scheme, alice, bob
+
+
+def _auth(world, user, message: bytes) -> Attestation:
+    params, authority, scheme, *_ = world
+    certificate = authority.refresh_certificate(user.public_key)
+    return scheme.auth(
+        message, user, certificate, authority.registry_commitment()
+    )
+
+
+def test_auth_verify_roundtrip(world) -> None:
+    _, authority, scheme, alice, _ = world
+    message = PREFIX_A + b"submission"
+    attestation = _auth(world, alice, message)
+    assert scheme.verify(message, attestation, authority.registry_commitment())
+
+
+def test_verify_rejects_different_message(world) -> None:
+    _, authority, scheme, alice, _ = world
+    attestation = _auth(world, alice, PREFIX_A + b"submission")
+    assert not scheme.verify(
+        PREFIX_A + b"other", attestation, authority.registry_commitment()
+    )
+
+
+def test_verify_rejects_wrong_commitment(world) -> None:
+    _, authority, scheme, alice, _ = world
+    message = PREFIX_A + b"submission"
+    attestation = _auth(world, alice, message)
+    assert not scheme.verify(message, attestation, 12345)
+
+
+def test_verify_rejects_swapped_tags(world) -> None:
+    _, authority, scheme, alice, _ = world
+    message = PREFIX_A + b"submission"
+    attestation = _auth(world, alice, message)
+    forged = Attestation(
+        t1=attestation.t2,
+        t2=attestation.t1,
+        proof=attestation.proof,
+        registry_commitment=attestation.registry_commitment,
+    )
+    assert not scheme.verify(message, forged, authority.registry_commitment())
+
+
+def test_uncertified_user_cannot_authenticate(world) -> None:
+    params, authority, scheme, alice, _ = world
+    mallory = UserKeyPair.generate(params.mimc, seed=b"mallory")
+    certificate = authority.refresh_certificate(alice.public_key)  # not hers
+    with pytest.raises(Exception):
+        scheme.auth(
+            PREFIX_A + b"m", mallory, certificate, authority.registry_commitment()
+        )
+
+
+def test_link_same_user_same_prefix(world) -> None:
+    _, _, scheme, alice, _ = world
+    a1 = _auth(world, alice, PREFIX_A + b"first")
+    a2 = _auth(world, alice, PREFIX_A + b"second")
+    assert scheme.link(a1, a2)
+
+
+def test_no_link_across_prefixes(world) -> None:
+    _, _, scheme, alice, _ = world
+    a1 = _auth(world, alice, PREFIX_A + b"first")
+    a2 = _auth(world, alice, PREFIX_B + b"first")
+    assert not scheme.link(a1, a2)
+
+
+def test_no_link_between_users(world) -> None:
+    _, _, scheme, alice, bob = world
+    a1 = _auth(world, alice, PREFIX_A + b"first")
+    a2 = _auth(world, bob, PREFIX_A + b"second")
+    assert not scheme.link(a1, a2)
+
+
+def test_link_symmetric(world) -> None:
+    _, _, scheme, alice, _ = world
+    a1 = _auth(world, alice, PREFIX_A + b"first")
+    a2 = _auth(world, alice, PREFIX_A + b"second")
+    assert scheme.link(a1, a2) == scheme.link(a2, a1)
+
+
+def test_message_must_exceed_prefix(world) -> None:
+    _, authority, scheme, alice, _ = world
+    certificate = authority.refresh_certificate(alice.public_key)
+    with pytest.raises(AuthenticationError):
+        scheme.auth(
+            PREFIX_A, alice, certificate, authority.registry_commitment()
+        )
+    assert not scheme.verify(PREFIX_A, _auth(world, alice, PREFIX_A + b"x"),
+                             authority.registry_commitment())
+
+
+def test_attestation_wire_roundtrip(world) -> None:
+    _, _, _, alice, _ = world
+    attestation = _auth(world, alice, PREFIX_A + b"payload")
+    decoded = Attestation.from_wire(attestation.to_wire())
+    assert decoded == attestation
+
+
+def test_attestation_statement_layout(world) -> None:
+    _, _, _, alice, _ = world
+    message = PREFIX_A + b"payload"
+    attestation = _auth(world, alice, message)
+    statement = attestation_statement(message, attestation)
+    assert statement == [
+        prefix_digest(PREFIX_A),
+        message_digest(message),
+        attestation.registry_commitment,
+        attestation.t1,
+        attestation.t2,
+    ]
+
+
+def test_task_prefix_pads_addresses() -> None:
+    address = b"\x01" * 20
+    padded = task_prefix(address)
+    assert len(padded) == PREFIX_LENGTH
+    assert padded.startswith(address)
+    with pytest.raises(AuthenticationError):
+        task_prefix(b"\x01" * 40)
+
+
+def test_stale_certificate_fails_against_new_commitment(world) -> None:
+    params, authority, scheme, alice, _ = world
+    stale_cert = authority.refresh_certificate(alice.public_key)
+    stale_commitment = authority.registry_commitment()
+    extra = UserKeyPair.generate(params.mimc, seed=b"late-joiner")
+    try:
+        authority.register("late-joiner", extra.public_key)
+    except RegistrationError:
+        pass
+    message = PREFIX_A + b"m"
+    attestation = scheme.auth(message, alice, stale_cert, stale_commitment)
+    # Valid against the commitment it was proved under...
+    assert scheme.verify(message, attestation, stale_commitment)
+    # ...but not against the moved registry root.
+    assert not scheme.verify(message, attestation, authority.registry_commitment())
+
+
+def test_groth16_end_to_end(groth16_auth_system) -> None:
+    """The real pairing-based pipeline (one pass; slow)."""
+    params, authority = groth16_auth_system
+    scheme = AnonymousAuthScheme(params)
+    user = UserKeyPair.generate(params.mimc, seed=b"g16-user")
+    certificate = authority.register("g16-user", user.public_key)
+    commitment = authority.registry_commitment()
+    message = PREFIX_A + b"groth16 submission"
+    attestation = scheme.auth(message, user, certificate, commitment)
+    assert scheme.verify(message, attestation, commitment)
+    assert not scheme.verify(PREFIX_A + b"other", attestation, commitment)
+    # Attestation size: 2 tags + 3 group elements.
+    assert attestation.size_bytes() == 32 + 32 + 256

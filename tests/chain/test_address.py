@@ -1,0 +1,46 @@
+"""Address derivation rules."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.chain.address import (
+    ADDRESS_LENGTH,
+    ZERO_ADDRESS,
+    contract_address,
+    format_address,
+    is_address,
+)
+
+
+def test_contract_address_shape() -> None:
+    address = contract_address(b"\x01" * 20, 0)
+    assert len(address) == ADDRESS_LENGTH
+    assert is_address(address)
+
+
+def test_contract_address_deterministic_and_predictable() -> None:
+    """Footnote 10: α_C is computable before deployment."""
+    assert contract_address(b"\x01" * 20, 0) == contract_address(b"\x01" * 20, 0)
+
+
+@given(st.binary(min_size=20, max_size=20),
+       st.integers(min_value=0, max_value=10))
+def test_contract_address_injective_in_nonce(sender: bytes, nonce: int) -> None:
+    assert contract_address(sender, nonce) != contract_address(sender, nonce + 1)
+
+
+@given(st.binary(min_size=20, max_size=20), st.binary(min_size=20, max_size=20))
+def test_contract_address_sender_sensitivity(a: bytes, b: bytes) -> None:
+    if a != b:
+        assert contract_address(a, 0) != contract_address(b, 0)
+
+
+def test_is_address() -> None:
+    assert is_address(ZERO_ADDRESS)
+    assert not is_address(b"\x00" * 19)
+    assert not is_address("0x" + "00" * 20)  # strings are not addresses
+
+
+def test_format_address() -> None:
+    assert format_address(b"\xab" * 20) == "0x" + "ab" * 20

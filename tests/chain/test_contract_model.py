@@ -1,0 +1,171 @@
+"""The contract programming model: storage metering, registry, visibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChainError, ContractError
+from repro.chain.contract import (
+    BlockContext,
+    Contract,
+    ContractRegistry,
+    ExecutionContext,
+    MeteredStorage,
+    external,
+    view,
+)
+from repro.chain.gas import GasMeter
+from repro.chain.state import WorldState
+
+
+def _context(read_only: bool = False) -> ExecutionContext:
+    return ExecutionContext(
+        state=WorldState(),
+        meter=GasMeter(limit=10**7),
+        block=BlockContext(number=3, timestamp=1_500_000_045, coinbase=b"\xcc" * 20),
+        origin=b"\x01" * 20,
+        vm=None,
+        read_only=read_only,
+    )
+
+
+def test_metered_storage_charges_reads_and_writes() -> None:
+    ctx = _context()
+    storage = MeteredStorage({}, ctx.meter)
+    storage["k"] = 1
+    first_write = ctx.meter.used
+    assert first_write >= ctx.meter.schedule.storage_set
+    storage["k"] = 2  # update, cheaper
+    assert ctx.meter.used - first_write == ctx.meter.schedule.storage_update
+    before = ctx.meter.used
+    assert storage["k"] == 2
+    assert ctx.meter.used - before == ctx.meter.schedule.storage_read
+
+
+def test_metered_storage_dict_protocol() -> None:
+    ctx = _context()
+    storage = MeteredStorage({"a": 1}, ctx.meter)
+    assert "a" in storage
+    assert storage.get("missing", 42) == 42
+    assert storage.keys() == ["a"]
+    del storage["a"]
+    assert storage.get("a") is None
+
+
+def test_registry_rejects_duplicate_names() -> None:
+    @ContractRegistry.register
+    class UniqueThing(Contract):
+        contract_name = "UniqueThingForTest"
+
+    with pytest.raises(ChainError):
+
+        @ContractRegistry.register
+        class Impostor(Contract):
+            contract_name = "UniqueThingForTest"
+
+
+def test_registry_reregistering_same_class_is_idempotent() -> None:
+    @ContractRegistry.register
+    class Idem(Contract):
+        contract_name = "IdemForTest"
+
+    assert ContractRegistry.register(Idem) is Idem
+    assert ContractRegistry.resolve("IdemForTest") is Idem
+
+
+def test_registry_unknown_name() -> None:
+    with pytest.raises(ChainError):
+        ContractRegistry.resolve("NoSuchContract")
+
+
+def test_known_contracts_include_zebralancer() -> None:
+    import repro.contracts  # noqa: F401
+
+    known = ContractRegistry.known()
+    assert "ZebraLancerTask" in known
+    assert "ZebraLancerRegistry" in known
+
+
+def test_require_semantics() -> None:
+    Contract.require(True)
+    with pytest.raises(ContractError, match="custom message"):
+        Contract.require(False, "custom message")
+
+
+def test_visibility_decorators() -> None:
+    class Thing(Contract):
+        @external
+        def mutate(self):
+            ...
+
+        @view
+        def read(self):
+            ...
+
+        def internal(self):
+            ...
+
+    assert Thing.mutate.__contract_visibility__ == "external"
+    assert Thing.read.__contract_visibility__ == "view"
+    assert not hasattr(Thing.internal, "__contract_visibility__")
+
+
+def test_read_only_context_blocks_transfer() -> None:
+    ctx = _context(read_only=True)
+    ctx.state.credit(b"\x09" * 20, 100)
+    contract = Contract(
+        address=b"\x09" * 20,
+        storage=MeteredStorage({}, ctx.meter),
+        ctx=ctx,
+        msg_sender=b"\x01" * 20,
+        msg_value=0,
+    )
+    with pytest.raises(ContractError):
+        contract.transfer(b"\x02" * 20, 10)
+
+
+def test_transfer_returns_false_when_underfunded() -> None:
+    """Algorithm 1's transfer() semantics: no revert, just False."""
+    ctx = _context()
+    contract = Contract(
+        address=b"\x09" * 20,
+        storage=MeteredStorage({}, ctx.meter),
+        ctx=ctx,
+        msg_sender=b"\x01" * 20,
+        msg_value=0,
+    )
+    assert contract.transfer(b"\x02" * 20, 10) is False
+    ctx.state.credit(b"\x09" * 20, 100)
+    assert contract.transfer(b"\x02" * 20, 10) is True
+    assert contract.transfer(b"\x02" * 20, -5) is False
+
+
+def test_block_environment_exposed() -> None:
+    ctx = _context()
+    contract = Contract(
+        address=b"\x09" * 20,
+        storage=MeteredStorage({}, ctx.meter),
+        ctx=ctx,
+        msg_sender=b"\x01" * 20,
+        msg_value=7,
+    )
+    assert contract.block_number == 3
+    assert contract.block_timestamp == 1_500_000_045
+    assert contract.tx_origin == b"\x01" * 20
+    assert contract.msg_value == 7
+
+
+def test_emit_appends_logs_and_charges() -> None:
+    ctx = _context()
+    contract = Contract(
+        address=b"\x09" * 20,
+        storage=MeteredStorage({}, ctx.meter),
+        ctx=ctx,
+        msg_sender=b"\x01" * 20,
+        msg_value=0,
+    )
+    used_before = ctx.meter.used
+    contract.emit("Something", value=42)
+    assert ctx.logs[0].event == "Something"
+    assert ctx.logs[0].fields == {"value": 42}
+    assert ctx.meter.used > used_before

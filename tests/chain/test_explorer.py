@@ -1,0 +1,89 @@
+"""The block-explorer queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.explorer import ChainExplorer
+from repro.core import MajorityVotePolicy, Requester, Worker
+
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+@pytest.fixture
+def explored(zebra_system):
+    requester = Requester(zebra_system, "exp-r")
+    workers = [Worker(zebra_system, f"exp-w{i}") for i in range(2)]
+    task = requester.publish_task(POLICY, "explored task", num_answers=2,
+                                  budget=200)
+    records = [worker.submit_answer(task, [1]) for worker in workers]
+    requester.evaluate_and_reward(task)
+    return zebra_system, task, records, ChainExplorer(zebra_system.node)
+
+
+def test_find_transaction(explored) -> None:
+    _, task, records, explorer = explored
+    located = explorer.find_transaction(records[0].receipt.tx_hash)
+    assert located is not None
+    assert located.transaction.transaction.to == task.address
+    assert located.receipt.success
+    assert located.block_number == records[0].receipt.block_number
+
+
+def test_find_unknown_transaction(explored) -> None:
+    _, _, _, explorer = explored
+    assert explorer.find_transaction(b"\x00" * 32) is None
+
+
+def test_transactions_to_task(explored) -> None:
+    _, task, records, explorer = explored
+    located = explorer.transactions_to(task.address)
+    # 2 submissions + 1 reward instruction
+    assert len(located) == 3
+
+
+def test_transactions_from_submitter(explored) -> None:
+    _, task, records, explorer = explored
+    sender = records[0].account_address
+    located = explorer.transactions_from(sender)
+    assert len(located) == 1
+    assert located[0].transaction.transaction.to == task.address
+
+
+def test_event_filtering(explored) -> None:
+    _, task, _, explorer = explored
+    collected = explorer.logs(address=task.address, event="AnswerCollected")
+    assert len(collected) == 2
+    completed = explorer.logs(address=task.address, event="TaskCompleted")
+    assert len(completed) == 1
+    with_predicate = explorer.logs(
+        address=task.address,
+        event="AnswerCollected",
+        predicate=lambda log: log.fields["index"] == 0,
+    )
+    assert len(with_predicate) == 1
+
+
+def test_published_tasks_registry(explored) -> None:
+    _, task, _, explorer = explored
+    published = explorer.published_tasks()
+    assert any(entry["address"] == task.address for entry in published)
+    entry = next(e for e in published if e["address"] == task.address)
+    assert entry["budget"] == 200
+    assert entry["num_answers"] == 2
+
+
+def test_task_timeline_ordered(explored) -> None:
+    _, task, _, explorer = explored
+    timeline = explorer.task_timeline(task.address)
+    events = [located.log.event for located in timeline]
+    assert events[0] == "TaskPublished"
+    assert events[-1] == "TaskCompleted"
+    numbers = [located.block_number for located in timeline]
+    assert numbers == sorted(numbers)
+
+
+def test_gas_accounting(explored) -> None:
+    _, task, records, explorer = explored
+    total = explorer.gas_spent_on(task.address)
+    assert total >= sum(r.receipt.gas_used for r in records)

@@ -1,0 +1,55 @@
+"""Gas schedule and metering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfGasError
+from repro.chain.gas import DEFAULT_SCHEDULE, GasMeter, GasSchedule
+
+
+def test_intrinsic_gas() -> None:
+    schedule = GasSchedule()
+    assert schedule.intrinsic_gas(b"", False) == schedule.tx_base
+    assert (
+        schedule.intrinsic_gas(b"ab", False)
+        == schedule.tx_base + 2 * schedule.calldata_byte
+    )
+    assert (
+        schedule.intrinsic_gas(b"", True)
+        == schedule.tx_base + schedule.tx_create_extra
+    )
+
+
+def test_meter_consumption() -> None:
+    meter = GasMeter(limit=1_000)
+    meter.consume(400)
+    assert meter.used == 400
+    assert meter.remaining == 600
+
+
+def test_meter_exhaustion_consumes_everything() -> None:
+    meter = GasMeter(limit=1_000)
+    with pytest.raises(OutOfGasError):
+        meter.consume(1_001, "big op")
+    assert meter.used == 1_000
+    assert meter.remaining == 0
+
+
+def test_meter_rejects_negative() -> None:
+    meter = GasMeter(limit=10)
+    with pytest.raises(ValueError):
+        meter.consume(-1)
+
+
+def test_exact_limit_allowed() -> None:
+    meter = GasMeter(limit=100)
+    meter.consume(100)
+    assert meter.remaining == 0
+
+
+def test_snark_precompile_pricing_grows_with_inputs() -> None:
+    schedule = DEFAULT_SCHEDULE
+    small = schedule.snark_verify_base + schedule.snark_verify_per_input * 2
+    large = schedule.snark_verify_base + schedule.snark_verify_per_input * 10
+    assert large > small

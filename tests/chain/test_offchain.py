@@ -1,0 +1,107 @@
+"""Content-addressed off-chain storage."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.offchain import (
+    ContentId,
+    ContentStore,
+    IntegrityError,
+    content_reference,
+    parse_content_reference,
+)
+
+
+def test_roundtrip_small() -> None:
+    store = ContentStore()
+    cid = store.put(b"hello zebra")
+    assert store.get(cid) == b"hello zebra"
+    assert store.has(cid)
+
+
+def test_roundtrip_multi_chunk() -> None:
+    store = ContentStore(chunk_size=64)
+    blob = bytes(range(256)) * 10  # 2560 bytes → 40 chunks
+    cid = store.put(blob)
+    assert store.get(cid) == blob
+
+
+def test_empty_blob() -> None:
+    store = ContentStore()
+    cid = store.put(b"")
+    assert store.get(cid) == b""
+
+
+@given(st.binary(max_size=2_000))
+@settings(max_examples=25)
+def test_roundtrip_property(blob: bytes) -> None:
+    store = ContentStore(chunk_size=128)
+    assert store.get(store.put(blob)) == blob
+
+
+def test_content_addressing_is_deterministic() -> None:
+    s1, s2 = ContentStore(), ContentStore()
+    assert s1.put(b"same bytes") == s2.put(b"same bytes")
+    assert s1.put(b"a") != s1.put(b"b")
+
+
+def test_deduplication() -> None:
+    store = ContentStore(chunk_size=64)
+    store.put(b"\x00" * 640)  # 10 identical zero chunks
+    assert store.stored_bytes == 64  # stored once
+
+
+def test_unknown_id_raises() -> None:
+    store = ContentStore()
+    with pytest.raises(KeyError):
+        store.get(ContentId(b"\x00" * 32))
+
+
+def test_tampered_chunk_detected() -> None:
+    store = ContentStore(chunk_size=64)
+    cid = store.put(b"x" * 200)
+    store.tamper_chunk(cid, 1, b"y" * 64)
+    with pytest.raises((IntegrityError, KeyError)):
+        store.get(cid)
+
+
+def test_content_id_validation() -> None:
+    with pytest.raises(ValueError):
+        ContentId(b"\x00" * 16)
+    cid = ContentId(b"\xab" * 32)
+    assert ContentId.parse(cid.hex()) == cid
+
+
+def test_reference_strings() -> None:
+    cid = ContentId(b"\xcd" * 32)
+    reference = content_reference(cid)
+    assert reference.startswith("offchain:0x")
+    assert parse_content_reference(reference) == cid
+    assert parse_content_reference("plain description") is None
+
+
+def test_task_descriptions_can_point_offchain(zebra_system) -> None:
+    """A data-intensive task stores the image off-chain and only its
+    content id on-chain (footnote 13's optimization, implemented)."""
+    from repro.core import MajorityVotePolicy, Requester, Worker
+
+    store = ContentStore()
+    fake_image = b"\x89PNG" + bytes(range(200)) * 20
+    cid = store.put(fake_image)
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(
+        MajorityVotePolicy(2),
+        description=content_reference(cid),
+        num_answers=1, budget=100,
+    )
+    # A worker resolves and verifies the reference before answering.
+    worker = Worker(zebra_system, "w")
+    params = worker.read_task(task.address)
+    resolved = parse_content_reference(params.description)
+    assert resolved is not None
+    assert store.get(resolved) == fake_image
+    # On-chain footprint is the reference string, not the image.
+    assert len(params.description) < 100 < len(fake_image)
+    assert worker.submit_answer(task, [1]).receipt.success

@@ -1,0 +1,113 @@
+"""Network partitions, divergence, and longest-chain reconciliation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.chain.consensus import SimulatedPoWEngine
+from repro.chain.network import Network
+from repro.chain.node import GenesisConfig, Node
+from repro.chain.transaction import Transaction
+
+USER = ecdsa.ECDSAKeyPair.from_seed(b"pt-user")
+
+
+def _pow_world(miners: int = 2):
+    genesis = GenesisConfig(allocations={USER.address(): 10**12})
+    engine = SimulatedPoWEngine(difficulty=4)
+    network = Network()
+    nodes = [
+        network.add_node(
+            Node(f"pow-{i}", genesis, engine=engine,
+                 keypair=ecdsa.ECDSAKeyPair.from_seed(b"pow-%d" % i),
+                 is_miner=True)
+        )
+        for i in range(miners)
+    ]
+    return network, nodes
+
+
+def test_partition_blocks_gossip() -> None:
+    network, (node_a, node_b) = _pow_world()
+    network.partition([node_a], [node_b])
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                     to=b"\x03" * 20, value=1).sign(USER)
+    network.broadcast_transaction(tx, origin=node_a)
+    assert len(node_a.mempool) == 1
+    assert len(node_b.mempool) == 0
+
+
+def test_partition_diverges_then_longest_chain_wins() -> None:
+    network, (node_a, node_b) = _pow_world()
+    network.partition([node_a], [node_b])
+    # A mines one block; B mines two — different timestamps, two forks.
+    block_a = node_a.create_block(timestamp=1_500_000_015)
+    network.broadcast_block(block_a, origin=node_a)  # goes nowhere
+    node_b.create_block(timestamp=1_500_000_016)
+    node_b.create_block(timestamp=1_500_000_031)
+    assert node_a.height == 1
+    assert node_b.height == 2
+    assert node_a.head_block.block_hash != node_b.head_block.block_hash
+    network.heal()
+    # Everyone converges on B's longer chain.
+    assert node_a.height == node_b.height == 2
+    assert node_a.head_block.block_hash == node_b.head_block.block_hash
+    assert node_a.head_state.state_root() == node_b.head_state.state_root()
+
+
+def test_equal_length_fork_resolves_deterministically() -> None:
+    network, (node_a, node_b) = _pow_world()
+    network.partition([node_a], [node_b])
+    node_a.create_block(timestamp=1_500_000_015)
+    node_b.create_block(timestamp=1_500_000_016)
+    network.heal()
+    assert node_a.head_block.block_hash == node_b.head_block.block_hash
+    # Deterministic tie-break: lowest hash.
+    assert node_a.head_block.block_hash == min(
+        node_a.block_by_number(1).block_hash, node_b.block_by_number(1).block_hash
+    ) or node_a.height > 1
+
+
+def test_transactions_resurface_after_heal() -> None:
+    """A tx mined only on the losing fork is re-executable on the winner.
+
+    (Simplified: we check the winning chain's state simply lacks the
+    orphaned transfer, i.e. no double-apply happened.)"""
+    network, (node_a, node_b) = _pow_world()
+    network.partition([node_a], [node_b])
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                     to=b"\x04" * 20, value=77).sign(USER)
+    network.broadcast_transaction(tx, origin=node_a)
+    node_a.create_block(timestamp=1_500_000_015)  # includes the tx
+    node_b.create_block(timestamp=1_500_000_016)  # empty fork
+    node_b.create_block(timestamp=1_500_000_031)  # B is longer
+    network.heal()
+    # The winner is B's chain, where the transfer never happened (once).
+    assert node_a.head_block.block_hash == node_b.head_block.block_hash
+    balance = node_a.head_state.balance_of(b"\x04" * 20)
+    assert balance in (0, 77)  # never 154 (no double-apply)
+    if balance == 0:
+        # The tx is still valid and can be re-mined on the new head.
+        node_a.submit_transaction(tx)
+        block = node_a.create_block(timestamp=1_500_000_050)
+        assert any(s.tx_hash == tx.tx_hash for s in block.transactions)
+
+
+def test_unpartitioned_nodes_hear_everything() -> None:
+    network, nodes = _pow_world(miners=3)
+    node_a, node_b, node_c = nodes
+    network.partition([node_a], [node_b])  # c is in no group: multi-homed
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                     to=b"\x05" * 20, value=1).sign(USER)
+    network.broadcast_transaction(tx, origin=node_a)
+    assert len(node_c.mempool) == 1
+    assert len(node_b.mempool) == 0
+
+
+def test_heal_is_idempotent() -> None:
+    network, (node_a, node_b) = _pow_world()
+    node_a.create_block(timestamp=1_500_000_015)
+    network.heal()
+    network.heal()
+    assert node_a.head_block.block_hash == node_b.head_block.block_hash

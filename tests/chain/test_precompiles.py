@@ -1,0 +1,85 @@
+"""The snark_verify precompile: dispatch, gas, metrics, input hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractError, OutOfGasError
+from repro.chain.gas import GasMeter
+from repro.chain.precompiles import SNARK_VERIFY_METRICS, snark_verify_precompile
+from repro.zksnark import CircuitDefinition, MockBackend
+from repro.zksnark.backend import Proof
+
+
+class _Square(CircuitDefinition):
+    name = "pc-square"
+
+    def example_instance(self):
+        return (5, 25)
+
+    def synthesize(self, cs, instance) -> None:
+        out = cs.alloc_public(instance[1])
+        x = cs.alloc(instance[0])
+        cs.enforce(x, x, out)
+
+
+@pytest.fixture(scope="module")
+def material():
+    backend = MockBackend()
+    keys = backend.setup(_Square(), seed=b"pc")
+    proof = backend.prove(keys.proving_key, _Square(), (5, 25))
+    return keys, proof
+
+
+def _meter(limit: int = 10**7) -> GasMeter:
+    return GasMeter(limit=limit)
+
+
+def test_valid_proof_verifies(material) -> None:
+    keys, proof = material
+    assert snark_verify_precompile(_meter(), keys.verifying_key, [25], proof)
+
+
+def test_invalid_statement_returns_false(material) -> None:
+    keys, proof = material
+    assert not snark_verify_precompile(_meter(), keys.verifying_key, [26], proof)
+
+
+def test_gas_charged_per_input(material) -> None:
+    keys, proof = material
+    meter = _meter()
+    snark_verify_precompile(meter, keys.verifying_key, [25], proof)
+    schedule = meter.schedule
+    assert meter.used == (
+        schedule.snark_verify_base + schedule.snark_verify_per_input
+    )
+
+
+def test_out_of_gas_aborts_before_pairing(material) -> None:
+    keys, proof = material
+    with pytest.raises(OutOfGasError):
+        snark_verify_precompile(_meter(limit=10), keys.verifying_key, [25], proof)
+
+
+def test_non_proof_input_reverts(material) -> None:
+    keys, _ = material
+    with pytest.raises(ContractError):
+        snark_verify_precompile(_meter(), keys.verifying_key, [25], b"junk")
+
+
+def test_non_list_inputs_revert(material) -> None:
+    keys, proof = material
+    with pytest.raises(ContractError):
+        snark_verify_precompile(_meter(), keys.verifying_key, 25, proof)
+
+
+def test_metrics_recorded(material) -> None:
+    keys, proof = material
+    SNARK_VERIFY_METRICS.reset()
+    snark_verify_precompile(_meter(), keys.verifying_key, [25], proof)
+    snark_verify_precompile(_meter(), keys.verifying_key, [25], proof)
+    assert SNARK_VERIFY_METRICS.calls == 2
+    assert len(SNARK_VERIFY_METRICS.per_call_seconds) == 2
+    assert SNARK_VERIFY_METRICS.total_seconds >= 0
+    SNARK_VERIFY_METRICS.reset()
+    assert SNARK_VERIFY_METRICS.calls == 0

@@ -1,0 +1,92 @@
+"""Canonical encoding round-trips and edge cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.serialization import (
+    bytes_to_int,
+    chunk_bytes,
+    decode,
+    encode,
+    from_hex,
+    hex_str,
+    int_to_bytes,
+)
+
+scalars = st.one_of(
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.binary(max_size=40),
+    st.text(max_size=20),
+    st.none(),
+    st.booleans(),
+)
+values = st.recursive(scalars, lambda inner: st.lists(inner, max_size=4), max_leaves=12)
+
+
+def _normalize(value):
+    """bools encode as ints; tuples as lists."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    return value
+
+
+@given(values)
+def test_roundtrip(value) -> None:
+    assert decode(encode(value)) == _normalize(value)
+
+
+def test_dict_roundtrip() -> None:
+    original = {"a": 1, "b": [b"xy", None], "c": {"nested": "yes"}}
+    assert decode(encode(original)) == original
+
+
+def test_object_fallback_roundtrip() -> None:
+    from repro.zksnark.backend import Proof
+
+    proof = Proof(backend="mock", payload=b"\x01" * 8)
+    assert decode(encode([proof, 3])) == [proof, 3]
+
+
+def test_trailing_bytes_rejected() -> None:
+    with pytest.raises(ValueError):
+        decode(encode(1) + b"\x00")
+
+
+def test_truncation_rejected() -> None:
+    blob = encode([1, 2, 3])
+    with pytest.raises(ValueError):
+        decode(blob[:-1])
+
+
+def test_unknown_tag_rejected() -> None:
+    with pytest.raises(ValueError):
+        decode(b"\xff\x00\x00\x00\x00")
+
+
+def test_distinct_types_encode_differently() -> None:
+    assert encode(b"1") != encode("1") != encode(1)
+    assert encode([]) != encode(None)
+
+
+def test_int_helpers() -> None:
+    assert int_to_bytes(0) == b"\x00"
+    assert int_to_bytes(256, 4) == b"\x00\x00\x01\x00"
+    assert bytes_to_int(b"\x01\x00") == 256
+    with pytest.raises(ValueError):
+        int_to_bytes(-1)
+
+
+def test_hex_helpers() -> None:
+    assert hex_str(b"\xab\xcd") == "0xabcd"
+    assert from_hex("0xabcd") == b"\xab\xcd"
+    assert from_hex("abcd") == b"\xab\xcd"
+
+
+def test_chunk_bytes() -> None:
+    assert list(chunk_bytes(b"abcdef", 4)) == [b"abcd", b"ef"]
+    with pytest.raises(ValueError):
+        list(chunk_bytes(b"ab", 0))

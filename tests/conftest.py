@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Expensive artifacts (SNARK setups, bootstrapped systems) are
+session-scoped where tests only read them; anything tests mutate is
+function-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.contracts  # noqa: F401  (side effect: registers contract classes)
+from repro.profiles import TEST
+from repro.zksnark.gadgets.mimc import MiMCParameters
+
+
+@pytest.fixture(scope="session")
+def mimc7() -> MiMCParameters:
+    """The TEST-profile MiMC parameters (7 rounds)."""
+    return MiMCParameters.for_rounds(TEST.mimc_rounds)
+
+
+@pytest.fixture(scope="session")
+def mock_auth_system():
+    """A merkle-mode anonymous-auth setup on the ideal backend.
+
+    Session-scoped and shared: tests must not register identities here
+    (use ``fresh_auth_system`` for that); they may freely create users,
+    attestations, and verify.
+    """
+    from repro.anonauth import setup
+
+    params, authority = setup(
+        profile="test", cert_mode="merkle", backend_name="mock", seed=b"conftest"
+    )
+    return params, authority
+
+
+@pytest.fixture
+def fresh_auth_system():
+    """A private merkle-mode auth setup (mock backend) per test."""
+    from repro.anonauth import setup
+
+    return setup(
+        profile="test", cert_mode="merkle", backend_name="mock", seed=b"fresh"
+    )
+
+
+@pytest.fixture(scope="session")
+def groth16_auth_system():
+    """A merkle-mode auth setup on the REAL Groth16 backend (slow-ish)."""
+    from repro.anonauth import setup
+
+    return setup(
+        profile="test", cert_mode="merkle", backend_name="groth16", seed=b"g16"
+    )
+
+
+@pytest.fixture
+def zebra_system():
+    """A freshly bootstrapped ZebraLancer deployment (mock backend)."""
+    from repro.core import ZebraLancerSystem
+
+    return ZebraLancerSystem(profile="test", cert_mode="merkle", backend_name="mock")
+
+
+@pytest.fixture
+def testnet():
+    """A bare 2-miner + 2-full-node test net."""
+    from repro.chain import Testnet
+
+    return Testnet()

@@ -1,0 +1,84 @@
+"""Baselines must exhibit exactly the failures ZebraLancer removes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.baselines import CentralizedPlatform, NaiveDecentralizedPlatform
+from repro.core.policy import MajorityVotePolicy
+
+POLICY = MajorityVotePolicy(num_choices=3)
+
+
+def test_centralized_false_reporting_succeeds() -> None:
+    platform = CentralizedPlatform()
+    platform.post_task("t", budget=300)
+    for vote in ([1], [1], [2]):
+        platform.submit("t", vote)
+    owed = POLICY.compute_rewards(platform.answers("t"), 300)
+    assert owed == [100, 100, 0]
+    outcome = platform.settle("t", [0, 0, 0])  # requester stiffs everyone
+    assert outcome.payments == [0, 0, 0]  # nothing stopped her
+
+
+def test_centralized_platform_reads_all_plaintexts() -> None:
+    platform = CentralizedPlatform()
+    platform.post_task("t", budget=10)
+    platform.submit("t", [7])
+    assert platform.observed_plaintexts == [[7]]
+
+
+def test_centralized_budget_cap_is_only_guard() -> None:
+    platform = CentralizedPlatform()
+    platform.post_task("t", budget=100)
+    platform.submit("t", [1])
+    with pytest.raises(ProtocolError):
+        platform.settle("t", [101])
+    with pytest.raises(ProtocolError):
+        platform.settle("t", [1, 2])  # arity mismatch
+
+
+def test_centralized_task_ids_unique() -> None:
+    platform = CentralizedPlatform()
+    platform.post_task("t", budget=1)
+    with pytest.raises(ProtocolError):
+        platform.post_task("t", budget=2)
+
+
+def test_naive_chain_free_riding_succeeds() -> None:
+    naive = NaiveDecentralizedPlatform(POLICY, budget=300, num_answers=3)
+    naive.broadcast("honest-1", [1])
+    naive.broadcast("honest-2", [1])
+    stolen = naive.visible_pending_answers()[0]  # plaintext in the pool!
+    naive.broadcast("rider", list(stolen))
+    naive.mine()
+    outcome = naive.settle()
+    rider_pay = outcome.payments[naive.senders().index("rider")]
+    assert rider_pay == 100  # full share for zero effort
+
+
+def test_naive_chain_sybil_submissions_succeed() -> None:
+    naive = NaiveDecentralizedPlatform(POLICY, budget=300, num_answers=3)
+    for _ in range(3):
+        naive.broadcast("sybil", [0])  # same "worker", three shares
+    naive.mine()
+    outcome = naive.settle()
+    assert sum(outcome.payments) == 300
+    assert naive.senders() == ["sybil"] * 3
+
+
+def test_naive_chain_capacity_respected() -> None:
+    naive = NaiveDecentralizedPlatform(POLICY, budget=300, num_answers=2)
+    for index in range(4):
+        naive.broadcast(f"w{index}", [1])
+    naive.mine()
+    assert len(naive.included) == 2
+
+
+def test_naive_chain_exposes_all_data() -> None:
+    naive = NaiveDecentralizedPlatform(POLICY, budget=300, num_answers=2)
+    naive.broadcast("w", [2])
+    naive.mine()
+    outcome = naive.settle()
+    assert outcome.data_visible_to_platform == [[2]]

@@ -1,0 +1,91 @@
+"""Data confidentiality: the chain reveals nothing about the answers."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core import MajorityVotePolicy, Requester, Worker
+
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def _all_chain_bytes(system) -> bytes:
+    """Everything a chain observer ever sees: every tx of every block."""
+    blobs = []
+    for block in system.node.chain_to_genesis():
+        for stx in block.transactions:
+            blobs.append(stx.transaction.data)
+            blobs.append(stx.transaction.signing_hash())
+    return b"".join(blobs)
+
+
+def test_plaintext_answers_never_touch_the_chain(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300)
+    secret_marker = 0xDEADBEEF  # a recognizable answer value
+    for worker in workers:
+        worker.submit_answer(task, [secret_marker])
+    transcript = _all_chain_bytes(zebra_system)
+    # The 32-byte field encoding of the answer never appears on-chain.
+    assert secret_marker.to_bytes(32, "big") not in transcript
+
+
+def test_identical_answers_produce_unrelated_ciphertexts(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300)
+    for worker in workers:
+        worker.submit_answer(task, [1])  # all submit the same answer
+    wires = zebra_system.node.call(task.address, "get_ciphertexts")
+    assert len(set(wires)) == 3  # no equality leakage
+    from repro.core.encryption import AnswerCiphertext
+
+    bodies = [AnswerCiphertext.from_wire(w).body for w in wires]
+    assert len(set(bodies)) == 3
+
+
+def test_ciphertext_bytes_look_uniform(zebra_system) -> None:
+    """Crude distinguisher: byte histogram of ciphertext bodies should
+    not be degenerate (no long runs/repeats leaking structure)."""
+    requester = Requester(zebra_system, "r")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300)
+    for worker in workers:
+        worker.submit_answer(task, [0])
+    from repro.core.encryption import AnswerCiphertext
+
+    wires = zebra_system.node.call(task.address, "get_ciphertexts")
+    body_bytes = b"".join(
+        AnswerCiphertext.from_wire(w).body[0].to_bytes(32, "big") for w in wires
+    )
+    histogram = Counter(body_bytes)
+    assert histogram.most_common(1)[0][1] <= len(body_bytes) // 4
+
+
+def test_rewards_are_public_but_answers_stay_private(zebra_system) -> None:
+    """After settlement the instruction (rewards) is public — and still
+    nothing about the losing answer's value is derivable from the chain
+    beyond what the policy output itself implies."""
+    requester = Requester(zebra_system, "r")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300)
+    votes = [2, 2, 3]
+    for worker, vote in zip(workers, votes):
+        worker.submit_answer(task, [vote])
+    assert requester.evaluate_and_reward(task).success
+    assert task.rewards() == [100, 100, 0]
+    transcript = _all_chain_bytes(zebra_system)
+    for vote in votes:
+        assert vote.to_bytes(32, "big") not in transcript
+
+
+def test_requester_sees_answers_only_after_decryption(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    worker = Worker(zebra_system, "w")
+    task = requester.publish_task(POLICY, "t", num_answers=1, budget=100)
+    worker.submit_answer(task, [3])
+    answers, keys, flags = requester.decrypt_answers(task)
+    assert answers == [[3]]
+    assert flags == [1]
+    assert keys[0] != 0

@@ -1,0 +1,122 @@
+"""Hybrid answer encryption: RSA-OAEP KEM + MiMC-CTR + commitment."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecryptionError
+from repro.core.encryption import (
+    AnswerCiphertext,
+    TaskKeyPair,
+    decrypt_answer,
+    decrypt_with_key,
+    encrypt_answer,
+    recover_answer_key,
+)
+from repro.zksnark.field import BN128_SCALAR_FIELD
+from repro.zksnark.gadgets.mimc import MiMCParameters
+
+MIMC = MiMCParameters.for_rounds(7)
+
+
+@pytest.fixture(scope="module")
+def task_keys() -> TaskKeyPair:
+    return TaskKeyPair.generate(bits=1024, rng=random.Random(0))
+
+
+def test_roundtrip(task_keys) -> None:
+    ciphertext = encrypt_answer(task_keys.public_key, [3], MIMC, random.Random(1))
+    assert decrypt_answer(task_keys, ciphertext, MIMC) == [3]
+
+
+def test_multi_element_roundtrip(task_keys) -> None:
+    fields = [1, 0, 2, 99]
+    ciphertext = encrypt_answer(task_keys.public_key, fields, MIMC, random.Random(2))
+    assert decrypt_answer(task_keys, ciphertext, MIMC) == fields
+
+
+@given(st.lists(st.integers(min_value=0, max_value=BN128_SCALAR_FIELD - 1),
+                min_size=1, max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_roundtrip_property(fields) -> None:
+    keys = _KEYS[0]
+    ciphertext = encrypt_answer(keys.public_key, fields, MIMC,
+                                random.Random(sum(fields) % 1000))
+    assert decrypt_answer(keys, ciphertext, MIMC) == fields
+
+
+_KEYS = [TaskKeyPair.generate(bits=1024, rng=random.Random(77))]
+
+
+def test_semantic_security_shape(task_keys) -> None:
+    """Same answer twice → unrelated ciphertexts (fresh key + nonce)."""
+    c1 = encrypt_answer(task_keys.public_key, [1], MIMC, random.Random(3))
+    c2 = encrypt_answer(task_keys.public_key, [1], MIMC, random.Random(4))
+    assert c1.body != c2.body
+    assert c1.key_commitment != c2.key_commitment
+    assert c1.key_blob != c2.key_blob
+
+
+def test_ciphertext_hides_answer_value(task_keys) -> None:
+    c_zero = encrypt_answer(task_keys.public_key, [0], MIMC, random.Random(5))
+    # Even answer 0 yields a full-size random-looking body element.
+    assert c_zero.body[0] != 0
+    assert c_zero.body[0].bit_length() > 200
+
+
+def test_wrong_key_fails(task_keys) -> None:
+    other = TaskKeyPair.generate(bits=1024, rng=random.Random(6))
+    ciphertext = encrypt_answer(task_keys.public_key, [2], MIMC, random.Random(7))
+    with pytest.raises(DecryptionError):
+        decrypt_answer(other, ciphertext, MIMC)
+
+
+def test_tampered_commitment_detected(task_keys) -> None:
+    ciphertext = encrypt_answer(task_keys.public_key, [2], MIMC, random.Random(8))
+    tampered = AnswerCiphertext(
+        key_commitment=ciphertext.key_commitment + 1,
+        nonce=ciphertext.nonce,
+        body=ciphertext.body,
+        key_blob=ciphertext.key_blob,
+    )
+    with pytest.raises(DecryptionError):
+        recover_answer_key(task_keys, tampered, MIMC)
+
+
+def test_tampered_blob_detected(task_keys) -> None:
+    ciphertext = encrypt_answer(task_keys.public_key, [2], MIMC, random.Random(9))
+    blob = bytearray(ciphertext.key_blob)
+    blob[4] ^= 1
+    tampered = AnswerCiphertext(
+        key_commitment=ciphertext.key_commitment,
+        nonce=ciphertext.nonce,
+        body=ciphertext.body,
+        key_blob=bytes(blob),
+    )
+    with pytest.raises(DecryptionError):
+        recover_answer_key(task_keys, tampered, MIMC)
+
+
+def test_wire_roundtrip(task_keys) -> None:
+    ciphertext = encrypt_answer(task_keys.public_key, [2, 3], MIMC, random.Random(10))
+    assert AnswerCiphertext.from_wire(ciphertext.to_wire()) == ciphertext
+    assert ciphertext.size_bytes() == len(ciphertext.to_wire())
+
+
+def test_decrypt_with_key_matches_full_decrypt(task_keys) -> None:
+    ciphertext = encrypt_answer(task_keys.public_key, [2], MIMC, random.Random(11))
+    key = recover_answer_key(task_keys, ciphertext, MIMC)
+    assert decrypt_with_key(key, ciphertext, MIMC) == [2]
+
+
+def test_empty_answer_rejected(task_keys) -> None:
+    with pytest.raises(ValueError):
+        encrypt_answer(task_keys.public_key, [], MIMC, random.Random(12))
+
+
+def test_system_rng_path(task_keys) -> None:
+    ciphertext = encrypt_answer(task_keys.public_key, [5], MIMC, rng=None)
+    assert decrypt_answer(task_keys, ciphertext, MIMC) == [5]

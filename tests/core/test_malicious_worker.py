@@ -1,0 +1,209 @@
+"""Security against malicious workers (event B2 must not happen)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.transaction import Transaction, encode_call
+from repro.core import MajorityVotePolicy, Requester, Worker
+from repro.core.anonymity import derive_one_task_account
+from repro.core.attacks import FreeRiderWorker, MultiSubmissionWorker
+from repro.core.encryption import AnswerCiphertext, encrypt_answer
+from repro.anonauth.scheme import task_prefix
+
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def test_multi_submission_blocked_by_link(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300,
+                                  answer_window=40)
+    sybil = MultiSubmissionWorker(zebra_system, "sybil")
+    receipts = sybil.submit_many(task, [[1], [1], [1]])
+    assert receipts[0].success
+    assert not receipts[1].success and "double submission" in receipts[1].error
+    assert not receipts[2].success
+    assert task.answer_count() == 1
+
+
+def test_multi_submission_caps_reward_at_single_share(zebra_system) -> None:
+    """B2: the attacker never collects more than max_j R(A_j; τ)."""
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300,
+                                  answer_window=40)
+    sybil = MultiSubmissionWorker(zebra_system, "sybil")
+    sybil.submit_many(task, [[1], [1]])
+    honest = Worker(zebra_system, "honest")
+    honest.submit_answer(task, [1])
+    # Collection still open (2/3 filled); settle what's there at deadline.
+    deadline = zebra_system.node.call(task.address, "answer_deadline")
+    while zebra_system.testnet.height <= deadline:
+        zebra_system.mine()
+    assert requester.evaluate_and_reward(task).success
+    rewards = task.rewards()
+    assert len(rewards) == 2
+    assert max(rewards) <= 300 // 3  # one share at most
+
+
+def test_free_rider_cannot_copy_ciphertext(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300,
+                                  answer_window=40)
+    victim = Worker(zebra_system, "victim")
+    assert victim.submit_answer(task, [2]).receipt.success
+    rider = FreeRiderWorker(zebra_system, "rider")
+    stolen_wire = zebra_system.node.call(task.address, "get_ciphertexts")[0]
+    receipt = rider.submit_copied_ciphertext(task.address, stolen_wire)
+    assert not receipt.success
+    assert "duplicate ciphertext" in receipt.error
+
+
+def test_free_rider_sees_pending_but_copy_still_fails(zebra_system) -> None:
+    """Even copying straight from the mempool (before inclusion) fails:
+    if his copy lands first, the victim's original is the 'duplicate',
+    but the rider still can't earn more than one identical-answer share
+    and his copy is rejected whenever the victim's tx is already in."""
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300,
+                                  answer_window=40)
+    victim = Worker(zebra_system, "victim")
+    victim.submit_answer(task, [2])
+    rider = FreeRiderWorker(zebra_system, "rider")
+    # Nothing pending now (all mined); steal from chain instead:
+    assert rider.steal_pending_ciphertext(task.address) is None
+    stolen = zebra_system.node.call(task.address, "get_ciphertexts")[0]
+    assert not rider.submit_copied_ciphertext(task.address, stolen).success
+
+
+def test_raw_transaction_replay_is_inert(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=2, budget=200,
+                                  answer_window=40)
+    victim = Worker(zebra_system, "victim")
+    record = victim.submit_answer(task, [1])
+    assert task.answer_count() == 1
+    # Replay the exact signed transaction: stale nonce, zero effect.
+    victim_tx = None
+    for stx in zebra_system.testnet.network.transaction_log:
+        if stx.transaction.to == task.address:
+            victim_tx = stx
+    rider = FreeRiderWorker(zebra_system, "rider")
+    assert not rider.replay_raw_transaction(victim_tx)
+    zebra_system.mine(2)
+    assert task.answer_count() == 1
+
+
+def test_unregistered_worker_rejected_on_chain(zebra_system) -> None:
+    """A submission authenticated with a bogus certificate fails Verify."""
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=2, budget=200,
+                                  answer_window=40)
+    # Build a submission by hand with a *forged* attestation (random tags
+    # and proof bytes).
+    from repro.anonauth.scheme import Attestation
+    from repro.zksnark.backend import Proof
+
+    account = derive_one_task_account(b"outsider", f"task:{task.address.hex()}")
+    zebra_system.fund_anonymous(account.address)
+    from repro.crypto.rsa import RSAPublicKey
+    from repro.serialization import decode
+
+    n_value, e_value = decode(zebra_system.node.call(task.address, "get_epk"))
+    epk = RSAPublicKey(n=n_value, e=e_value)
+    ciphertext = encrypt_answer(epk, [1], zebra_system.mimc, random.Random(1))
+    forged = Attestation(
+        t1=123, t2=456,
+        proof=Proof(backend="mock", payload=b"\x00" * 256),
+        registry_commitment=zebra_system.registry_commitment(),
+    )
+    tx = Transaction(
+        nonce=0, gas_price=1, gas_limit=10_000_000, to=task.address, value=0,
+        data=encode_call("submit_answer",
+                         [ciphertext.to_wire(), forged.to_wire()]),
+    )
+    receipt = zebra_system.send_and_confirm(tx.sign(account.keypair))
+    assert not receipt.success
+    assert "not authenticated" in receipt.error
+
+
+def test_attestation_bound_to_sender_address(zebra_system) -> None:
+    """Footnote 9: re-sending an authenticated (ciphertext, attestation)
+    pair from a different address fails — the message includes α_i."""
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=2, budget=200,
+                                  answer_window=40)
+    victim = Worker(zebra_system, "victim")
+    victim.submit_answer(task, [1])
+    # Recover the victim's calldata from the ledger and re-send it
+    # verbatim from the attacker's own fresh address (fresh ciphertext
+    # bytes would be required to dodge the duplicate check, but the point
+    # here is the address binding, which fails first conceptually; use a
+    # tweaked ciphertext to reach the Verify step).
+    from repro.serialization import decode
+
+    victim_tx = None
+    for stx in zebra_system.testnet.network.transaction_log:
+        if stx.transaction.to == task.address and stx.transaction.data:
+            kind, method, args = decode(stx.transaction.data)
+            if method == "submit_answer":
+                victim_tx = args
+    ciphertext_wire, attestation_wire = victim_tx
+    # Attacker mutates one ciphertext byte to dodge the duplicate check…
+    tweaked = bytearray(ciphertext_wire)
+    tweaked[-1] ^= 1
+    attacker = derive_one_task_account(b"attacker", f"task:{task.address.hex()}")
+    zebra_system.fund_anonymous(attacker.address)
+    tx = Transaction(
+        nonce=0, gas_price=1, gas_limit=10_000_000, to=task.address, value=0,
+        data=encode_call("submit_answer", [bytes(tweaked), attestation_wire]),
+    )
+    receipt = zebra_system.send_and_confirm(tx.sign(attacker.keypair))
+    # …but the attestation no longer matches α_C‖α_attacker‖C'.
+    assert not receipt.success
+
+
+def test_malformed_key_blob_forfeits_reward_and_burns(zebra_system) -> None:
+    """A worker posting an undecryptable blob gets flagged: no reward,
+    and the contract burns the slot's share."""
+    from repro.chain.address import ZERO_ADDRESS
+    from repro.anonauth.scheme import Attestation as _A  # noqa: F401
+
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "t", num_answers=2, budget=600,
+                                  answer_window=40)
+    honest = Worker(zebra_system, "honest")
+    honest.submit_answer(task, [1])
+
+    # The cheat: a syntactically valid ciphertext whose commitment does
+    # not match the OAEP'd key.
+    cheater = Worker(zebra_system, "cheater")
+    epk = cheater.read_task_epk(task.address)
+    good = encrypt_answer(epk, [1], zebra_system.mimc, random.Random(5))
+    bad = AnswerCiphertext(
+        key_commitment=good.key_commitment + 1,  # breaks the opening
+        nonce=good.nonce, body=good.body, key_blob=good.key_blob,
+    )
+    account = derive_one_task_account(cheater._seed, f"task:{task.address.hex()}")
+    zebra_system.fund_anonymous(account.address)
+    certificate = zebra_system.current_certificate(cheater.keys.public_key)
+    commitment = zebra_system.registry_commitment()
+    wire = bad.to_wire()
+    attestation = zebra_system.scheme.auth(
+        task_prefix(task.address) + account.address + wire,
+        cheater.keys, certificate, commitment,
+    )
+    tx = Transaction(
+        nonce=zebra_system.node.nonce_of(account.address), gas_price=1,
+        gas_limit=10_000_000, to=task.address, value=0,
+        data=encode_call("submit_answer", [wire, attestation.to_wire()]),
+    )
+    assert zebra_system.send_and_confirm(tx.sign(account.keypair)).success
+
+    burned_before = zebra_system.node.balance_of(ZERO_ADDRESS)
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success, receipt.error
+    rewards = task.rewards()
+    assert rewards[0] == 300 and rewards[1] == 0
+    assert zebra_system.node.balance_of(ZERO_ADDRESS) - burned_before == 300

@@ -1,0 +1,91 @@
+"""TaskParameters validation + the on-chain registry contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.chain.transaction import Transaction, encode_call
+from repro.core.params import TaskParameters
+
+
+def _params(**overrides) -> TaskParameters:
+    fields = dict(
+        description="d", num_answers=3, budget=300, answer_window=5,
+        instruction_window=5, policy_descriptor={"name": "majority-vote"},
+        answer_arity=1, encryption_key_fingerprint=b"\x00" * 32,
+    )
+    fields.update(overrides)
+    return TaskParameters(**fields)
+
+
+def test_params_roundtrip_storage() -> None:
+    params = _params()
+    assert TaskParameters.from_storage(params.to_storage()) == params
+
+
+def test_params_validation() -> None:
+    with pytest.raises(ProtocolError):
+        _params(num_answers=0)
+    with pytest.raises(ProtocolError):
+        _params(budget=1)  # below one unit per answer
+    with pytest.raises(ProtocolError):
+        _params(answer_window=0)
+    with pytest.raises(ProtocolError):
+        _params(instruction_window=0)
+
+
+def test_registry_initial_state(zebra_system) -> None:
+    node = zebra_system.node
+    registry = zebra_system.registry_address
+    assert node.call(registry, "get_cert_mode") == "merkle"
+    assert node.call(registry, "get_commitment") == (
+        zebra_system.authority.registry_commitment()
+    )
+    assert node.call(registry, "get_auth_vk") is not None
+
+
+def test_registration_pushes_commitment_history(zebra_system) -> None:
+    from repro.anonauth.keys import UserKeyPair
+
+    node = zebra_system.node
+    registry = zebra_system.registry_address
+    old = node.call(registry, "get_commitment")
+    user = UserKeyPair.generate(zebra_system.mimc, seed=b"new-user")
+    zebra_system.register_participant("new-user", user.public_key)
+    new = node.call(registry, "get_commitment")
+    assert new != old
+    assert node.call(registry, "is_known_commitment", [old])
+    assert node.call(registry, "is_known_commitment", [new])
+    assert not node.call(registry, "is_known_commitment", [12345])
+
+
+def test_only_authority_updates_commitment(zebra_system) -> None:
+    from repro.crypto import ecdsa
+
+    intruder = ecdsa.ECDSAKeyPair.from_seed(b"intruder")
+    zebra_system.testnet.fund(intruder.address(), 10**9)
+    tx = Transaction(
+        nonce=0, gas_price=1, gas_limit=1_000_000,
+        to=zebra_system.registry_address, value=0,
+        data=encode_call("update_commitment", [999]),
+    )
+    receipt = zebra_system.send_and_confirm(tx.sign(intruder))
+    assert not receipt.success
+    assert "only the registration authority" in receipt.error
+
+
+def test_duplicate_commitment_update_is_noop(zebra_system) -> None:
+    node = zebra_system.node
+    registry = zebra_system.registry_address
+    current = node.call(registry, "get_commitment")
+    tx = Transaction(
+        nonce=zebra_system._ra_nonce, gas_price=1, gas_limit=1_000_000,
+        to=registry, value=0,
+        data=encode_call("update_commitment", [current]),
+    )
+    zebra_system._ra_nonce += 1
+    receipt = zebra_system.send_and_confirm(tx.sign(zebra_system._ra_key))
+    assert receipt.success
+    state = node.head_state.account(registry).storage
+    assert state["commitments"].count(current) == 1

@@ -1,0 +1,205 @@
+"""Reward policies: math properties + budget feasibility."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolicyError
+from repro.core.policy import (
+    DawidSkeneEMPolicy,
+    MajorityVotePolicy,
+    ProportionalAgreementPolicy,
+    ReverseAuctionPolicy,
+)
+
+# ----- majority vote ----------------------------------------------------------
+
+
+def test_majority_basic() -> None:
+    policy = MajorityVotePolicy(num_choices=3)
+    rewards = policy.compute_rewards([[1], [1], [2]], budget=90)
+    assert rewards == [30, 30, 0]
+
+
+def test_majority_tie_breaks_low() -> None:
+    policy = MajorityVotePolicy(num_choices=3)
+    rewards = policy.compute_rewards([[2], [0]], budget=100)
+    assert rewards == [0, 50]  # choice 0 wins the tie
+
+
+def test_majority_missing_answers_are_bot() -> None:
+    policy = MajorityVotePolicy(num_choices=3)
+    rewards = policy.compute_rewards([[1], None, [1]], budget=90)
+    assert rewards == [30, 0, 30]
+
+
+def test_majority_out_of_range_never_rewarded() -> None:
+    policy = MajorityVotePolicy(num_choices=3)
+    rewards = policy.compute_rewards([[7], [7], [1]], budget=90)
+    # 7 is not a valid choice: no votes for it, choice 1 wins.
+    assert rewards == [0, 0, 30]
+
+
+def test_majority_all_bot() -> None:
+    policy = MajorityVotePolicy(num_choices=3)
+    assert policy.compute_rewards([None, None], budget=10) == [0, 0]
+    assert policy.majority_value([None, None]) is None
+
+
+def test_majority_empty() -> None:
+    policy = MajorityVotePolicy(num_choices=3)
+    assert policy.compute_rewards([], budget=10) == []
+
+
+@given(
+    st.lists(st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+             min_size=1, max_size=12),
+    st.integers(min_value=12, max_value=10**6),
+)
+@settings(max_examples=60)
+def test_majority_budget_and_uniformity(votes, budget) -> None:
+    policy = MajorityVotePolicy(num_choices=4)
+    answers = [None if v is None else [v] for v in votes]
+    rewards = policy.compute_rewards(answers, budget)
+    assert sum(rewards) <= budget
+    paid = {r for r in rewards if r > 0}
+    assert len(paid) <= 1  # winners all receive the same τ/n
+    if paid:
+        assert paid == {budget // len(votes)}
+
+
+def test_majority_requires_two_choices() -> None:
+    with pytest.raises(PolicyError):
+        MajorityVotePolicy(num_choices=1)
+
+
+def test_arity_validated() -> None:
+    policy = MajorityVotePolicy(num_choices=3)
+    with pytest.raises(PolicyError):
+        policy.compute_rewards([[1, 2]], budget=10)
+
+
+# ----- proportional agreement ----------------------------------------------------
+
+
+def test_proportional_agreement() -> None:
+    policy = ProportionalAgreementPolicy(num_choices=3)
+    rewards = policy.compute_rewards([[1], [1], [2]], budget=100)
+    assert rewards[0] == rewards[1] > 0
+    assert rewards[2] == 0
+    assert sum(rewards) <= 100
+
+
+def test_proportional_lone_answers_earn_nothing() -> None:
+    policy = ProportionalAgreementPolicy(num_choices=4)
+    assert policy.compute_rewards([[0], [1], [2]], budget=99) == [0, 0, 0]
+
+
+@given(
+    st.lists(st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+             min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=10**6),
+)
+@settings(max_examples=60)
+def test_proportional_budget_feasible(votes, budget) -> None:
+    policy = ProportionalAgreementPolicy(num_choices=3)
+    answers = [None if v is None else [v] for v in votes]
+    rewards = policy.compute_rewards(answers, budget)
+    assert sum(rewards) <= budget
+    assert all(r >= 0 for r in rewards)
+
+
+# ----- Dawid–Skene EM ---------------------------------------------------------------
+
+
+def test_em_recovers_truth_with_reliable_majority() -> None:
+    policy = DawidSkeneEMPolicy(num_choices=3, num_items=5)
+    truth = [0, 1, 2, 1, 0]
+    answers = [list(truth), list(truth), [2, 2, 2, 2, 2]]
+    inferred, accuracies = policy.infer(answers)
+    assert inferred == truth
+    assert accuracies[0] > accuracies[2]
+
+
+def test_em_rewards_track_accuracy() -> None:
+    policy = DawidSkeneEMPolicy(num_choices=3, num_items=4)
+    good = [0, 1, 2, 0]
+    answers = [list(good), list(good), [1, 0, 0, 2]]
+    rewards = policy.compute_rewards(answers, budget=1_000)
+    assert rewards[0] == rewards[1] > rewards[2]
+    assert sum(rewards) <= 1_000
+
+
+def test_em_handles_missing_workers() -> None:
+    policy = DawidSkeneEMPolicy(num_choices=2, num_items=3)
+    rewards = policy.compute_rewards([[0, 1, 0], None], budget=100)
+    assert rewards[1] == 0
+    assert rewards[0] > 0
+
+
+def test_em_parameters_validated() -> None:
+    with pytest.raises(PolicyError):
+        DawidSkeneEMPolicy(num_choices=1, num_items=3)
+    with pytest.raises(PolicyError):
+        DawidSkeneEMPolicy(num_choices=2, num_items=0)
+
+
+# ----- reverse auction ------------------------------------------------------------------
+
+
+def test_auction_lowest_bids_win_uniform_price() -> None:
+    policy = ReverseAuctionPolicy(winners=2)
+    rewards = policy.compute_rewards(
+        [[5, 100], [3, 101], [9, 102]], budget=300
+    )
+    # bids 3 and 5 win; clearing price = 3rd bid = 9.
+    assert rewards == [9, 9, 0]
+
+
+def test_auction_cap_by_budget() -> None:
+    policy = ReverseAuctionPolicy(winners=2)
+    rewards = policy.compute_rewards(
+        [[5, 100], [3, 101], [1000, 102]], budget=20
+    )
+    assert all(r <= 10 for r in rewards)  # cap = 20 // 2
+    assert sum(rewards) <= 20
+
+
+def test_auction_fewer_bidders_than_slots() -> None:
+    policy = ReverseAuctionPolicy(winners=3)
+    rewards = policy.compute_rewards([[4, 100]], budget=30)
+    assert rewards[0] >= 4
+    assert sum(rewards) <= 30
+
+
+def test_auction_ignores_missing() -> None:
+    policy = ReverseAuctionPolicy(winners=1)
+    rewards = policy.compute_rewards([None, [2, 100]], budget=50)
+    assert rewards[0] == 0 and rewards[1] >= 2
+
+
+@given(
+    st.lists(st.one_of(st.none(),
+                       st.tuples(st.integers(min_value=0, max_value=50),
+                                 st.integers(min_value=0, max_value=100))),
+             min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=10**4),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60)
+def test_auction_budget_feasible(bids, budget, winners) -> None:
+    policy = ReverseAuctionPolicy(winners=winners)
+    answers = [None if b is None else [b[0], b[1]] for b in bids]
+    rewards = policy.compute_rewards(answers, budget)
+    assert sum(rewards) <= budget
+    assert all(r >= 0 for r in rewards)
+
+
+def test_policy_descriptors_stable() -> None:
+    assert MajorityVotePolicy(4).describe() == {
+        "name": "majority-vote", "num_choices": 4
+    }
+    assert ReverseAuctionPolicy(2).describe() == {
+        "name": "reverse-auction", "winners": 2
+    }

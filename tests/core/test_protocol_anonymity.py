@@ -1,0 +1,57 @@
+"""Protocol-level anonymity: the on-chain view cannot link participants."""
+
+from __future__ import annotations
+
+from repro.core import MajorityVotePolicy, Requester, Worker
+
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def test_same_workers_two_tasks_share_nothing_onchain(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task_a = requester.publish_task(POLICY, "task A", num_answers=3, budget=300)
+    for worker in workers:
+        worker.submit_answer(task_a, [1])
+    task_b = requester.publish_task(POLICY, "task B", num_answers=3, budget=300)
+    for worker in workers:
+        worker.submit_answer(task_b, [2])
+    node = zebra_system.node
+    addresses_a = set(node.call(task_a.address, "get_submitters"))
+    addresses_b = set(node.call(task_b.address, "get_submitters"))
+    tags_a = set(node.call(task_a.address, "get_tags"))
+    tags_b = set(node.call(task_b.address, "get_tags"))
+    assert not (addresses_a & addresses_b)
+    assert not (tags_a & tags_b)
+
+
+def test_requester_uses_fresh_address_per_task(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    task_a = requester.publish_task(POLICY, "A", num_answers=1, budget=100)
+    task_b = requester.publish_task(POLICY, "B", num_answers=1, budget=100)
+    node = zebra_system.node
+    requester_a = node.call(task_a.address, "get_requester")
+    requester_b = node.call(task_b.address, "get_requester")
+    assert requester_a != requester_b
+
+
+def test_submitter_addresses_not_registered_identities(zebra_system) -> None:
+    """One-task addresses are unrelated to any identity the RA knows."""
+    requester = Requester(zebra_system, "r")
+    worker = Worker(zebra_system, "w")
+    task = requester.publish_task(POLICY, "t", num_answers=1, budget=100)
+    worker.submit_answer(task, [0])
+    submitter = zebra_system.node.call(task.address, "get_submitters")[0]
+    # The address derives from the worker's private seed — nothing in the
+    # registry (which holds field-element identity commitments) matches.
+    assert submitter != worker.keys.public_key.to_bytes(32, "big")[:20]
+
+
+def test_tags_unique_per_task_participant(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task = requester.publish_task(POLICY, "t", num_answers=3, budget=300)
+    for worker in workers:
+        worker.submit_answer(task, [1])
+    tags = zebra_system.node.call(task.address, "get_tags")
+    assert len(tags) == len(set(tags)) == 4  # requester + 3 workers

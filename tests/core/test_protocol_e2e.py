@@ -1,0 +1,176 @@
+"""Whole-protocol end-to-end runs across configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DawidSkeneEMPolicy,
+    MajorityVotePolicy,
+    ProportionalAgreementPolicy,
+    Requester,
+    ReverseAuctionPolicy,
+    Worker,
+    ZebraLancerSystem,
+)
+
+
+def _run_round(system, policy, answers, budget=1_000, num_answers=None):
+    requester = Requester(system, "req")
+    workers = [Worker(system, f"w{i}") for i in range(len(answers))]
+    task = requester.publish_task(
+        policy, "task", num_answers=num_answers or len(answers), budget=budget,
+        answer_window=6 * len(answers),
+    )
+    for worker, answer in zip(workers, answers):
+        record = worker.submit_answer(task, answer)
+        assert record.receipt.success, record.receipt.error
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success, receipt.error
+    system.testnet.assert_consensus()
+    return task, workers
+
+
+def test_majority_end_to_end(zebra_system) -> None:
+    task, _ = _run_round(
+        zebra_system, MajorityVotePolicy(4), [[1], [1], [2]], budget=900
+    )
+    assert task.rewards() == [300, 300, 0]
+    assert task.phase() == "completed"
+
+
+def test_proportional_policy_end_to_end(zebra_system) -> None:
+    task, _ = _run_round(
+        zebra_system, ProportionalAgreementPolicy(3), [[0], [0], [0], [1]],
+        budget=600,
+    )
+    rewards = task.rewards()
+    assert rewards[0] == rewards[1] == rewards[2] > 0
+    assert rewards[3] == 0
+
+
+def test_em_policy_end_to_end(zebra_system) -> None:
+    policy = DawidSkeneEMPolicy(num_choices=2, num_items=4)
+    task, _ = _run_round(
+        zebra_system, policy,
+        [[0, 1, 1, 0], [0, 1, 1, 0], [1, 0, 0, 1]], budget=600,
+    )
+    rewards = task.rewards()
+    assert rewards[0] == rewards[1] > rewards[2]
+
+
+def test_auction_policy_end_to_end(zebra_system) -> None:
+    policy = ReverseAuctionPolicy(winners=2)
+    task, _ = _run_round(
+        zebra_system, policy, [[5, 111], [3, 222], [9, 333]], budget=600,
+    )
+    rewards = task.rewards()
+    assert rewards[2] == 0
+    assert rewards[0] == rewards[1] > 0
+
+
+def test_workers_paid_exactly_once(zebra_system) -> None:
+    policy = MajorityVotePolicy(2)
+    requester = Requester(zebra_system, "req")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(2)]
+    task = requester.publish_task(policy, "t", num_answers=2, budget=500)
+    balances = {}
+    for worker in workers:
+        worker.submit_answer(task, [0])
+        balances[worker.identity] = worker.reward_received(task.address)
+    requester.evaluate_and_reward(task)
+    for worker in workers:
+        assert worker.reward_received(task.address) - balances[worker.identity] == 250
+
+
+def test_budget_conservation_across_settlement(zebra_system) -> None:
+    """budget = paid + burned + refunded, to the wei."""
+    policy = MajorityVotePolicy(4)
+    requester = Requester(zebra_system, "req")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task = requester.publish_task(policy, "t", num_answers=3, budget=1_000)
+    for worker, vote in zip(workers, [0, 0, 1]):
+        worker.submit_answer(task, [vote])
+    from repro.core.anonymity import derive_one_task_account
+
+    requester_account = derive_one_task_account(requester._seed, "req/task-0")
+    refund_before = zebra_system.node.balance_of(requester_account.address)
+    receipt = requester.evaluate_and_reward(task)
+    gas_paid = receipt.gas_used  # gas_price == 1
+    refund_after = zebra_system.node.balance_of(requester_account.address)
+    paid = sum(task.rewards())
+    refunded = refund_after - refund_before + gas_paid
+    assert paid + refunded == 1_000
+    assert task.balance() == 0
+
+
+def test_multiple_tasks_interleaved(zebra_system) -> None:
+    policy = MajorityVotePolicy(3)
+    requester_a = Requester(zebra_system, "ra")
+    requester_b = Requester(zebra_system, "rb")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(2)]
+    task_a = requester_a.publish_task(policy, "A", num_answers=2, budget=200)
+    task_b = requester_b.publish_task(policy, "B", num_answers=2, budget=400)
+    for worker in workers:
+        worker.submit_answer(task_a, [0])
+        worker.submit_answer(task_b, [1])
+    assert requester_a.evaluate_and_reward(task_a).success
+    assert requester_b.evaluate_and_reward(task_b).success
+    assert task_a.rewards() == [100, 100]
+    assert task_b.rewards() == [200, 200]
+
+
+def test_groth16_system_end_to_end() -> None:
+    """The full protocol over the REAL Groth16 backend (slow; 1 worker)."""
+    system = ZebraLancerSystem(
+        profile="test", cert_mode="merkle", backend_name="groth16"
+    )
+    policy = MajorityVotePolicy(2)
+    requester = Requester(system, "req")
+    worker = Worker(system, "w0")
+    task = requester.publish_task(policy, "t", num_answers=1, budget=100)
+    assert worker.submit_answer(task, [1]).receipt.success
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success, receipt.error
+    assert task.rewards() == [100]
+    system.testnet.assert_consensus()
+
+
+def test_schnorr_cert_mode_end_to_end() -> None:
+    """The paper-faithful signature-certificate mode (mock backend)."""
+    system = ZebraLancerSystem(
+        profile="test", cert_mode="schnorr", backend_name="mock"
+    )
+    policy = MajorityVotePolicy(3)
+    requester = Requester(system, "req")
+    workers = [Worker(system, f"w{i}") for i in range(2)]
+    task = requester.publish_task(policy, "t", num_answers=2, budget=200)
+    for worker in workers:
+        assert worker.submit_answer(task, [2]).receipt.success
+    assert requester.evaluate_and_reward(task).success
+    assert task.rewards() == [100, 100]
+
+
+def test_requester_cannot_reward_foreign_task(zebra_system) -> None:
+    from repro.errors import ProtocolError
+
+    requester_a = Requester(zebra_system, "ra")
+    requester_b = Requester(zebra_system, "rb")
+    task = requester_a.publish_task(MajorityVotePolicy(2), "t",
+                                    num_answers=1, budget=100)
+    with pytest.raises(ProtocolError):
+        requester_b.evaluate_and_reward(task)
+
+
+def test_worker_validation_guards(zebra_system) -> None:
+    from repro.errors import ProtocolError
+
+    requester = Requester(zebra_system, "req")
+    worker = Worker(zebra_system, "w")
+    task = requester.publish_task(MajorityVotePolicy(2), "t",
+                                  num_answers=1, budget=100)
+    with pytest.raises(ProtocolError):
+        worker.submit_answer(task, [1, 2])  # wrong arity
+    assert worker.submit_answer(task, [1]).receipt.success
+    with pytest.raises(ProtocolError):
+        worker.validate_task(task.address)  # full now → not collecting

@@ -1,0 +1,178 @@
+"""Reward circuits: R1CS ↔ native policy agreement, soundness probes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolicyError, ProofError, UnsatisfiedConstraintError
+from repro.core.policy import MajorityVotePolicy, ProportionalAgreementPolicy
+from repro.core.reward_circuit import (
+    MajorityRewardCircuit,
+    OraclePolicyCircuit,
+    build_reward_instance,
+    decrypt_instance_answers,
+    make_reward_circuit,
+    padding_entry,
+    reward_statement,
+)
+from repro.zksnark import MockBackend
+from repro.zksnark.gadgets.mimc import MiMCParameters
+
+MIMC = MiMCParameters.for_rounds(7)
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def _instance(votes, budget=120, policy=POLICY):
+    answers = [None if v is None else [v] for v in votes]
+    keys = [0 if v is None else 100 + i for i, v in enumerate(votes)]
+    return build_reward_instance(policy, budget, keys, answers, MIMC)
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+                min_size=1, max_size=6),
+       st.integers(min_value=6, max_value=10**5))
+@settings(max_examples=25, deadline=None)
+def test_circuit_satisfied_iff_policy_followed(votes, budget) -> None:
+    instance = _instance(votes, budget)
+    circuit = MajorityRewardCircuit(len(votes), POLICY, MIMC)
+    cs = circuit.build(instance)
+    cs.check_satisfied()  # honest instance always satisfies
+    # Public values must equal the canonical statement the contract builds.
+    assert cs.public_values() == reward_statement(
+        instance.budget, instance.reward_unit, instance.entries, instance.rewards
+    )
+
+
+@pytest.mark.parametrize(
+    "votes,cheat",
+    [
+        ([1, 1, 2], [0, 0, 40]),     # pay the minority
+        ([1, 1, 2], [40, 40, 40]),   # pay everyone
+        ([1, 1, 2], [0, 0, 0]),      # pay nobody
+        ([1, 1, 2], [41, 40, 0]),    # overpay one winner
+    ],
+)
+def test_cheating_reward_vectors_unsatisfiable(votes, cheat) -> None:
+    answers = [[v] for v in votes]
+    keys = [100 + i for i in range(len(votes))]
+    instance = build_reward_instance(
+        POLICY, 120, keys, answers, MIMC, rewards=cheat
+    )
+    circuit = MajorityRewardCircuit(len(votes), POLICY, MIMC)
+    with pytest.raises(UnsatisfiedConstraintError):
+        circuit.build(instance).check_satisfied()
+
+
+def test_wrong_reward_unit_unsatisfiable() -> None:
+    """A requester shrinking u = ⌊τ/n⌋ to underpay is caught by the
+    remainder range check."""
+    instance = _instance([1, 1, 1], budget=120)
+    cheat = type(instance)(
+        budget=instance.budget,
+        reward_unit=instance.reward_unit - 10,
+        entries=instance.entries,
+        rewards=(30, 30, 30),
+        keys=instance.keys,
+    )
+    circuit = MajorityRewardCircuit(3, POLICY, MIMC)
+    with pytest.raises((UnsatisfiedConstraintError, Exception)):
+        cs = circuit.build(cheat)
+        cs.check_satisfied()
+
+
+def test_flagged_slot_semantics() -> None:
+    instance = _instance([1, None, 1], budget=90)
+    assert instance.rewards == (30, 0, 30)
+    circuit = MajorityRewardCircuit(3, POLICY, MIMC)
+    circuit.build(instance).check_satisfied()
+
+
+def test_false_flagging_an_honest_slot_is_provable_but_costly() -> None:
+    """Flagging is *allowed* by the circuit (the burn is the contract's
+    deterrent) — the flagged slot simply becomes ⊥."""
+    answers = [[1], [1], None]  # requester pretends slot 2 was malformed
+    keys = [100, 101, 0]
+    instance = build_reward_instance(POLICY, 90, keys, answers, MIMC)
+    MajorityRewardCircuit(3, POLICY, MIMC).build(instance).check_satisfied()
+
+
+def test_out_of_range_answer_gets_nothing() -> None:
+    instance = _instance([1, 1, 99])
+    assert instance.rewards[2] == 0
+    MajorityRewardCircuit(3, POLICY, MIMC).build(instance).check_satisfied()
+
+
+def test_padding_entry_is_canonical() -> None:
+    entry = padding_entry(2)
+    assert entry.ok == 0 and entry.body == (0, 0) and entry.key_commitment == 0
+
+
+def test_statement_layout() -> None:
+    instance = _instance([2, 0])
+    statement = reward_statement(
+        instance.budget, instance.reward_unit, instance.entries, instance.rewards
+    )
+    # [τ, u] + 2 slots × [h, nonce, c, ok] + 2 rewards
+    assert len(statement) == 2 + 2 * 4 + 2
+    assert statement[0] == instance.budget
+    assert statement[1] == instance.reward_unit
+
+
+def test_decrypt_instance_answers_roundtrip() -> None:
+    instance = _instance([3, None, 1])
+    assert decrypt_instance_answers(instance, MIMC) == [[3], None, [1]]
+
+
+def test_instance_alignment_validated() -> None:
+    with pytest.raises(PolicyError):
+        build_reward_instance(POLICY, 10, [1], [[1], [2]], MIMC)
+
+
+def test_make_reward_circuit_dispatch() -> None:
+    assert isinstance(make_reward_circuit(POLICY, 3, MIMC), MajorityRewardCircuit)
+    oracle = make_reward_circuit(ProportionalAgreementPolicy(3), 3, MIMC)
+    assert isinstance(oracle, OraclePolicyCircuit)
+    assert oracle.requires_ideal_backend
+
+
+def test_oracle_circuit_native_check_blocks_cheating() -> None:
+    policy = ProportionalAgreementPolicy(3)
+    circuit = OraclePolicyCircuit(3, policy, MIMC)
+    backend = MockBackend()
+    keys = backend.setup(circuit, seed=b"oracle")
+    honest = build_reward_instance(policy, 90, [1, 2, 3], [[1], [1], [2]], MIMC)
+    proof = backend.prove(keys.proving_key, circuit, honest)
+    statement = reward_statement(honest.budget, honest.reward_unit,
+                                 honest.entries, honest.rewards)
+    assert backend.verify(keys.verifying_key, statement, proof)
+    cheat = build_reward_instance(
+        policy, 90, [1, 2, 3], [[1], [1], [2]], MIMC, rewards=[90, 0, 0]
+    )
+    with pytest.raises(ProofError):
+        backend.prove(keys.proving_key, circuit, cheat)
+
+
+def test_oracle_digests_separate_policies() -> None:
+    backend = MockBackend()
+    c3 = OraclePolicyCircuit(3, ProportionalAgreementPolicy(3), MIMC)
+    c4 = OraclePolicyCircuit(3, ProportionalAgreementPolicy(4), MIMC)
+    k3 = backend.setup(c3, seed=b"d")
+    k4 = backend.setup(c4, seed=b"d")
+    assert (
+        k3.verifying_key.circuit_digest != k4.verifying_key.circuit_digest
+    )
+
+
+def test_extra_digest_binds_shape() -> None:
+    a = MajorityRewardCircuit(3, POLICY, MIMC)
+    b = MajorityRewardCircuit(3, MajorityVotePolicy(num_choices=4), MIMC)
+    assert a.extra_digest() == b.extra_digest()
+    c = MajorityRewardCircuit(5, POLICY, MIMC)
+    assert a.extra_digest() != c.extra_digest()
+
+
+def test_public_inputs_shortcut_matches_build() -> None:
+    instance = _instance([0, 1, 1, 2])
+    circuit = MajorityRewardCircuit(4, POLICY, MIMC)
+    assert circuit.public_inputs(instance) == circuit.build(instance).public_values()

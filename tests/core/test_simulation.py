@@ -1,0 +1,93 @@
+"""Monte-Carlo incentive experiments: the economics must point the right way."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.core.policy import MajorityVotePolicy, ProportionalAgreementPolicy
+from repro.core.simulation import (
+    SimulationResult,
+    WorkerProfile,
+    render_result,
+    simulate_tasks,
+)
+
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def _run(profiles, tasks=200, policy=POLICY, seed=1) -> SimulationResult:
+    return simulate_tasks(
+        policy, profiles, num_choices=4, tasks=tasks,
+        budget_per_task=1_000, rng=random.Random(seed),
+    )
+
+
+def test_effort_outearns_guessing() -> None:
+    """The core incentive claim of [10]: accuracy pays."""
+    result = _run([
+        WorkerProfile("diligent", count=5, accuracy=0.9),
+        WorkerProfile("guesser", count=2, accuracy=0.25),
+    ])
+    assert result.expected_earning("diligent") > 2 * result.expected_earning("guesser")
+
+
+def test_majority_aggregates_better_than_individuals() -> None:
+    """Wisdom of the crowd: majority accuracy beats worker accuracy."""
+    result = _run([WorkerProfile("ok", count=9, accuracy=0.6)], tasks=300)
+    assert result.majority_accuracy > 0.6
+
+
+def test_budget_never_exceeded() -> None:
+    result = _run([
+        WorkerProfile("a", count=4, accuracy=0.8),
+        WorkerProfile("b", count=3, accuracy=0.4, absent_probability=0.2),
+    ])
+    assert result.total_paid <= result.tasks * result.budget_per_task
+
+
+def test_absent_workers_earn_nothing() -> None:
+    result = _run([
+        WorkerProfile("ghost", count=2, accuracy=0.9, absent_probability=1.0),
+        WorkerProfile("present", count=3, accuracy=0.9),
+    ])
+    assert result.earnings_by_profile.get("ghost", 0) == 0
+    assert result.submissions_by_profile.get("ghost", 0) == 0
+    assert result.earnings_by_profile["present"] > 0
+
+
+def test_proportional_policy_also_rewards_agreement() -> None:
+    result = _run(
+        [
+            WorkerProfile("diligent", count=5, accuracy=0.9),
+            WorkerProfile("guesser", count=2, accuracy=0.25),
+        ],
+        policy=ProportionalAgreementPolicy(num_choices=4),
+    )
+    assert result.expected_earning("diligent") > result.expected_earning("guesser")
+
+
+def test_deterministic_given_seed() -> None:
+    profiles = [WorkerProfile("w", count=3, accuracy=0.7)]
+    a = _run(profiles, seed=42)
+    b = _run(profiles, seed=42)
+    assert a.earnings_by_profile == b.earnings_by_profile
+
+
+def test_render_result() -> None:
+    result = _run([WorkerProfile("w", count=3, accuracy=0.7)], tasks=10)
+    text = render_result(result)
+    assert "10 tasks" in text and "w" in text
+
+
+def test_profile_validation() -> None:
+    with pytest.raises(PolicyError):
+        WorkerProfile("bad", count=1, accuracy=1.5)
+    with pytest.raises(PolicyError):
+        WorkerProfile("bad", count=-1, accuracy=0.5)
+    with pytest.raises(PolicyError):
+        simulate_tasks(POLICY, [], num_choices=4)
+    with pytest.raises(PolicyError):
+        simulate_tasks(POLICY, [WorkerProfile("w", 1, 0.5)], num_choices=1)

@@ -1,0 +1,88 @@
+"""The k-submission allowance (footnote 11): counting linked tags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core import MajorityVotePolicy, Requester
+from repro.core.attacks import MultiSubmissionWorker
+from repro.core.params import TaskParameters
+
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def test_allowance_two_permits_exactly_two(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(
+        POLICY, "k=2 task", num_answers=4, budget=400,
+        answer_window=60, submissions_per_worker=2,
+    )
+    worker = MultiSubmissionWorker(zebra_system, "prolific")
+    receipts = worker.submit_many(task, [[1], [2], [3]])
+    outcomes = [r.success for r in receipts]
+    assert outcomes == [True, True, False]
+    assert task.answer_count() == 2
+
+
+def test_default_allowance_is_one(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(POLICY, "k=1 task", num_answers=3,
+                                  budget=300, answer_window=60)
+    worker = MultiSubmissionWorker(zebra_system, "greedy")
+    receipts = worker.submit_many(task, [[1], [1]])
+    assert [r.success for r in receipts] == [True, False]
+
+
+def test_allowance_task_settles_normally(zebra_system) -> None:
+    requester = Requester(zebra_system, "r")
+    task = requester.publish_task(
+        POLICY, "k=2 settle", num_answers=2, budget=200,
+        answer_window=60, submissions_per_worker=2,
+    )
+    worker = MultiSubmissionWorker(zebra_system, "solo")
+    receipts = worker.submit_many(task, [[1], [1]])
+    assert all(r.success for r in receipts)
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success, receipt.error
+    assert task.rewards() == [100, 100]
+
+
+def test_requester_still_blocked_regardless_of_allowance(zebra_system) -> None:
+    from repro.core.attacks import SelfColludingRequester
+
+    colluder = SelfColludingRequester(zebra_system, "colluder")
+    task = colluder.publish_task(
+        POLICY, "k=3 collusion", num_answers=3, budget=300,
+        answer_window=60, submissions_per_worker=3,
+    )
+    receipt = colluder.attempt_colluding_answer(task, [0])
+    assert not receipt.success
+    assert "double submission" in receipt.error
+
+
+def test_allowance_validation() -> None:
+    with pytest.raises(ProtocolError):
+        TaskParameters(
+            description="d", num_answers=2, budget=10, answer_window=1,
+            instruction_window=1, policy_descriptor={}, answer_arity=1,
+            encryption_key_fingerprint=b"\x00" * 32,
+            submissions_per_worker=0,
+        )
+    with pytest.raises(ProtocolError):
+        TaskParameters(
+            description="d", num_answers=2, budget=10, answer_window=1,
+            instruction_window=1, policy_descriptor={}, answer_arity=1,
+            encryption_key_fingerprint=b"\x00" * 32,
+            submissions_per_worker=3,  # > num_answers
+        )
+
+
+def test_legacy_storage_defaults_to_one() -> None:
+    raw = TaskParameters(
+        description="d", num_answers=2, budget=10, answer_window=1,
+        instruction_window=1, policy_descriptor={}, answer_arity=1,
+        encryption_key_fingerprint=b"\x00" * 32,
+    ).to_storage()
+    del raw["submissions_per_worker"]
+    assert TaskParameters.from_storage(raw).submissions_per_worker == 1

@@ -1,0 +1,50 @@
+"""hash_to_int / helper hash behaviour."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import hash_to_int, hmac_sha256, sha256
+from repro.zksnark.field import BN128_SCALAR_FIELD
+
+
+def test_sha256_matches_stdlib() -> None:
+    assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+    assert sha256(b"a", b"bc") == hashlib.sha256(b"abc").digest()
+
+
+def test_hmac_matches_stdlib() -> None:
+    import hmac
+
+    assert hmac_sha256(b"k", b"m") == hmac.new(b"k", b"m", hashlib.sha256).digest()
+
+
+@given(st.binary(max_size=64), st.integers(min_value=2, max_value=1 << 256))
+def test_hash_to_int_in_range(data: bytes, modulus: int) -> None:
+    value = hash_to_int(data, modulus)
+    assert 0 <= value < modulus
+
+
+def test_hash_to_int_domain_separation() -> None:
+    a = hash_to_int(b"payload", BN128_SCALAR_FIELD, domain=b"one")
+    b = hash_to_int(b"payload", BN128_SCALAR_FIELD, domain=b"two")
+    assert a != b
+
+
+def test_hash_to_int_deterministic() -> None:
+    assert hash_to_int(b"x", 997) == hash_to_int(b"x", 997)
+
+
+def test_hash_to_int_rejects_tiny_modulus() -> None:
+    with pytest.raises(ValueError):
+        hash_to_int(b"x", 1)
+
+
+@given(st.binary(max_size=32))
+def test_hash_to_int_spreads_over_field(data: bytes) -> None:
+    # A 254-bit modulus output should essentially never be tiny.
+    value = hash_to_int(data, BN128_SCALAR_FIELD)
+    assert value.bit_length() > 200 or value == 0  # astronomically unlikely branch

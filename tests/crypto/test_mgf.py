@@ -1,0 +1,43 @@
+"""MGF1 mask generation and XOR helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.mgf import mgf1, xor_bytes
+
+
+def test_mgf1_deterministic() -> None:
+    assert mgf1(b"seed", 64) == mgf1(b"seed", 64)
+
+
+def test_mgf1_lengths() -> None:
+    for length in (0, 1, 31, 32, 33, 100):
+        assert len(mgf1(b"seed", length)) == length
+
+
+def test_mgf1_prefix_property() -> None:
+    """Shorter masks are prefixes of longer ones (counter-mode)."""
+    long = mgf1(b"seed", 100)
+    assert mgf1(b"seed", 40) == long[:40]
+
+
+def test_mgf1_seed_sensitivity() -> None:
+    assert mgf1(b"seed-a", 32) != mgf1(b"seed-b", 32)
+
+
+def test_mgf1_negative_length_rejected() -> None:
+    with pytest.raises(ValueError):
+        mgf1(b"seed", -1)
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_xor_involution(data: bytes) -> None:
+    mask = mgf1(b"m", len(data))
+    assert xor_bytes(xor_bytes(data, mask), mask) == data
+
+
+def test_xor_length_mismatch() -> None:
+    with pytest.raises(ValueError):
+        xor_bytes(b"ab", b"abc")

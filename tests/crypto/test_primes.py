@@ -1,0 +1,65 @@
+"""Miller–Rabin and RSA prime generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primes import (
+    generate_prime,
+    generate_safe_rsa_primes,
+    inverse_mod,
+    is_probable_prime,
+)
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 997, 7919}
+SMALL_COMPOSITES = {0, 1, 4, 6, 9, 15, 21, 25, 91, 561, 41041}  # incl. Carmichaels
+
+
+@pytest.mark.parametrize("p", sorted(SMALL_PRIMES))
+def test_small_primes_accepted(p: int) -> None:
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("c", sorted(SMALL_COMPOSITES))
+def test_composites_rejected(c: int) -> None:
+    assert not is_probable_prime(c)
+
+
+def test_known_large_prime() -> None:
+    # 2^127 - 1 is a Mersenne prime.
+    assert is_probable_prime((1 << 127) - 1)
+    assert not is_probable_prime((1 << 127) - 3)
+
+
+def test_generate_prime_width_and_primality() -> None:
+    rng = random.Random(1)
+    p = generate_prime(128, rng)
+    assert p.bit_length() == 128
+    assert is_probable_prime(p)
+
+
+def test_generate_prime_deterministic_with_seed() -> None:
+    assert generate_prime(64, random.Random(5)) == generate_prime(64, random.Random(5))
+
+
+def test_rsa_primes_distinct_and_full_width() -> None:
+    rng = random.Random(7)
+    p, q = generate_safe_rsa_primes(128, rng)
+    assert p != q
+    assert (p * q).bit_length() == 256
+
+
+def test_generate_prime_rejects_tiny_width() -> None:
+    with pytest.raises(ValueError):
+        generate_prime(4)
+
+
+@given(st.integers(min_value=2, max_value=10**6))
+@settings(max_examples=50)
+def test_inverse_mod_property(a: int) -> None:
+    modulus = 1_000_003  # prime
+    inv = inverse_mod(a % modulus or 1, modulus)
+    assert (a % modulus or 1) * inv % modulus == 1

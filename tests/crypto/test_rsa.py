@@ -1,0 +1,129 @@
+"""RSA-OAEP and RSASSA-PSS (the paper's named DApp-layer primitives)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import oaep
+from repro.crypto.rsa import RSAKeyPair
+from repro.errors import CryptoError, DecryptionError
+
+
+@pytest.fixture(scope="module")
+def keypair() -> RSAKeyPair:
+    return RSAKeyPair.generate(1024, random.Random(42))
+
+
+@pytest.fixture(scope="module")
+def other_keypair() -> RSAKeyPair:
+    return RSAKeyPair.generate(1024, random.Random(43))
+
+
+def test_oaep_roundtrip(keypair: RSAKeyPair) -> None:
+    rng = random.Random(1)
+    ciphertext = keypair.public_key.encrypt(b"the answer is zebra", rng)
+    assert keypair.decrypt(ciphertext) == b"the answer is zebra"
+
+
+def test_oaep_randomized(keypair: RSAKeyPair) -> None:
+    rng = random.Random(2)
+    c1 = keypair.public_key.encrypt(b"same message", rng)
+    c2 = keypair.public_key.encrypt(b"same message", rng)
+    assert c1 != c2  # fresh seed each call
+
+
+def test_oaep_wrong_key_fails(keypair: RSAKeyPair, other_keypair: RSAKeyPair) -> None:
+    ciphertext = keypair.public_key.encrypt(b"secret", random.Random(3))
+    with pytest.raises(DecryptionError):
+        other_keypair.decrypt(ciphertext)
+
+
+def test_oaep_tampered_ciphertext_fails(keypair: RSAKeyPair) -> None:
+    ciphertext = bytearray(keypair.public_key.encrypt(b"secret", random.Random(4)))
+    ciphertext[10] ^= 0x01
+    with pytest.raises(DecryptionError):
+        keypair.decrypt(bytes(ciphertext))
+
+
+def test_oaep_label_binding(keypair: RSAKeyPair) -> None:
+    ciphertext = keypair.public_key.encrypt(b"m", random.Random(5), label=b"task-1")
+    assert keypair.decrypt(ciphertext, label=b"task-1") == b"m"
+    with pytest.raises(DecryptionError):
+        keypair.decrypt(ciphertext, label=b"task-2")
+
+
+def test_oaep_max_length_enforced(keypair: RSAKeyPair) -> None:
+    limit = oaep.max_message_length(keypair.public_key.byte_size)
+    keypair.public_key.encrypt(b"a" * limit, random.Random(6))  # fits
+    with pytest.raises(ValueError):
+        keypair.public_key.encrypt(b"a" * (limit + 1), random.Random(6))
+
+
+def test_oaep_empty_message(keypair: RSAKeyPair) -> None:
+    ciphertext = keypair.public_key.encrypt(b"", random.Random(7))
+    assert keypair.decrypt(ciphertext) == b""
+
+
+def test_ciphertext_length_validated(keypair: RSAKeyPair) -> None:
+    with pytest.raises(CryptoError):
+        keypair.decrypt(b"\x01" * 10)
+
+
+@given(st.binary(min_size=0, max_size=60))
+@settings(max_examples=20, deadline=None)
+def test_oaep_roundtrip_property(message: bytes) -> None:
+    keypair = _CACHED[0]
+    ciphertext = keypair.public_key.encrypt(message, random.Random(len(message)))
+    assert keypair.decrypt(ciphertext) == message
+
+
+_CACHED = [RSAKeyPair.generate(1024, random.Random(99))]
+
+
+def test_pss_sign_verify(keypair: RSAKeyPair) -> None:
+    signature = keypair.sign(b"instruction", random.Random(8))
+    assert keypair.public_key.verify(b"instruction", signature)
+
+
+def test_pss_rejects_other_message(keypair: RSAKeyPair) -> None:
+    signature = keypair.sign(b"instruction", random.Random(9))
+    assert not keypair.public_key.verify(b"other", signature)
+
+
+def test_pss_rejects_tampered_signature(keypair: RSAKeyPair) -> None:
+    signature = bytearray(keypair.sign(b"m", random.Random(10)))
+    signature[0] ^= 0x80
+    assert not keypair.public_key.verify(b"m", bytes(signature))
+
+
+def test_pss_rejects_wrong_key(keypair: RSAKeyPair, other_keypair: RSAKeyPair) -> None:
+    signature = keypair.sign(b"m", random.Random(11))
+    assert not other_keypair.public_key.verify(b"m", signature)
+
+
+def test_pss_signatures_randomized(keypair: RSAKeyPair) -> None:
+    s1 = keypair.sign(b"m", random.Random(12))
+    s2 = keypair.sign(b"m", random.Random(13))
+    assert s1 != s2
+    assert keypair.public_key.verify(b"m", s1)
+    assert keypair.public_key.verify(b"m", s2)
+
+
+def test_equal_primes_rejected() -> None:
+    with pytest.raises(CryptoError):
+        RSAKeyPair(65537, 65537)  # p == q
+
+
+def test_fingerprint_stable_and_distinct(
+    keypair: RSAKeyPair, other_keypair: RSAKeyPair
+) -> None:
+    assert keypair.public_key.fingerprint() == keypair.public_key.fingerprint()
+    assert keypair.public_key.fingerprint() != other_keypair.public_key.fingerprint()
+
+
+def test_oaep_decode_rejects_wrong_size() -> None:
+    with pytest.raises(DecryptionError):
+        oaep.oaep_decode(b"\x00" * 10, 10)

@@ -1,0 +1,100 @@
+"""Measurement utilities and security profiles."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    BoxStats,
+    Timer,
+    humanize_bytes,
+    measure,
+    peak_memory,
+    time_call,
+)
+from repro.profiles import BENCH, PRODUCTION, TEST, SecurityProfile, get_profile
+
+
+def test_measure_records_elapsed() -> None:
+    with measure() as timer:
+        time.sleep(0.01)
+    assert timer.seconds >= 0.009
+    assert timer.millis == timer.seconds * 1000
+
+
+def test_time_call_repeats() -> None:
+    samples = time_call(lambda: None, repeats=5)
+    assert len(samples) == 5
+    assert all(s >= 0 for s in samples)
+
+
+def test_box_stats_known_values() -> None:
+    stats = BoxStats.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats.minimum == 1.0
+    assert stats.median == 3.0
+    assert stats.maximum == 5.0
+    assert stats.q1 == 2.0
+    assert stats.q3 == 4.0
+    assert stats.mean == 3.0
+    assert stats.count == 5
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=40))
+def test_box_stats_ordering_invariant(samples) -> None:
+    stats = BoxStats.from_samples(samples)
+    assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+    assert stats.minimum <= stats.mean <= stats.maximum
+
+
+def test_box_stats_singleton() -> None:
+    stats = BoxStats.from_samples([2.5])
+    assert stats.minimum == stats.median == stats.maximum == 2.5
+
+
+def test_box_stats_empty_rejected() -> None:
+    with pytest.raises(ValueError):
+        BoxStats.from_samples([])
+
+
+def test_box_stats_render() -> None:
+    text = BoxStats.from_samples([1.0, 2.0]).render()
+    assert "median" in text and "n=2" in text
+
+
+def test_peak_memory_tracks_allocation() -> None:
+    with peak_memory() as holder:
+        _ = bytearray(4_000_000)
+    assert holder["peak_bytes"] >= 4_000_000
+
+
+def test_humanize_bytes() -> None:
+    assert humanize_bytes(512) == "512B"
+    assert humanize_bytes(1536) == "1.5KB"
+    assert humanize_bytes(2 * 1024 * 1024) == "2.0MB"
+
+
+def test_profiles_lookup() -> None:
+    assert get_profile("test") is TEST
+    assert get_profile("bench") is BENCH
+    assert get_profile("production") is PRODUCTION
+    with pytest.raises(KeyError):
+        get_profile("ludicrous")
+
+
+def test_profile_ordering_makes_sense() -> None:
+    assert TEST.mimc_rounds < BENCH.mimc_rounds < PRODUCTION.mimc_rounds
+    assert TEST.merkle_depth < PRODUCTION.merkle_depth
+    assert PRODUCTION.mimc_rounds == 91  # the standard MiMC-7 round count
+    assert PRODUCTION.merkle_depth == 16
+
+
+def test_profile_validation() -> None:
+    with pytest.raises(ValueError):
+        SecurityProfile(name="x", mimc_rounds=1, merkle_depth=4, scalar_bits=16)
+    with pytest.raises(ValueError):
+        SecurityProfile(name="x", mimc_rounds=7, merkle_depth=0, scalar_bits=16)
+    with pytest.raises(ValueError):
+        SecurityProfile(name="x", mimc_rounds=7, merkle_depth=4, scalar_bits=2)

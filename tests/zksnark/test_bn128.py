@@ -1,0 +1,131 @@
+"""BN128 group and pairing laws (the expensive checks run once)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.zksnark.bn128 import (
+    CURVE_ORDER,
+    FQ2,
+    FQ12,
+    G1,
+    G2,
+    g1_add,
+    g1_mul,
+    g1_neg,
+    g2_add,
+    g2_mul,
+    g2_neg,
+    is_on_g1,
+    is_on_g2,
+    pairing,
+)
+from repro.zksnark.bn128.curve import (
+    g1_from_bytes,
+    g1_msm,
+    g1_to_bytes,
+    g2_from_bytes,
+    g2_to_bytes,
+)
+from repro.zksnark.bn128.pairing import miller_loop, multi_pairing
+
+
+def test_generators_on_curve() -> None:
+    assert is_on_g1(G1)
+    assert is_on_g2(G2)
+
+
+def test_group_orders() -> None:
+    assert g1_mul(G1, CURVE_ORDER) is None
+    assert g2_mul(G2, CURVE_ORDER) is None
+
+
+def test_g1_addition_law() -> None:
+    assert g1_add(g1_mul(G1, 5), g1_mul(G1, 7)) == g1_mul(G1, 12)
+    assert g1_add(G1, None) == G1
+    assert g1_add(None, G1) == G1
+    assert g1_add(G1, g1_neg(G1)) is None
+
+
+def test_g1_doubling_consistency() -> None:
+    assert g1_add(G1, G1) == g1_mul(G1, 2)
+
+
+def test_g2_addition_law() -> None:
+    assert g2_add(g2_mul(G2, 5), g2_mul(G2, 7)) == g2_mul(G2, 12)
+    assert g2_add(G2, g2_neg(G2)) is None
+
+
+def test_g1_msm_matches_naive() -> None:
+    points = [g1_mul(G1, k) for k in (2, 3, 5)]
+    scalars = [7, 11, 13]
+    expected = g1_mul(G1, 2 * 7 + 3 * 11 + 5 * 13)
+    assert g1_msm(points, scalars) == expected
+
+
+def test_g1_serialization_roundtrip() -> None:
+    point = g1_mul(G1, 987654321)
+    assert g1_from_bytes(g1_to_bytes(point)) == point
+    assert g1_from_bytes(g1_to_bytes(None)) is None
+    with pytest.raises(ValueError):
+        g1_from_bytes(b"\x01" * 64)  # not on curve
+
+
+def test_g2_serialization_roundtrip() -> None:
+    point = g2_mul(G2, 123456789)
+    assert g2_from_bytes(g2_to_bytes(point)) == point
+    assert g2_from_bytes(g2_to_bytes(None)) is None
+    with pytest.raises(ValueError):
+        g2_from_bytes(b"\x01" * 128)
+
+
+def test_fq2_field_laws() -> None:
+    a = FQ2(3, 4)
+    b = FQ2(5, 6)
+    assert a * b == b * a
+    assert a * a.inverse() == FQ2.one()
+    assert (a + b) - b == a
+    assert a.square() == a * a
+    # i^2 = -1
+    i = FQ2(0, 1)
+    assert i * i == -FQ2.one()
+
+
+def test_fq12_field_laws() -> None:
+    a = FQ12([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+    b = FQ12([12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1])
+    assert a * b == b * a
+    assert a * a.inverse() == FQ12.one()
+    assert (a + b) - b == a
+    assert a ** 3 == a * a * a
+    with pytest.raises(ZeroDivisionError):
+        FQ12.zero().inverse()
+
+
+def test_fq12_modulus_relation() -> None:
+    # w^12 = 18 w^6 - 82 by construction.
+    w = FQ12([0, 1] + [0] * 10)
+    assert w ** 12 == FQ12([-82, 0, 0, 0, 0, 0, 18, 0, 0, 0, 0, 0])
+
+
+def test_pairing_bilinearity() -> None:
+    base = pairing(G2, G1)
+    assert pairing(G2, g1_mul(G1, 3)) == base ** 3
+    assert pairing(g2_mul(G2, 3), G1) == base ** 3
+
+
+def test_pairing_non_degenerate() -> None:
+    assert not pairing(G2, G1).is_one()
+
+
+def test_pairing_identity_inputs() -> None:
+    assert miller_loop(None, G1).is_one()
+    assert miller_loop(G2, None).is_one()
+
+
+def test_multi_pairing_cancellation() -> None:
+    # e(2·G1, G2) · e(−G1, 2·G2) = e(G1,G2)^2 · e(G1,G2)^-2 = 1.
+    product = multi_pairing(
+        [(G2, g1_mul(G1, 2)), (g2_mul(G2, 2), g1_neg(G1))]
+    )
+    assert product.is_one()

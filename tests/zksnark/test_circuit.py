@@ -1,0 +1,135 @@
+"""ConstraintSystem builder semantics and R1CS satisfaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitError, UnsatisfiedConstraintError
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.field import FR
+
+
+def test_wire_zero_is_one() -> None:
+    cs = ConstraintSystem()
+    assert cs.assignment[0] == 1
+    assert cs.one.value == 1
+
+
+def test_alloc_order_public_then_private() -> None:
+    cs = ConstraintSystem()
+    p = cs.alloc_public(5)
+    a = cs.alloc(7)
+    assert p.index == 1 and a.index == 2
+    assert cs.num_public == 1
+    assert cs.public_values() == [5]
+    with pytest.raises(CircuitError):
+        cs.alloc_public(9)  # too late
+
+
+def test_linear_combination_arithmetic() -> None:
+    cs = ConstraintSystem()
+    x = cs.alloc(3)
+    y = cs.alloc(4)
+    lc = 2 * x + y - 1
+    assert lc.value == 9
+    assert (-lc).value == FR.modulus - 9
+    assert (lc * 3).value == 27
+    assert (10 - x).value == 7
+
+
+def test_mul_and_enforce() -> None:
+    cs = ConstraintSystem()
+    x = cs.alloc(3)
+    y = cs.alloc(5)
+    product = cs.mul(x, y)
+    assert product.value == 15
+    cs.enforce_equal(product, cs.constant(15))
+    cs.check_satisfied()
+
+
+def test_unsatisfied_detected() -> None:
+    cs = ConstraintSystem()
+    x = cs.alloc(3)
+    cs.enforce(x, x, cs.constant(10), annotation="bogus square")
+    with pytest.raises(UnsatisfiedConstraintError, match="bogus square"):
+        cs.check_satisfied()
+
+
+def test_boolean_constraint() -> None:
+    cs = ConstraintSystem()
+    good = cs.alloc(1)
+    cs.enforce_boolean(good)
+    cs.check_satisfied()
+    bad = cs.alloc(2)
+    cs.enforce_boolean(bad)
+    assert not cs.to_r1cs().is_satisfied(cs.assignment)
+
+
+def test_inverse_and_div_helpers() -> None:
+    cs = ConstraintSystem()
+    x = cs.alloc(6)
+    inv = cs.inverse(x)
+    assert (inv.value * 6) % FR.modulus == 1
+    q = cs.div(cs.constant(12), x)
+    assert q.value == 2
+    cs.check_satisfied()
+
+
+def test_inverse_of_zero_raises() -> None:
+    cs = ConstraintSystem()
+    zero = cs.alloc(0)
+    with pytest.raises(ZeroDivisionError):
+        cs.inverse(zero)
+
+
+def test_cross_system_variables_rejected() -> None:
+    cs1 = ConstraintSystem()
+    cs2 = ConstraintSystem()
+    x = cs1.alloc(1)
+    with pytest.raises(CircuitError):
+        cs2.coerce(x)
+
+
+def test_lc_scale_by_non_int_rejected() -> None:
+    cs = ConstraintSystem()
+    x = cs.alloc(2)
+    with pytest.raises(TypeError):
+        _ = x.lc() * 1.5  # type: ignore[operator]
+
+
+def test_r1cs_digest_independent_of_witness_values() -> None:
+    def build(a: int, b: int):
+        cs = ConstraintSystem()
+        out = cs.alloc_public(a * b % FR.modulus)
+        x = cs.alloc(a)
+        y = cs.alloc(b)
+        cs.enforce(x, y, out)
+        return cs.to_r1cs()
+
+    assert build(3, 5).structure_digest() == build(7, 11).structure_digest()
+
+
+def test_r1cs_digest_changes_with_structure() -> None:
+    cs1 = ConstraintSystem()
+    x = cs1.alloc(2)
+    cs1.enforce(x, x, cs1.constant(4))
+    cs2 = ConstraintSystem()
+    y = cs2.alloc(2)
+    cs2.enforce(y, cs2.one, y)
+    assert cs1.to_r1cs().structure_digest() != cs2.to_r1cs().structure_digest()
+
+
+def test_assignment_length_checked() -> None:
+    cs = ConstraintSystem()
+    cs.alloc(1)
+    r1cs = cs.to_r1cs()
+    with pytest.raises(UnsatisfiedConstraintError):
+        r1cs.check_satisfied([1])  # wrong width
+
+
+def test_wire_zero_must_be_one() -> None:
+    cs = ConstraintSystem()
+    cs.alloc(1)
+    r1cs = cs.to_r1cs()
+    with pytest.raises(UnsatisfiedConstraintError):
+        r1cs.check_satisfied([2, 1])

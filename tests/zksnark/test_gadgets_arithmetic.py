@@ -1,0 +1,87 @@
+"""Arithmetic helper gadgets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.field import FR
+from repro.zksnark.gadgets.arithmetic import (
+    conditional_select,
+    enforce_one_hot,
+    inner_product,
+    linear_sum,
+    scaled_sum,
+)
+
+small = st.integers(min_value=0, max_value=10**6)
+
+
+@given(st.booleans(), small, small)
+@settings(max_examples=30)
+def test_conditional_select(condition, if_true, if_false) -> None:
+    cs = ConstraintSystem()
+    flag = cs.alloc(1 if condition else 0)
+    cs.enforce_boolean(flag)
+    out = conditional_select(cs, flag, cs.alloc(if_true), cs.alloc(if_false))
+    assert out.value == (if_true if condition else if_false)
+    cs.check_satisfied()
+
+
+def test_select_tamper_detected() -> None:
+    cs = ConstraintSystem()
+    flag = cs.alloc(1)
+    out = conditional_select(cs, flag, cs.alloc(5), cs.alloc(9))
+    cs.assignment[out.index] = 9  # claim the wrong branch
+    assert not cs.to_r1cs().is_satisfied(cs.assignment)
+
+
+@given(st.lists(st.tuples(small, small), min_size=1, max_size=6))
+@settings(max_examples=30)
+def test_inner_product(pairs) -> None:
+    cs = ConstraintSystem()
+    left = [cs.alloc(a) for a, _ in pairs]
+    right = [cs.alloc(b) for _, b in pairs]
+    out = inner_product(cs, left, right)
+    assert out.value == sum(a * b for a, b in pairs) % FR.modulus
+    cs.check_satisfied()
+
+
+def test_inner_product_length_mismatch() -> None:
+    cs = ConstraintSystem()
+    with pytest.raises(ValueError):
+        inner_product(cs, [cs.alloc(1)], [])
+
+
+def test_linear_sum_adds_no_constraints() -> None:
+    cs = ConstraintSystem()
+    wires = [cs.alloc(v) for v in (1, 2, 3)]
+    before = cs.num_constraints
+    out = linear_sum(cs, wires)
+    assert out.value == 6
+    assert cs.num_constraints == before
+
+
+def test_scaled_sum() -> None:
+    cs = ConstraintSystem()
+    wires = [cs.alloc(v) for v in (2, 3)]
+    out = scaled_sum(cs, wires, [10, 100])
+    assert out.value == 320
+    with pytest.raises(ValueError):
+        scaled_sum(cs, wires, [1])
+
+
+def test_one_hot_accepts_valid() -> None:
+    cs = ConstraintSystem()
+    flags = [cs.alloc(v) for v in (0, 1, 0)]
+    enforce_one_hot(cs, flags)
+    cs.check_satisfied()
+
+
+@pytest.mark.parametrize("values", [(0, 0, 0), (1, 1, 0)])
+def test_one_hot_rejects_invalid(values) -> None:
+    cs = ConstraintSystem()
+    flags = [cs.alloc(v) for v in values]
+    enforce_one_hot(cs, flags)
+    assert not cs.to_r1cs().is_satisfied(cs.assignment)

@@ -1,0 +1,97 @@
+"""Baby-Jubjub: curve laws natively and in-circuit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.gadgets import babyjubjub as bjj
+from repro.zksnark.gadgets.boolean import number_to_bits
+
+small_scalars = st.integers(min_value=0, max_value=1 << 16)
+
+
+def test_base_point_on_curve_and_order() -> None:
+    assert bjj.is_on_curve(bjj.BASE_POINT)
+    assert bjj.point_mul(bjj.SUBGROUP_ORDER, bjj.BASE_POINT) == bjj.IDENTITY
+
+
+def test_identity_element() -> None:
+    assert bjj.is_on_curve(bjj.IDENTITY)
+    p = bjj.point_mul(9, bjj.BASE_POINT)
+    assert bjj.point_add(p, bjj.IDENTITY) == p
+    assert bjj.point_add(bjj.IDENTITY, p) == p
+
+
+@given(small_scalars, small_scalars)
+@settings(max_examples=15, deadline=None)
+def test_scalar_mul_homomorphic(a: int, b: int) -> None:
+    left = bjj.point_add(
+        bjj.point_mul(a, bjj.BASE_POINT), bjj.point_mul(b, bjj.BASE_POINT)
+    )
+    assert left == bjj.point_mul(a + b, bjj.BASE_POINT)
+
+
+def test_negation() -> None:
+    p = bjj.point_mul(5, bjj.BASE_POINT)
+    assert bjj.point_add(p, bjj.point_neg(p)) == bjj.IDENTITY
+
+
+def test_negative_scalar_rejected() -> None:
+    with pytest.raises(ValueError):
+        bjj.point_mul(-1, bjj.BASE_POINT)
+
+
+def test_addition_stays_on_curve() -> None:
+    p = bjj.point_mul(3, bjj.BASE_POINT)
+    q = bjj.point_mul(11, bjj.BASE_POINT)
+    assert bjj.is_on_curve(bjj.point_add(p, q))
+
+
+def test_point_add_gadget_matches_native() -> None:
+    cs = ConstraintSystem()
+    p = bjj.point_mul(5, bjj.BASE_POINT)
+    q = bjj.point_mul(9, bjj.BASE_POINT)
+    out = bjj.point_add_gadget(cs, bjj.witness_point(cs, p), bjj.witness_point(cs, q))
+    assert (out[0].value, out[1].value) == bjj.point_add(p, q)
+    cs.check_satisfied()
+
+
+def test_enforce_on_curve_accepts_and_rejects() -> None:
+    cs = ConstraintSystem()
+    bjj.enforce_on_curve(cs, bjj.witness_point(cs, bjj.point_mul(7, bjj.BASE_POINT)))
+    cs.check_satisfied()
+
+    cs_bad = ConstraintSystem()
+    bjj.enforce_on_curve(cs_bad, bjj.witness_point(cs_bad, (1, 2)))
+    assert not cs_bad.to_r1cs().is_satisfied(cs_bad.assignment)
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=10, deadline=None)
+def test_fixed_base_mul_gadget(scalar: int) -> None:
+    cs = ConstraintSystem()
+    bits = number_to_bits(cs, cs.alloc(scalar), 8)
+    out = bjj.fixed_base_mul(cs, bits, bjj.BASE_POINT)
+    assert (out[0].value, out[1].value) == bjj.point_mul(scalar, bjj.BASE_POINT)
+    cs.check_satisfied()
+
+
+def test_derive_public_key() -> None:
+    pk = bjj.derive_public_key(12345)
+    assert bjj.is_on_curve(pk)
+    assert pk == bjj.point_mul(12345, bjj.BASE_POINT)
+
+
+def test_point_equal_gadget() -> None:
+    cs = ConstraintSystem()
+    p = bjj.point_mul(4, bjj.BASE_POINT)
+    bjj.point_equal_gadget(cs, bjj.witness_point(cs, p), bjj.witness_point(cs, p))
+    cs.check_satisfied()
+    cs_bad = ConstraintSystem()
+    q = bjj.point_mul(5, bjj.BASE_POINT)
+    bjj.point_equal_gadget(
+        cs_bad, bjj.witness_point(cs_bad, p), bjj.witness_point(cs_bad, q)
+    )
+    assert not cs_bad.to_r1cs().is_satisfied(cs_bad.assignment)

@@ -1,0 +1,102 @@
+"""MiMC Merkle trees: native accumulator + membership gadget."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RegistrationError
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.gadgets.merkle import (
+    MerklePath,
+    MerkleTree,
+    compute_root_native,
+    merkle_root_gadget,
+)
+from repro.zksnark.gadgets.mimc import MiMCParameters
+
+PARAMS = MiMCParameters.for_rounds(7)
+
+
+def test_empty_tree_root_stable() -> None:
+    assert MerkleTree(3, PARAMS).root == MerkleTree(3, PARAMS).root
+
+
+def test_append_changes_root() -> None:
+    tree = MerkleTree(3, PARAMS)
+    empty_root = tree.root
+    tree.append(42)
+    assert tree.root != empty_root
+
+
+def test_paths_verify_for_all_leaves() -> None:
+    tree = MerkleTree(3, PARAMS)
+    leaves = [101, 202, 303, 404, 505]
+    for leaf in leaves:
+        tree.append(leaf)
+    for index, leaf in enumerate(leaves):
+        path = tree.path(index)
+        assert tree.verify_path(leaf, path)
+        assert not tree.verify_path(leaf + 1, path)
+
+
+def test_path_against_stale_root_fails() -> None:
+    tree = MerkleTree(3, PARAMS)
+    index = tree.append(7)
+    stale_path = tree.path(index)
+    stale_root = tree.root
+    tree.append(8)  # root moves
+    assert compute_root_native(7, stale_path, PARAMS) == stale_root
+    assert compute_root_native(7, stale_path, PARAMS) != tree.root
+
+
+def test_capacity_enforced() -> None:
+    tree = MerkleTree(2, PARAMS)
+    for i in range(4):
+        tree.append(i + 1)
+    with pytest.raises(RegistrationError):
+        tree.append(99)
+
+
+def test_path_index_bounds() -> None:
+    tree = MerkleTree(2, PARAMS)
+    with pytest.raises(IndexError):
+        tree.path(4)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**9),
+                min_size=1, max_size=8, unique=True),
+       st.integers(min_value=0, max_value=7))
+@settings(max_examples=15, deadline=None)
+def test_gadget_matches_native(leaves, which) -> None:
+    tree = MerkleTree(3, PARAMS)
+    for leaf in leaves:
+        tree.append(leaf)
+    index = which % len(leaves)
+    path = tree.path(index)
+    cs = ConstraintSystem()
+    root = merkle_root_gadget(cs, cs.alloc(leaves[index]).lc(), path, PARAMS)
+    assert root.value == tree.root
+    cs.check_satisfied()
+
+
+def test_gadget_wrong_leaf_unsatisfiable_via_public_binding() -> None:
+    tree = MerkleTree(3, PARAMS)
+    tree.append(111)
+    path = tree.path(0)
+    cs = ConstraintSystem()
+    expected = cs.alloc_public(tree.root)
+    root = merkle_root_gadget(cs, cs.alloc(112).lc(), path, PARAMS)
+    cs.enforce_equal(root, expected)
+    assert not cs.to_r1cs().is_satisfied(cs.assignment)
+
+
+def test_sibling_order_depends_on_index_bit() -> None:
+    tree = MerkleTree(2, PARAMS)
+    tree.append(5)
+    tree.append(6)
+    # Leaf 1 sits on the right: swapped order must change the root.
+    path = tree.path(1)
+    assert compute_root_native(6, path, PARAMS) == tree.root
+    flipped = MerklePath(leaf_index=0, siblings=path.siblings)
+    assert compute_root_native(6, flipped, PARAMS) != tree.root

@@ -1,0 +1,90 @@
+"""MiMC-7: native/circuit agreement and permutation properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.field import FR
+from repro.zksnark.gadgets.mimc import (
+    MiMCParameters,
+    mimc_encrypt,
+    mimc_encrypt_native,
+    mimc_hash,
+    mimc_hash_native,
+)
+
+PARAMS = MiMCParameters.for_rounds(7)
+
+field_values = st.integers(min_value=0, max_value=FR.modulus - 1)
+
+
+def test_parameters_cached_and_derived() -> None:
+    again = MiMCParameters.for_rounds(7)
+    assert again is PARAMS  # lru_cache
+    assert PARAMS.constants[0] == 0
+    assert len(set(PARAMS.constants)) == len(PARAMS.constants)
+    with pytest.raises(ValueError):
+        from repro.profiles import SecurityProfile
+
+        SecurityProfile(name="bad", mimc_rounds=1, merkle_depth=2, scalar_bits=8)
+
+
+def test_exponent_seven_is_permutation_exponent() -> None:
+    import math
+
+    assert math.gcd(7, FR.modulus - 1) == 1
+
+
+@given(field_values, field_values)
+@settings(max_examples=30)
+def test_encrypt_native_vs_circuit(key: int, message: int) -> None:
+    cs = ConstraintSystem()
+    out = mimc_encrypt(cs, cs.alloc(key), cs.alloc(message), PARAMS)
+    assert out.value == mimc_encrypt_native(key, message, PARAMS)
+    cs.check_satisfied()
+
+
+@given(st.lists(field_values, min_size=1, max_size=4))
+@settings(max_examples=20)
+def test_hash_native_vs_circuit(inputs) -> None:
+    cs = ConstraintSystem()
+    wires = [cs.alloc(v) for v in inputs]
+    out = mimc_hash(cs, wires, PARAMS)
+    assert out.value == mimc_hash_native(inputs, PARAMS)
+    cs.check_satisfied()
+
+
+def test_encryption_is_injective_sample() -> None:
+    outputs = {mimc_encrypt_native(1, m, PARAMS) for m in range(200)}
+    assert len(outputs) == 200
+
+
+def test_key_sensitivity() -> None:
+    assert mimc_encrypt_native(1, 42, PARAMS) != mimc_encrypt_native(2, 42, PARAMS)
+
+
+def test_hash_length_extension_resistance_shape() -> None:
+    assert mimc_hash_native([1, 2], PARAMS) != mimc_hash_native([1], PARAMS)
+    assert mimc_hash_native([1, 2], PARAMS) != mimc_hash_native([2, 1], PARAMS)
+
+
+def test_round_count_changes_output() -> None:
+    other = MiMCParameters.for_rounds(11)
+    assert mimc_hash_native([7], PARAMS) != mimc_hash_native([7], other)
+
+
+def test_constraint_count() -> None:
+    cs = ConstraintSystem()
+    mimc_encrypt(cs, cs.alloc(1), cs.alloc(2), PARAMS)
+    # 4 constraints (x^2, x^4, x^6, x^7) per round.
+    assert cs.num_constraints == 4 * PARAMS.rounds
+
+
+def test_circuit_tamper_detected() -> None:
+    cs = ConstraintSystem()
+    out = mimc_encrypt(cs, cs.alloc(1), cs.alloc(2), PARAMS)
+    # Flip an internal round wire.
+    cs.assignment[-1] = (cs.assignment[-1] + 1) % FR.modulus
+    assert not cs.to_r1cs().is_satisfied(cs.assignment)

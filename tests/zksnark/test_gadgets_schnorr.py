@@ -1,0 +1,105 @@
+"""Schnorr over Baby-Jubjub: native scheme + in-circuit verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.gadgets import babyjubjub as bjj
+from repro.zksnark.gadgets import schnorr
+from repro.zksnark.gadgets.mimc import MiMCParameters
+
+PARAMS = schnorr.SchnorrParameters(scalar_bits=16, mimc=MiMCParameters.for_rounds(7))
+
+
+@pytest.fixture(scope="module")
+def authority_keys():
+    return schnorr.generate_keypair(PARAMS, seed=b"ra")
+
+
+def test_keygen_in_range(authority_keys) -> None:
+    sk, pk = authority_keys
+    assert 0 < sk < (1 << PARAMS.scalar_bits)
+    assert bjj.is_on_curve(pk)
+
+
+def test_sign_verify(authority_keys) -> None:
+    sk, pk = authority_keys
+    signature = schnorr.sign(PARAMS, sk, [42, 43])
+    assert schnorr.verify(PARAMS, pk, [42, 43], signature)
+
+
+def test_verify_rejects_wrong_message(authority_keys) -> None:
+    sk, pk = authority_keys
+    signature = schnorr.sign(PARAMS, sk, [42])
+    assert not schnorr.verify(PARAMS, pk, [43], signature)
+
+
+def test_verify_rejects_wrong_key(authority_keys) -> None:
+    sk, pk = authority_keys
+    _, other_pk = schnorr.generate_keypair(PARAMS, seed=b"other")
+    signature = schnorr.sign(PARAMS, sk, [42])
+    assert not schnorr.verify(PARAMS, other_pk, [42], signature)
+
+
+def test_verify_rejects_tampered_signature(authority_keys) -> None:
+    sk, pk = authority_keys
+    signature = schnorr.sign(PARAMS, sk, [42])
+    bad = schnorr.SchnorrSignature(r_point=signature.r_point, s=signature.s + 1)
+    assert not schnorr.verify(PARAMS, pk, [42], bad)
+
+
+def test_verify_rejects_oversized_s(authority_keys) -> None:
+    sk, pk = authority_keys
+    signature = schnorr.sign(PARAMS, sk, [42])
+    bad = schnorr.SchnorrSignature(
+        r_point=signature.r_point, s=signature.s + (1 << PARAMS.s_bits)
+    )
+    assert not schnorr.verify(PARAMS, pk, [42], bad)
+
+
+def test_verify_rejects_off_curve_r(authority_keys) -> None:
+    sk, pk = authority_keys
+    signature = schnorr.sign(PARAMS, sk, [42])
+    bad = schnorr.SchnorrSignature(r_point=(1, 2), s=signature.s)
+    assert not schnorr.verify(PARAMS, pk, [42], bad)
+
+
+def test_sign_rejects_out_of_range_secret() -> None:
+    with pytest.raises(SignatureError):
+        schnorr.sign(PARAMS, 1 << PARAMS.scalar_bits, [1])
+
+
+def test_deterministic_nonce(authority_keys) -> None:
+    sk, _ = authority_keys
+    assert schnorr.sign(PARAMS, sk, [7]) == schnorr.sign(PARAMS, sk, [7])
+    assert schnorr.sign(PARAMS, sk, [7]) != schnorr.sign(PARAMS, sk, [8])
+
+
+def test_verify_gadget_accepts_valid(authority_keys) -> None:
+    sk, pk = authority_keys
+    message = [1234]
+    signature = schnorr.sign(PARAMS, sk, message)
+    cs = ConstraintSystem()
+    wires = [cs.alloc(m).lc() for m in message]
+    schnorr.verify_gadget(cs, PARAMS, pk, wires, [], signature)
+    cs.check_satisfied()
+
+
+def test_verify_gadget_rejects_forgery(authority_keys) -> None:
+    sk, pk = authority_keys
+    signature = schnorr.sign(PARAMS, sk, [1234])
+    cs = ConstraintSystem()
+    wires = [cs.alloc(9999).lc()]  # different message than signed
+    schnorr.verify_gadget(cs, PARAMS, pk, wires, [], signature)
+    assert not cs.to_r1cs().is_satisfied(cs.assignment)
+
+
+def test_verify_gadget_rejects_wrong_mpk(authority_keys) -> None:
+    sk, pk = authority_keys
+    _, other_pk = schnorr.generate_keypair(PARAMS, seed=b"imposter")
+    signature = schnorr.sign(PARAMS, sk, [5])
+    cs = ConstraintSystem()
+    schnorr.verify_gadget(cs, PARAMS, other_pk, [cs.alloc(5).lc()], [], signature)
+    assert not cs.to_r1cs().is_satisfied(cs.assignment)

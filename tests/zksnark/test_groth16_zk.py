@@ -1,0 +1,79 @@
+"""Structural zero-knowledge checks on Groth16 proofs.
+
+A full simulation argument is out of scope for tests, but two measurable
+consequences of zero-knowledge are checked: proofs are perfectly
+re-randomized (independent (r, s) per proof), and proofs for different
+witnesses of the same statement are indistinguishable in form.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.zksnark import CircuitDefinition, ConstraintSystem, Groth16Backend
+from repro.zksnark.bn128.curve import g1_from_bytes, g2_from_bytes
+
+
+class TwoRootsCircuit(CircuitDefinition):
+    """x² = out: every statement has two witnesses (±x)."""
+
+    name = "two-roots"
+
+    def example_instance(self):
+        return {"x": 3, "out": 9}
+
+    def synthesize(self, cs: ConstraintSystem, instance) -> None:
+        out = cs.alloc_public(instance["out"])
+        x = cs.alloc(instance["x"])
+        cs.enforce(x, x, out)
+
+
+@pytest.fixture(scope="module")
+def setup_keys():
+    backend = Groth16Backend()
+    return backend, backend.setup(TwoRootsCircuit(), seed=b"zk")
+
+
+def test_proofs_are_rerandomized(setup_keys) -> None:
+    backend, keys = setup_keys
+    payloads = {
+        backend.prove(keys.proving_key, TwoRootsCircuit(), {"x": 3, "out": 9}).payload
+        for _ in range(3)
+    }
+    assert len(payloads) == 3  # fresh blinding every time
+
+
+def test_different_witnesses_same_statement_both_verify(setup_keys) -> None:
+    """Witness indistinguishability: +x and −x both prove out = x²."""
+    backend, keys = setup_keys
+    from repro.zksnark.field import FR
+
+    proof_pos = backend.prove(
+        keys.proving_key, TwoRootsCircuit(), {"x": 3, "out": 9}
+    )
+    proof_neg = backend.prove(
+        keys.proving_key, TwoRootsCircuit(), {"x": FR.modulus - 3, "out": 9}
+    )
+    assert backend.verify(keys.verifying_key, [9], proof_pos)
+    assert backend.verify(keys.verifying_key, [9], proof_neg)
+    # Same form: both parse into valid (G1, G2, G1) triples of equal size.
+    assert len(proof_pos.payload) == len(proof_neg.payload)
+
+
+def test_proof_elements_are_valid_group_points(setup_keys) -> None:
+    backend, keys = setup_keys
+    proof = backend.prove(keys.proving_key, TwoRootsCircuit(), {"x": 5, "out": 25})
+    a = g1_from_bytes(proof.payload[:64])
+    b = g2_from_bytes(proof.payload[64:192])
+    c = g1_from_bytes(proof.payload[192:])
+    assert a is not None and b is not None and c is not None
+
+
+def test_proof_reveals_no_witness_bytes(setup_keys) -> None:
+    backend, keys = setup_keys
+    witness = 1234567890123456789
+    proof = backend.prove(
+        keys.proving_key, TwoRootsCircuit(),
+        {"x": witness, "out": witness * witness},
+    )
+    assert witness.to_bytes(8, "big") not in proof.payload

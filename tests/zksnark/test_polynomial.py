@@ -1,0 +1,98 @@
+"""Dense polynomial arithmetic over FR."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zksnark import polynomial as poly
+from repro.zksnark.field import FR
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=FR.modulus - 1), min_size=0, max_size=8
+)
+
+
+@given(coeff_lists, coeff_lists)
+def test_add_commutes(a, b) -> None:
+    assert poly.poly_add(FR, a, b) == poly.poly_add(FR, b, a)
+
+
+@given(coeff_lists, coeff_lists)
+@settings(max_examples=50)
+def test_mul_matches_evaluation(a, b) -> None:
+    product = poly.poly_mul(FR, a, b)
+    for x in (0, 1, 2, 12345):
+        expected = poly.poly_eval(FR, a, x) * poly.poly_eval(FR, b, x) % FR.modulus
+        assert poly.poly_eval(FR, product, x) == expected
+
+
+@given(coeff_lists, coeff_lists)
+@settings(max_examples=50)
+def test_divmod_invariant(a, b) -> None:
+    if not poly.trim(b):
+        return
+    quotient, remainder = poly.poly_divmod(FR, a, b)
+    recombined = poly.poly_add(FR, poly.poly_mul(FR, quotient, b), remainder)
+    assert recombined == poly.trim(a)
+    assert len(remainder) < len(poly.trim(b)) or not remainder
+
+
+def test_divmod_by_zero_raises() -> None:
+    with pytest.raises(ZeroDivisionError):
+        poly.poly_divmod(FR, [1, 2], [0])
+
+
+def test_vanishing_polynomial_roots() -> None:
+    points = [1, 2, 3, 4]
+    z = poly.vanishing_polynomial(FR, points)
+    assert len(z) == 5
+    for point in points:
+        assert poly.poly_eval(FR, z, point) == 0
+    assert poly.poly_eval(FR, z, 5) != 0
+
+
+def test_lagrange_interpolation_exact() -> None:
+    points = [1, 2, 3, 5]
+    values = [10, 20, 99, 7]
+    interpolated = poly.lagrange_interpolate(FR, points, values)
+    assert len(interpolated) <= 4
+    for point, value in zip(points, values):
+        assert poly.poly_eval(FR, interpolated, point) == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=FR.modulus - 1),
+                min_size=1, max_size=6, unique=True))
+@settings(max_examples=30)
+def test_lagrange_roundtrip(values) -> None:
+    points = list(range(1, len(values) + 1))
+    interpolated = poly.lagrange_interpolate(FR, points, values)
+    for point, value in zip(points, values):
+        assert poly.poly_eval(FR, interpolated, point) == value
+
+
+def test_lagrange_duplicate_points_rejected() -> None:
+    with pytest.raises(ValueError):
+        poly.lagrange_interpolate(FR, [1, 1], [2, 3])
+
+
+def test_lagrange_basis_at_matches_interpolation() -> None:
+    points = [1, 2, 3]
+    x = 777
+    basis = poly.lagrange_basis_at(FR, points, x)
+    # Σ v_j L_j(x) must equal interpolate(v)(x).
+    values = [5, 9, 13]
+    direct = sum(v * l for v, l in zip(values, basis)) % FR.modulus
+    interpolated = poly.lagrange_interpolate(FR, points, values)
+    assert direct == poly.poly_eval(FR, interpolated, x)
+
+
+def test_basis_partition_of_unity() -> None:
+    points = [1, 2, 3, 4, 5]
+    basis = poly.lagrange_basis_at(FR, points, 424242)
+    assert sum(basis) % FR.modulus == 1
+
+
+def test_trim() -> None:
+    assert poly.trim([1, 2, 0, 0]) == [1, 2]
+    assert poly.trim([0, 0]) == []

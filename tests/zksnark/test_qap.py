@@ -1,0 +1,75 @@
+"""R1CS → QAP reduction correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnsatisfiedConstraintError
+from repro.zksnark import polynomial as poly
+from repro.zksnark.circuit import ConstraintSystem
+from repro.zksnark.field import FR
+from repro.zksnark.qap import QAP
+
+
+def _cube_system(x: int, out: int) -> ConstraintSystem:
+    cs = ConstraintSystem()
+    out_wire = cs.alloc_public(out)
+    x_wire = cs.alloc(x)
+    x2 = cs.mul(x_wire, x_wire)
+    x3 = cs.mul(x2, x_wire)
+    cs.enforce_equal(x3 + x_wire + 5, out_wire)
+    return cs
+
+
+def test_witness_quotient_exists_for_satisfying_assignment() -> None:
+    cs = _cube_system(3, 35)
+    qap = QAP(cs.to_r1cs())
+    h = qap.witness_quotient(cs.assignment)
+    assert len(h) <= qap.degree - 1
+
+
+def test_witness_quotient_rejects_bad_assignment() -> None:
+    cs = _cube_system(3, 36)  # 3^3+3+5 = 35, not 36
+    qap = QAP(cs.to_r1cs())
+    with pytest.raises(UnsatisfiedConstraintError):
+        qap.witness_quotient(cs.assignment)
+
+
+def test_divisibility_identity() -> None:
+    """Σ w_i A_i(x) · Σ w_i B_i(x) − Σ w_i C_i(x) == H(x)·Z(x) (as polynomials)."""
+    cs = _cube_system(4, 73)
+    r1cs = cs.to_r1cs()
+    qap = QAP(r1cs)
+    h = qap.witness_quotient(cs.assignment)
+    a_evals, b_evals, c_evals = qap._aggregate_evaluations(cs.assignment)
+    a_poly = poly.lagrange_interpolate(FR, qap.domain, a_evals)
+    b_poly = poly.lagrange_interpolate(FR, qap.domain, b_evals)
+    c_poly = poly.lagrange_interpolate(FR, qap.domain, c_evals)
+    z = poly.vanishing_polynomial(FR, qap.domain)
+    lhs = poly.poly_sub(FR, poly.poly_mul(FR, a_poly, b_poly), c_poly)
+    rhs = poly.poly_mul(FR, h, z)
+    assert lhs == rhs
+
+
+def test_evaluate_at_consistency() -> None:
+    """Column evaluation at τ must agree with interpolating then evaluating."""
+    cs = _cube_system(2, 15)
+    r1cs = cs.to_r1cs()
+    qap = QAP(r1cs)
+    tau = 987654321
+    evaluation = qap.evaluate_at(tau)
+    # Cross-check wire 0's A-column directly.
+    wire = 0
+    column_values = [cons.a.get(wire, 0) for cons in r1cs.constraints]
+    column_poly = poly.lagrange_interpolate(FR, qap.domain, column_values)
+    assert evaluation.a_at[wire] == poly.poly_eval(FR, column_poly, tau)
+    # And Z(τ).
+    z = poly.vanishing_polynomial(FR, qap.domain)
+    assert evaluation.z_at == poly.poly_eval(FR, z, tau)
+
+
+def test_empty_system_rejected() -> None:
+    cs = ConstraintSystem()
+    cs.alloc(1)
+    with pytest.raises(ValueError):
+        QAP(cs.to_r1cs())
