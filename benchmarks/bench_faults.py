@@ -1,0 +1,74 @@
+"""Cost of resilience: the protocol round on a clean vs a faulty fabric.
+
+Runs the same end-to-end crowdsourcing round as ``bench_e2e`` on a
+pristine network and under ``chaos_plan`` fault schedules (drops,
+delays, duplicates, a crash/restart, a partition window), reporting the
+fabric's fault counters and the TxSender retry effort alongside the
+timing — the overhead a deployment pays for riding out failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MajorityVotePolicy, Requester, Worker, ZebraLancerSystem
+from repro.chain.faults import chaos_plan
+
+NUM_WORKERS = 3
+BUDGET = 900
+
+CHAOS_SEEDS = (0, 1, 2)
+
+
+def _protocol_round(fault_plan=None):
+    system = ZebraLancerSystem(
+        profile="test", backend_name="mock", fault_plan=fault_plan
+    )
+    testnet = system.testnet
+    requester = Requester(system, "bench-requester")
+    workers = [Worker(system, f"bench-worker-{i}") for i in range(NUM_WORKERS)]
+    task = requester.publish_task(
+        MajorityVotePolicy(num_choices=4), "bench fault round",
+        num_answers=NUM_WORKERS, budget=BUDGET,
+        answer_window=400, instruction_window=400,
+    )
+    for index, worker in enumerate(workers):
+        record = worker.submit_answer(task, [index % 4])
+        assert record.receipt.success
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success
+    if fault_plan is not None:
+        while testnet.height <= fault_plan.horizon:
+            testnet.mine_block()
+    testnet.network.heal()
+    testnet.assert_consensus()
+    stats = testnet.network.stats
+    sender = testnet.tx_sender
+    return {
+        "chain_height": testnet.height,
+        "delivered": stats.delivered,
+        "dropped": stats.dropped,
+        "delayed": stats.delayed,
+        "duplicated": stats.duplicated,
+        "crashes": stats.crashes,
+        "restarts": stats.restarts,
+        "syncs": stats.syncs,
+        "sync_blocks": stats.sync_blocks,
+        "tx_attempts": sender.total_attempts,
+        "tx_resubmissions": sender.total_resubmissions,
+    }
+
+
+def test_protocol_round_clean(benchmark) -> None:
+    stats = benchmark.pedantic(_protocol_round, rounds=1, iterations=1)
+    benchmark.extra_info.update(stats)
+    benchmark.extra_info["faults"] = "none"
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_protocol_round_under_chaos(benchmark, seed: int) -> None:
+    stats = benchmark.pedantic(
+        _protocol_round, args=(chaos_plan(seed),), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(stats)
+    benchmark.extra_info["faults"] = f"chaos_plan(seed={seed})"

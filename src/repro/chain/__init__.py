@@ -18,26 +18,35 @@ that preserves the ideal-public-ledger model of Section III:
 from repro.chain.account import Account
 from repro.chain.block import Block, BlockHeader
 from repro.chain.contract import Contract, external, view
+from repro.chain.faults import CrashWindow, FaultPlan, LinkFaults, PartitionWindow
 from repro.chain.gas import GasSchedule
+from repro.chain.journal import ChainJournal
 from repro.chain.network import Network, Testnet
 from repro.chain.node import Node
 from repro.chain.receipts import Log, Receipt
 from repro.chain.state import WorldState
 from repro.chain.transaction import SignedTransaction, Transaction
+from repro.chain.txsender import TxSender
 
 __all__ = [
     "Account",
     "Block",
     "BlockHeader",
+    "ChainJournal",
     "Contract",
+    "CrashWindow",
     "external",
     "view",
+    "FaultPlan",
     "GasSchedule",
+    "LinkFaults",
     "Network",
+    "PartitionWindow",
     "Testnet",
     "Node",
     "Log",
     "Receipt",
+    "TxSender",
     "WorldState",
     "SignedTransaction",
     "Transaction",

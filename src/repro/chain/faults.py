@@ -1,0 +1,189 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's §III adversary may drop, delay, reorder and inject traffic;
+operationally a deployment also faces node crashes and partitions.  A
+:class:`FaultPlan` packages all of these behind one seeded RNG so a
+chaos run is perfectly reproducible: the same seed yields the same
+drops, the same delay queues, the same crash and partition windows.
+
+The :class:`~repro.chain.network.Network` consults the plan once per
+(message, link) delivery and once per block tick:
+
+- :meth:`FaultPlan.deliveries` — for one message on one link, the list
+  of delivery delays in blocks (``[]`` = dropped, ``[0]`` = delivered
+  now, ``[0, 2]`` = duplicated with one copy two blocks late);
+- :meth:`FaultPlan.crashed_at` — whether a node is scheduled down at a
+  given height (the network crashes/restarts nodes on ticks);
+- :meth:`FaultPlan.partition_groups` — the partition topology active at
+  a given height, or ``None`` when the network is whole.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Message kinds a plan distinguishes (different loss profiles).
+TX = "tx"
+BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-delivery fault rates for one message kind.
+
+    ``drop``/``delay``/``duplicate`` are independent probabilities in
+    ``[0, 1]``; a delayed delivery is postponed by a uniform
+    ``1..max_delay_blocks`` block ticks.
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    max_delay_blocks: int = 2
+    duplicate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be a probability, got {rate}")
+        if self.max_delay_blocks < 1:
+            raise ValueError("max_delay_blocks must be >= 1")
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Node ``node`` is down for heights in ``[start, end)``.
+
+    The network crashes the node on the tick reaching ``start`` and
+    restarts it (journal replay + peer sync) on the tick reaching
+    ``end``.
+    """
+
+    node: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.start < self.end:
+            raise ValueError("need 0 < start < end")
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """The network splits into ``groups`` for heights in ``[start, end)``.
+
+    ``groups`` name nodes by their ``Node.name``; unnamed nodes stay
+    multi-homed (they hear everything), matching
+    :meth:`~repro.chain.network.Network.partition` semantics.
+    """
+
+    start: int
+    end: int
+    groups: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not 0 < self.start < self.end:
+            raise ValueError("need 0 < start < end")
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of network faults.
+
+    ``immune`` names nodes *receiving* deliveries that are never
+    dropped, delayed or duplicated (useful to keep PoA proposers live
+    while still stressing the rest of the fabric).
+    """
+
+    seed: int = 0
+    tx_faults: LinkFaults = field(default_factory=LinkFaults)
+    block_faults: LinkFaults = field(default_factory=LinkFaults)
+    crashes: Tuple[CrashWindow, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+    immune: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.crashes = tuple(self.crashes)
+        self.partitions = tuple(self.partitions)
+        self.immune = tuple(self.immune)
+        self._rng = random.Random(self.seed)
+        self._draws = 0
+
+    # ----- link faults -------------------------------------------------------------
+
+    def deliveries(self, kind: str, sender: Optional[str], receiver: str) -> List[int]:
+        """Delay list (in block ticks) for one message on one link."""
+        faults = self.tx_faults if kind == TX else self.block_faults
+        if receiver in self.immune:
+            return [0]
+        self._draws += 1
+        if faults.drop and self._rng.random() < faults.drop:
+            return []
+        delays = [0]
+        if faults.delay and self._rng.random() < faults.delay:
+            delays = [self._rng.randint(1, faults.max_delay_blocks)]
+        if faults.duplicate and self._rng.random() < faults.duplicate:
+            delays.append(self._rng.randint(1, faults.max_delay_blocks))
+        return delays
+
+    # ----- scheduled windows ------------------------------------------------------
+
+    def crashed_at(self, node: str, height: int) -> bool:
+        return any(
+            w.node == node and w.start <= height < w.end for w in self.crashes
+        )
+
+    def partition_groups(
+        self, height: int
+    ) -> Optional[Tuple[Tuple[str, ...], ...]]:
+        for window in self.partitions:
+            if window.start <= height < window.end:
+                return window.groups
+        return None
+
+    # ----- introspection ----------------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """The height after which no scheduled window is active."""
+        ends = [w.end for w in self.crashes] + [w.end for w in self.partitions]
+        return max(ends, default=0)
+
+    @property
+    def draws(self) -> int:
+        """How many fault decisions were sampled (for determinism tests)."""
+        return self._draws
+
+
+def chaos_plan(seed: int, horizon: int = 40) -> FaultPlan:
+    """A canonical chaos schedule used by tests and benchmarks.
+
+    Moderate tx loss and delay, light block-gossip loss to the full
+    nodes, one full-node crash/restart window and one partition window —
+    the acceptance scenario of the fault-model design note.  Miners are
+    immune so round-robin PoA keeps producing blocks; every other fault
+    dimension stays active.
+    """
+
+    rng = random.Random(seed ^ 0x5EED)
+    crash_start = rng.randint(6, 10)
+    partition_start = crash_start + rng.randint(8, 10)
+    return FaultPlan(
+        seed=seed,
+        tx_faults=LinkFaults(drop=0.12, delay=0.20, max_delay_blocks=3,
+                             duplicate=0.10),
+        block_faults=LinkFaults(drop=0.08, delay=0.15, max_delay_blocks=2),
+        crashes=(CrashWindow("full-1", crash_start, crash_start + 5),),
+        partitions=(
+            PartitionWindow(
+                partition_start,
+                min(partition_start + 5, horizon),
+                (("miner-0", "miner-1", "full-0"), ("full-1",)),
+            ),
+        ),
+        immune=("miner-0", "miner-1"),
+    )

@@ -1,0 +1,55 @@
+"""Append-only block journal backing node crash recovery.
+
+A :class:`~repro.chain.node.Node` appends every block it accepts (in
+import order, so parents always precede children) and rebuilds its
+entire in-memory state by re-executing the journal after a crash — the
+same write-ahead-log discipline real chain clients use, minus the disk.
+
+Entries are hash-chained so a truncated-or-tampered journal is detected
+at replay time rather than silently producing a diverged node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.crypto.hashing import sha256
+from repro.errors import ChainError
+from repro.chain.block import Block
+
+_EMPTY_CHAIN = b"\x00" * 32
+
+
+class JournalCorruptionError(ChainError):
+    """The journal's hash chain does not verify at replay."""
+
+
+class ChainJournal:
+    """An append-only, hash-chained log of accepted blocks."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[bytes, Block]] = []  # (chain_digest, block)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def tip_digest(self) -> bytes:
+        return self._entries[-1][0] if self._entries else _EMPTY_CHAIN
+
+    def append(self, block: Block) -> None:
+        digest = sha256(self.tip_digest, block.block_hash)
+        self._entries.append((digest, block))
+
+    def replay(self) -> Iterator[Block]:
+        """Yield every journaled block, verifying the hash chain."""
+        previous = _EMPTY_CHAIN
+        for digest, block in self._entries:
+            if sha256(previous, block.block_hash) != digest:
+                raise JournalCorruptionError("journal hash chain broken")
+            previous = digest
+            yield block
+
+    def truncate(self, keep: int) -> None:
+        """Drop entries beyond the first ``keep`` (models a torn write)."""
+        del self._entries[keep:]

@@ -49,6 +49,34 @@ class Mempool:
 
     def remove(self, tx_hash: bytes) -> None:
         self._pool.pop(tx_hash, None)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Prune removed hashes so the arrival list stays O(pool size)."""
+        if len(self._arrival) > 32 and len(self._arrival) > 2 * len(self._pool):
+            self._arrival = [h for h in self._arrival if h in self._pool]
+
+    @property
+    def arrival_backlog(self) -> int:
+        """Length of the arrival list (bounded-growth invariant hook)."""
+        return len(self._arrival)
+
+    def prune_stale(self, state) -> int:
+        """Drop transactions whose nonce the given state has passed.
+
+        Retried/gas-bumped duplicates of an included transaction can
+        never become valid again; pruning them keeps the pool (and the
+        arrival list) from growing without bound under retries.
+        """
+        stale = [
+            tx_hash
+            for tx_hash, stx in self._pool.items()
+            if stx.transaction.nonce < state.nonce_of(stx.sender)
+        ]
+        for tx_hash in stale:
+            self._pool.pop(tx_hash, None)
+        self._maybe_compact()
+        return len(stale)
 
     def contains(self, tx_hash: bytes) -> bool:
         return tx_hash in self._pool

@@ -4,6 +4,14 @@ Every node re-executes every imported block and refuses blocks whose
 declared state root disagrees with its own execution — the "correct
 computation" guarantee.  Fork choice is longest-chain (lowest hash as a
 deterministic tiebreak).
+
+Robustness machinery: every accepted block is appended to an
+append-only :class:`~repro.chain.journal.ChainJournal`, so a crashed
+node rebuilds its whole in-memory state by re-executing the journal on
+restart; a number→hash index over the canonical chain makes
+``block_by_number`` and peer sync O(1) per block; and a reorg returns
+the abandoned branch's transactions to the mempool instead of silently
+dropping them.
 """
 
 from __future__ import annotations
@@ -12,11 +20,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto import ecdsa
-from repro.errors import InvalidBlockError, InvalidTransactionError
+from repro.errors import ChainError, InvalidBlockError, InvalidTransactionError
 from repro.chain.block import Block, BlockHeader, GENESIS_PARENT, transactions_root
 from repro.chain.consensus import ConsensusEngine, PoAEngine
 from repro.chain.contract import BlockContext
 from repro.chain.gas import DEFAULT_SCHEDULE, GasSchedule
+from repro.chain.journal import ChainJournal
 from repro.chain.mempool import Mempool
 from repro.chain.receipts import Receipt
 from repro.chain.state import WorldState
@@ -76,14 +85,23 @@ class Node:
         self.engine = engine or PoAEngine([self.keypair.address()])
         self.vm = VM(schedule=schedule, chain_id=genesis.chain_id)
         self.mempool = Mempool()
+        self.journal = ChainJournal()
+        self.crashed = False
+        #: Counters for recovery tests: accepted imports / import calls.
+        self.blocks_imported = 0
+        self.import_attempts = 0
+        self._reset_in_memory_state()
 
-        genesis_block = genesis.build_genesis_block()
+    def _reset_in_memory_state(self) -> None:
+        genesis_block = self.genesis.build_genesis_block()
         self._blocks: Dict[bytes, Block] = {genesis_block.block_hash: genesis_block}
         self._states: Dict[bytes, WorldState] = {
-            genesis_block.block_hash: genesis.build_state()
+            genesis_block.block_hash: self.genesis.build_state()
         }
         self._receipts: Dict[bytes, Receipt] = {}
         self._head = genesis_block.block_hash
+        # number -> hash of the canonical (head-ancestor) chain.
+        self._canonical: Dict[int, bytes] = {0: genesis_block.block_hash}
 
     # ----- chain views --------------------------------------------------------------
 
@@ -107,13 +125,22 @@ class Node:
         return self._blocks.get(block_hash)
 
     def block_by_number(self, number: int) -> Optional[Block]:
-        cursor = self.head_block
-        while cursor.number > number:
-            parent = self._blocks.get(cursor.header.parent_hash)
-            if parent is None:
-                return None
-            cursor = parent
-        return cursor if cursor.number == number else None
+        """The canonical block at ``number`` (O(1) via the index)."""
+        block_hash = self._canonical.get(number)
+        return self._blocks.get(block_hash) if block_hash is not None else None
+
+    def canonical_hash(self, number: int) -> Optional[bytes]:
+        return self._canonical.get(number)
+
+    def canonical_blocks(self, start: int, end: int) -> List[Block]:
+        """Canonical blocks with numbers in ``[start, end]`` (for sync)."""
+        blocks: List[Block] = []
+        for number in range(start, end + 1):
+            block = self.block_by_number(number)
+            if block is None:
+                break
+            blocks.append(block)
+        return blocks
 
     def get_receipt(self, tx_hash: bytes) -> Optional[Receipt]:
         return self._receipts.get(tx_hash)
@@ -149,6 +176,7 @@ class Node:
         Inclusion-time validation is strict; admission only requires a
         valid signature, a plausible nonce and fee coverage.
         """
+        self._require_live()
         if not stx.verify_signature():
             raise InvalidTransactionError("bad signature")
         if stx.transaction.chain_id != self.genesis.chain_id:
@@ -164,6 +192,7 @@ class Node:
 
     def create_block(self, timestamp: int) -> Block:
         """Mine a block on the current head from the local mempool."""
+        self._require_live()
         if not self.is_miner:
             raise InvalidBlockError(f"node {self.name} is not a miner")
         parent = self.head_block
@@ -202,6 +231,8 @@ class Node:
 
     def import_block(self, block: Block) -> bool:
         """Validate, re-execute and adopt a block; returns False if known."""
+        self._require_live()
+        self.import_attempts += 1
         if block.block_hash in self._blocks:
             return False
         parent_state = self._states.get(block.header.parent_hash)
@@ -240,26 +271,107 @@ class Node:
         self._states[block.block_hash] = state
         for receipt in receipts:
             self._receipts[receipt.tx_hash] = receipt
+        self.blocks_imported += 1
+        if not self._replaying:
+            self.journal.append(block)
         self.mempool.drop_included(block.transactions)
         self._maybe_reorg(block)
+        self.mempool.prune_stale(self.head_state)
         return True
 
     def _maybe_reorg(self, candidate: Block) -> None:
+        """Adopt ``candidate`` as head if fork choice prefers it.
+
+        On a branch switch the abandoned branch's transactions return to
+        the mempool (if still valid on the new head) so a reorg never
+        silently loses a submission.
+        """
         head = self.head_block
-        if candidate.number > head.number:
-            self._head = candidate.block_hash
-        elif candidate.number == head.number and candidate.block_hash < head.block_hash:
-            self._head = candidate.block_hash
+        better = candidate.number > head.number or (
+            candidate.number == head.number and candidate.block_hash < head.block_hash
+        )
+        if not better:
+            return
+        # Walk the candidate's ancestry down to the canonical chain;
+        # cheap in the common extend-head case (one step).
+        new_branch: List[Block] = []
+        ancestor = candidate
+        while (
+            ancestor.number > 0
+            and self._canonical.get(ancestor.number) != ancestor.block_hash
+        ):
+            new_branch.append(ancestor)
+            parent = self._blocks.get(ancestor.header.parent_hash)
+            if parent is None:  # cannot happen: imports require known parents
+                raise InvalidBlockError("broken ancestry during reorg")
+            ancestor = parent
+        fork_height = ancestor.number
+        orphaned: List[Block] = [
+            self._blocks[self._canonical[number]]
+            for number in range(fork_height + 1, head.number + 1)
+            if number in self._canonical
+        ]
+        for number in range(candidate.number + 1, head.number + 1):
+            self._canonical.pop(number, None)
+        for block in new_branch:
+            self._canonical[block.number] = block.block_hash
+        self._head = candidate.block_hash
+        if orphaned:
+            self._reinject_orphaned(orphaned, fork_height)
+
+    def _reinject_orphaned(self, orphaned: List[Block], fork_height: int) -> None:
+        adopted_hashes = {
+            stx.tx_hash
+            for number in range(fork_height + 1, self.head_block.number + 1)
+            for stx in self._blocks[self._canonical[number]].transactions
+        }
+        state = self.head_state
+        for block in orphaned:
+            for stx in block.transactions:
+                if stx.tx_hash in adopted_hashes:
+                    continue
+                if stx.transaction.nonce < state.nonce_of(stx.sender):
+                    continue  # superseded on the adopted branch
+                self.mempool.add(stx)
+
+    # ----- crash / recovery ------------------------------------------------------------
+
+    _replaying = False
+
+    def _require_live(self) -> None:
+        if self.crashed:
+            raise ChainError(f"node {self.name} is down")
+
+    def crash(self) -> None:
+        """Lose every in-memory structure; only the journal survives."""
+        self.crashed = True
+        self.mempool = Mempool(ordering=self.mempool.ordering)
+        self._blocks = {}
+        self._states = {}
+        self._receipts = {}
+        self._canonical = {}
+
+    def restart(self) -> int:
+        """Rebuild chain + state by re-executing the journal.
+
+        Returns the number of replayed blocks.  Receipts and per-block
+        states come back automatically because recovery *re-executes*
+        rather than trusting any snapshot.
+        """
+        self.crashed = False
+        self._reset_in_memory_state()
+        replayed = 0
+        self._replaying = True
+        try:
+            for block in self.journal.replay():
+                if self.import_block(block):
+                    replayed += 1
+        finally:
+            self._replaying = False
+        return replayed
 
     # ----- invariants ------------------------------------------------------------------------
 
     def chain_to_genesis(self) -> List[Block]:
         """The head's ancestor chain, genesis first."""
-        chain: List[Block] = []
-        cursor: Optional[Block] = self.head_block
-        while cursor is not None:
-            chain.append(cursor)
-            if cursor.header.parent_hash == GENESIS_PARENT:
-                break
-            cursor = self._blocks.get(cursor.header.parent_hash)
-        return list(reversed(chain))
+        return self.canonical_blocks(0, self.height)

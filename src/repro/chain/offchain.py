@@ -16,8 +16,9 @@ assumption).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.hashing import sha256
 from repro.errors import ChainError
@@ -32,6 +33,10 @@ _MANIFEST_DOMAIN = b"offchain-manifest"
 
 class IntegrityError(ChainError):
     """Fetched content does not hash to the requested content id."""
+
+
+class StoreUnavailableError(ChainError):
+    """A (replicated) store could not serve the request right now."""
 
 
 @dataclass(frozen=True)
@@ -131,6 +136,109 @@ class ContentStore:
     @property
     def stored_bytes(self) -> int:
         return sum(len(c) for c in self._chunks.values())
+
+
+class FlakyContentStore:
+    """A :class:`ContentStore` replica with seeded failure injection.
+
+    Each ``get``/``put`` independently fails with the configured
+    probability (raising :class:`StoreUnavailableError`), and the
+    replica can be taken down entirely — the availability faults a
+    replicated store must mask.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ContentStore] = None,
+        seed: int = 0,
+        get_failure_rate: float = 0.0,
+        put_failure_rate: float = 0.0,
+    ) -> None:
+        for rate in (get_failure_rate, put_failure_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("failure rates must be probabilities")
+        self.store = store or ContentStore()
+        self.get_failure_rate = get_failure_rate
+        self.put_failure_rate = put_failure_rate
+        self.down = False
+        self.failures = 0
+        self._rng = random.Random(seed)
+
+    def _maybe_fail(self, rate: float, operation: str) -> None:
+        if self.down or (rate and self._rng.random() < rate):
+            self.failures += 1
+            raise StoreUnavailableError(f"replica unavailable during {operation}")
+
+    def put(self, blob: bytes) -> ContentId:
+        self._maybe_fail(self.put_failure_rate, "put")
+        return self.store.put(blob)
+
+    def get(self, content_id: ContentId) -> bytes:
+        self._maybe_fail(self.get_failure_rate, "get")
+        return self.store.get(content_id)
+
+    def has(self, content_id: ContentId) -> bool:
+        return not self.down and self.store.has(content_id)
+
+
+class ReplicatedContentStore:
+    """N content-store replicas with retry and read-repair.
+
+    Writes go to every replica (success requires at least one accepting
+    the blob — content addressing makes partial writes harmless).
+    Reads rotate over the replicas for up to ``max_read_rounds`` passes;
+    the first verified copy wins and is repaired back onto the replicas
+    that missed it, so a previously failed replica converges instead of
+    staying a hole.  Integrity still rests with the *reader*: a replica
+    serving tampered bytes is skipped like an unavailable one.
+    """
+
+    def __init__(
+        self, replicas: Sequence, max_read_rounds: int = 2
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        if max_read_rounds < 1:
+            raise ValueError("need at least one read round")
+        self.replicas = list(replicas)
+        self.max_read_rounds = max_read_rounds
+        self.read_repairs = 0
+
+    def put(self, blob: bytes) -> ContentId:
+        content_id: Optional[ContentId] = None
+        for replica in self.replicas:
+            try:
+                content_id = replica.put(blob)
+            except StoreUnavailableError:
+                continue
+        if content_id is None:
+            raise StoreUnavailableError("no replica accepted the write")
+        return content_id
+
+    def get(self, content_id: ContentId) -> bytes:
+        for _ in range(self.max_read_rounds):
+            for replica in self.replicas:
+                try:
+                    blob = replica.get(content_id)
+                except (StoreUnavailableError, IntegrityError, KeyError):
+                    continue
+                self._read_repair(content_id, blob)
+                return blob
+        raise StoreUnavailableError(
+            f"content {content_id.hex()} unavailable on every replica"
+        )
+
+    def _read_repair(self, content_id: ContentId, blob: bytes) -> None:
+        for replica in self.replicas:
+            try:
+                if not replica.has(content_id):
+                    replica.put(blob)
+                    self.read_repairs += 1
+            except StoreUnavailableError:
+                continue
+
+    def has(self, content_id: ContentId) -> bool:
+        return any(replica.has(content_id) for replica in self.replicas)
 
 
 def content_reference(content_id: ContentId) -> str:

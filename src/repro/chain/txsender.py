@@ -1,0 +1,173 @@
+"""Client-side resilient transaction submission.
+
+A lossy fabric can drop a broadcast before any miner sees it, so
+"submit once and pray" loses transactions.  :class:`TxSender` is the
+client discipline that survives it: broadcast, wait for a receipt with
+a block-count timeout, and on timeout re-check the sender's on-chain
+nonce before retrying with a gas-price bump.  Retries are idempotent by
+construction — every attempt reuses the original nonce, so the chain
+can include at most one of them; a consumed nonce with none of our
+hashes on-chain means a different transaction superseded ours, which is
+reported rather than retried forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.crypto import ecdsa
+from repro.errors import ChainError
+from repro.chain.receipts import Receipt
+from repro.chain.transaction import SignedTransaction, Transaction
+
+
+class TxAbandonedError(ChainError):
+    """No attempt of a transaction could be confirmed."""
+
+
+@dataclass
+class SendReport:
+    """What happened while confirming one logical transaction."""
+
+    receipt: Optional[Receipt] = None
+    attempts: int = 0
+    blocks_waited: int = 0
+    final_gas_price: int = 0
+    tx_hashes: List[bytes] = field(default_factory=list)
+
+
+class TxSender:
+    """Reliable at-most-once submission against a :class:`Testnet`.
+
+    ``timeout_blocks`` is how many blocks one attempt waits for its
+    receipt; ``gas_bump_percent`` raises the fee on each retry (clamped
+    so the sender can still afford ``value + gas_price * gas_limit``).
+    """
+
+    def __init__(
+        self,
+        testnet,
+        timeout_blocks: int = 8,
+        max_attempts: int = 4,
+        gas_bump_percent: int = 25,
+    ) -> None:
+        if timeout_blocks < 1 or max_attempts < 1:
+            raise ValueError("need at least one block and one attempt")
+        self.testnet = testnet
+        self.timeout_blocks = timeout_blocks
+        self.max_attempts = max_attempts
+        self.gas_bump_percent = gas_bump_percent
+        #: Cumulative counters (read by the chaos bench).
+        self.total_attempts = 0
+        self.total_resubmissions = 0
+
+    # ----- public API ---------------------------------------------------------------
+
+    def send(self, tx: Transaction, keypair: ecdsa.ECDSAKeyPair) -> Receipt:
+        return self.send_with_report(tx, keypair).receipt
+
+    def send_with_report(
+        self, tx: Transaction, keypair: ecdsa.ECDSAKeyPair
+    ) -> SendReport:
+        """Broadcast ``tx``, confirming it through drops and delays."""
+        report = SendReport(final_gas_price=tx.gas_price)
+        sender = keypair.address()
+        current = tx
+        while report.attempts < self.max_attempts:
+            report.attempts += 1
+            self.total_attempts += 1
+            if report.attempts > 1:
+                self.total_resubmissions += 1
+            stx = current.sign(keypair)
+            if stx.tx_hash not in report.tx_hashes:
+                report.tx_hashes.append(stx.tx_hash)
+            self.testnet.send_transaction(stx)
+            receipt = self._await_receipt(report)
+            if receipt is not None:
+                report.receipt = receipt
+                report.final_gas_price = current.gas_price
+                return report
+            # Timed out: nonce re-check decides between retry and abandon.
+            if self.testnet.any_node.nonce_of(sender) > current.nonce:
+                receipt = self._find_receipt(report.tx_hashes)
+                if receipt is not None:
+                    report.receipt = receipt
+                    report.final_gas_price = current.gas_price
+                    return report
+                raise TxAbandonedError(
+                    "nonce consumed by a transaction that is not ours"
+                )
+            current = replace(
+                current, gas_price=self._bumped_price(current, sender)
+            )
+        raise TxAbandonedError(
+            f"no receipt after {report.attempts} attempts "
+            f"({report.blocks_waited} blocks)"
+        )
+
+    def send_signed(self, stx: SignedTransaction) -> Receipt:
+        """Confirm an externally signed transaction (rebroadcast-only).
+
+        Without the key we cannot bump the fee, but we can still retry
+        the identical bytes — idempotent because the chain dedupes by
+        nonce and the mempool by hash.
+        """
+        report = SendReport(tx_hashes=[stx.tx_hash])
+        for _ in range(self.max_attempts):
+            report.attempts += 1
+            self.total_attempts += 1
+            if report.attempts > 1:
+                self.total_resubmissions += 1
+            self.testnet.send_transaction(stx)
+            receipt = self._await_receipt(report)
+            if receipt is not None:
+                return receipt
+            if self.testnet.any_node.nonce_of(stx.sender) > stx.transaction.nonce:
+                receipt = self._find_receipt(report.tx_hashes)
+                if receipt is not None:
+                    return receipt
+                raise TxAbandonedError(
+                    "nonce consumed by a transaction that is not ours"
+                )
+        raise TxAbandonedError(
+            f"no receipt after {report.attempts} attempts "
+            f"({report.blocks_waited} blocks)"
+        )
+
+    # ----- internals ----------------------------------------------------------------
+
+    def _await_receipt(self, report: SendReport) -> Optional[Receipt]:
+        receipt = self._find_receipt(report.tx_hashes)
+        if receipt is not None:
+            return receipt
+        for _ in range(self.timeout_blocks):
+            self.testnet.mine_block()
+            report.blocks_waited += 1
+            receipt = self._find_receipt(report.tx_hashes)
+            if receipt is not None:
+                return receipt
+        return None
+
+    def _find_receipt(self, tx_hashes: List[bytes]) -> Optional[Receipt]:
+        for node in self.testnet.network.nodes:
+            if node.crashed:
+                continue
+            for tx_hash in tx_hashes:
+                receipt = node.get_receipt(tx_hash)
+                if receipt is not None:
+                    return receipt
+        return None
+
+    def _bumped_price(self, tx: Transaction, sender: bytes) -> int:
+        bumped = max(
+            tx.gas_price + 1,
+            tx.gas_price * (100 + self.gas_bump_percent) // 100,
+        )
+        # Never price the replacement beyond what the sender can cover,
+        # or every node would reject it at admission.
+        balance = self.testnet.any_node.balance_of(sender)
+        if tx.gas_limit > 0:
+            affordable = (balance - tx.value) // tx.gas_limit
+            bumped = min(bumped, max(affordable, tx.gas_price))
+        return bumped

@@ -7,6 +7,7 @@ accounting (for Table I's operand columns), and peak-memory tracking
 
 from __future__ import annotations
 
+import math
 import time
 import tracemalloc
 from contextlib import contextmanager
@@ -63,13 +64,17 @@ class BoxStats:
         if not samples:
             raise ValueError("need at least one sample")
         ordered = sorted(samples)
+        # fsum keeps the sum exact; the final division can still land
+        # one ulp outside [min, max] (e.g. three identical samples), so
+        # clamp — the five-number ordering is a documented invariant.
+        mean = min(max(math.fsum(ordered) / len(ordered), ordered[0]), ordered[-1])
         return cls(
             minimum=ordered[0],
             q1=_quantile(ordered, 0.25),
             median=_quantile(ordered, 0.5),
             q3=_quantile(ordered, 0.75),
             maximum=ordered[-1],
-            mean=sum(ordered) / len(ordered),
+            mean=mean,
             count=len(ordered),
         )
 
@@ -85,14 +90,20 @@ class BoxStats:
 
 
 def _quantile(ordered: Sequence[float], q: float) -> float:
-    """Linear-interpolated quantile of pre-sorted samples."""
+    """Linear-interpolated quantile of pre-sorted samples.
+
+    The interpolated value is clamped into its bracketing samples so
+    rounding can never push a quantile outside ``[min, max]`` or out of
+    order with its neighbours.
+    """
     if len(ordered) == 1:
         return ordered[0]
     position = q * (len(ordered) - 1)
     lower = int(position)
     upper = min(lower + 1, len(ordered) - 1)
     fraction = position - lower
-    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+    interpolated = ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+    return min(max(interpolated, ordered[lower]), ordered[upper])
 
 
 @contextmanager

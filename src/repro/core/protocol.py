@@ -74,13 +74,16 @@ class ZebraLancerSystem:
         full_nodes: int = 2,
         seed: bytes = b"zebralancer-system",
         testnet: Optional[Testnet] = None,
+        fault_plan=None,
     ) -> None:
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.cert_mode = cert_mode
         self.backend_name = backend_name
         self.seed = seed
         self.backend = get_backend(backend_name)
-        self.testnet = testnet or Testnet(miners=miners, full_nodes=full_nodes)
+        self.testnet = testnet or Testnet(
+            miners=miners, full_nodes=full_nodes, fault_plan=fault_plan
+        )
 
         # Off-line establishment of the Auth SNARK + RA keys.
         self.auth_params, self.authority = auth_setup(
@@ -118,10 +121,13 @@ class ZebraLancerSystem:
         self.testnet.fund(address, amount)
 
     def send_and_confirm(self, signed_tx) -> Receipt:
-        tx_hash = self.testnet.send_transaction(signed_tx)
-        receipt = self.testnet.wait_for_receipt(tx_hash)
-        assert receipt is not None
-        return receipt
+        """Confirm a pre-signed transaction (rebroadcast-only retries)."""
+        return self.testnet.tx_sender.send_signed(signed_tx)
+
+    def send_reliable(self, tx: Transaction, keypair) -> Receipt:
+        """Confirm ``tx`` with the full retry discipline (gas bump +
+        nonce re-check) — what every client should use on a lossy net."""
+        return self.testnet.tx_sender.send(tx, keypair)
 
     # ----- registry ------------------------------------------------------------------
 
@@ -143,7 +149,7 @@ class ZebraLancerSystem:
             data=data,
         )
         self._ra_nonce += 1
-        receipt = self.send_and_confirm(tx.sign(self._ra_key))
+        receipt = self.send_reliable(tx, self._ra_key)
         if not receipt.success or receipt.contract_address is None:
             raise ProtocolError(f"registry deployment failed: {receipt.error}")
         return receipt.contract_address
@@ -163,7 +169,7 @@ class ZebraLancerSystem:
             data=data,
         )
         self._ra_nonce += 1
-        receipt = self.send_and_confirm(tx.sign(self._ra_key))
+        receipt = self.send_reliable(tx, self._ra_key)
         if not receipt.success:
             raise ProtocolError(f"commitment update failed: {receipt.error}")
         return certificate

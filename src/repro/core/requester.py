@@ -138,7 +138,7 @@ class Requester:
             value=budget,
             data=data,
         )
-        receipt = system.send_and_confirm(tx.sign(account.keypair))
+        receipt = system.send_reliable(tx, account.keypair)
         if not receipt.success or receipt.contract_address != predicted_address:
             raise ProtocolError(f"task deployment failed: {receipt.error}")
         self._tasks[predicted_address] = _TaskRecord(
@@ -222,7 +222,7 @@ class Requester:
             data=data,
         )
         record.nonce += 1
-        return system.send_and_confirm(tx.sign(record.account.keypair))
+        return system.send_reliable(tx, record.account.keypair)
 
     def _record(self, handle: TaskHandle) -> _TaskRecord:
         record = self._tasks.get(handle.address)

@@ -136,7 +136,7 @@ class Worker:
             value=0,
             data=data,
         )
-        receipt = system.send_and_confirm(tx.sign(account.keypair))
+        receipt = system.send_reliable(tx, account.keypair)
         record = SubmissionRecord(
             task_address=task_address,
             account_address=account.address,

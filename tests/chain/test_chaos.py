@@ -1,0 +1,134 @@
+"""Chaos harness: the full crowdsourcing protocol under injected faults.
+
+Each scenario runs publish → submit × n → proved reward end-to-end on a
+testnet whose fabric drops, delays and duplicates gossip, crashes and
+restarts a full node, and partitions the network — all on a fixed seed.
+End-state invariants:
+
+- every node converges (``assert_consensus``);
+- every registered worker's submission is included and rewarded
+  exactly once;
+- value is conserved: payouts + refund equal the escrowed budget, the
+  contract drains to zero, and no node's total supply drifts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MajorityVotePolicy, Requester, Worker, ZebraLancerSystem
+from repro.chain.faults import chaos_plan
+
+#: Fixed fault-plan seeds (drops + delays + one crash/restart + one
+#: partition window each); the acceptance set for this layer.
+CHAOS_SEEDS = (1, 2, 3, 4, 5)
+
+NUM_WORKERS = 3
+BUDGET = 900  # splits evenly: every worker agrees, every worker is paid
+
+
+def _run_protocol_under_chaos(seed: int):
+    plan = chaos_plan(seed)
+    system = ZebraLancerSystem(
+        profile="test", backend_name="mock", fault_plan=plan
+    )
+    testnet = system.testnet
+    requester = Requester(system, "chaos-req")
+    workers = [Worker(system, f"chaos-w{i}") for i in range(NUM_WORKERS)]
+    task = requester.publish_task(
+        MajorityVotePolicy(4),
+        "chaos task",
+        num_answers=NUM_WORKERS,
+        budget=BUDGET,
+        answer_window=400,
+        instruction_window=400,
+    )
+    records = [worker.submit_answer(task, [1]) for worker in workers]
+    for record in records:
+        assert record.receipt.success, record.receipt.error
+    paid_before = {
+        worker.identity: worker.reward_received(task.address)
+        for worker in workers
+    }
+    receipt = requester.evaluate_and_reward(task)
+    assert receipt.success, receipt.error
+    # Run the schedule to its horizon so every crash/partition window
+    # closes, then let the fabric reconcile: link faults never stop, so
+    # the final blocks may have been dropped on some links and the tail
+    # is settled by pull-sync (``heal``), which gossip loss cannot touch.
+    while testnet.height <= plan.horizon:
+        testnet.mine_block()
+    testnet.network.heal()
+    return plan, system, task, workers, paid_before
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_protocol_converges_under_chaos(seed: int) -> None:
+    plan, system, task, workers, paid_before = _run_protocol_under_chaos(seed)
+    testnet = system.testnet
+
+    # 1. All nodes converge on head and state.
+    testnet.assert_consensus()
+
+    # 2. Every worker's submission was included and rewarded exactly once.
+    assert task.phase() == "completed"
+    rewards = task.rewards()
+    assert rewards == [BUDGET // NUM_WORKERS] * NUM_WORKERS
+    assert len(set(task.submitters())) == NUM_WORKERS
+    for worker in workers:
+        paid = worker.reward_received(task.address) - paid_before[worker.identity]
+        assert paid == BUDGET // NUM_WORKERS, (
+            f"{worker.identity} paid {paid}, expected {BUDGET // NUM_WORKERS}"
+        )
+
+    # 3. Value conservation: the contract drained exactly its escrow.
+    assert task.balance() == 0
+    assert sum(rewards) == BUDGET
+    for node in testnet.network.nodes:
+        assert node.head_state.total_supply() == 10**30
+
+    # 4. The faults actually fired (the run wasn't accidentally clean).
+    stats = testnet.network.stats
+    assert stats.dropped > 0
+    assert stats.delayed > 0
+    assert stats.crashes == 1 and stats.restarts == 1
+    assert stats.syncs >= 1
+
+
+def test_chaos_runs_are_reproducible() -> None:
+    """Same seed → byte-identical end state (chain head and stats)."""
+
+    def fingerprint(seed: int):
+        _, system, task, _, _ = _run_protocol_under_chaos(seed)
+        stats = system.testnet.network.stats
+        return (
+            system.testnet.any_node.head_block.block_hash,
+            system.testnet.any_node.head_state.state_root(),
+            tuple(task.rewards()),
+            (stats.dropped, stats.delayed, stats.duplicated, stats.syncs),
+        )
+
+    assert fingerprint(CHAOS_SEEDS[0]) == fingerprint(CHAOS_SEEDS[0])
+
+
+def test_tx_sender_carries_transfers_through_a_very_lossy_fabric() -> None:
+    """With no immune links (even miners miss gossip) the TxSender's
+    retry loop is load-bearing: transfers confirm despite 50% tx loss,
+    and at least one of them needs a resubmission."""
+    from repro.chain.faults import FaultPlan, LinkFaults
+    from repro.chain.network import Testnet
+    from repro.chain.transaction import Transaction
+
+    plan = FaultPlan(seed=99, tx_faults=LinkFaults(drop=0.5))
+    net = Testnet(fault_plan=plan)
+    sink = b"\x77" * 20
+    for i in range(8):
+        tx = Transaction(
+            nonce=i, gas_price=1, gas_limit=21_000, to=sink, value=10
+        )
+        receipt = net.tx_sender.send(tx, net.faucet_key)
+        assert receipt.success
+    assert net.any_node.balance_of(sink) == 80  # each paid exactly once
+    assert net.tx_sender.total_resubmissions > 0
+    net.network.heal()
+    net.assert_consensus()

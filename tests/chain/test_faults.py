@@ -1,0 +1,147 @@
+"""Fault-plan determinism and the network's fault machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChainError
+from repro.chain.faults import (
+    BLOCK,
+    TX,
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    PartitionWindow,
+    chaos_plan,
+)
+from repro.chain.network import Testnet
+
+
+def _decision_trace(plan: FaultPlan, n: int = 200):
+    return [plan.deliveries(TX, None, f"node-{i % 4}") for i in range(n)]
+
+
+def test_fault_plan_is_deterministic_per_seed() -> None:
+    trace_a = _decision_trace(FaultPlan(seed=7, tx_faults=LinkFaults(
+        drop=0.2, delay=0.3, duplicate=0.1)))
+    trace_b = _decision_trace(FaultPlan(seed=7, tx_faults=LinkFaults(
+        drop=0.2, delay=0.3, duplicate=0.1)))
+    assert trace_a == trace_b
+
+
+def test_fault_plan_seeds_differ() -> None:
+    faults = LinkFaults(drop=0.2, delay=0.3, duplicate=0.1)
+    trace_a = _decision_trace(FaultPlan(seed=1, tx_faults=faults))
+    trace_b = _decision_trace(FaultPlan(seed=2, tx_faults=faults))
+    assert trace_a != trace_b
+
+
+def test_immune_receivers_always_get_clean_delivery() -> None:
+    plan = FaultPlan(seed=3, tx_faults=LinkFaults(drop=1.0), immune=("miner-0",))
+    assert plan.deliveries(TX, None, "miner-0") == [0]
+    assert plan.deliveries(TX, None, "full-0") == []
+
+
+def test_crash_and_partition_windows() -> None:
+    plan = FaultPlan(
+        seed=0,
+        crashes=(CrashWindow("full-1", 3, 6),),
+        partitions=(PartitionWindow(8, 10, (("a",), ("b",))),),
+    )
+    assert not plan.crashed_at("full-1", 2)
+    assert plan.crashed_at("full-1", 3)
+    assert plan.crashed_at("full-1", 5)
+    assert not plan.crashed_at("full-1", 6)
+    assert plan.partition_groups(7) is None
+    assert plan.partition_groups(8) == (("a",), ("b",))
+    assert plan.partition_groups(10) is None
+    assert plan.horizon == 10
+
+
+def test_invalid_rates_and_windows_rejected() -> None:
+    with pytest.raises(ValueError):
+        LinkFaults(drop=1.5)
+    with pytest.raises(ValueError):
+        CrashWindow("x", 5, 5)
+    with pytest.raises(ValueError):
+        PartitionWindow(1, 4, (("only-one-group",),))
+
+
+def test_dropped_transaction_never_arrives() -> None:
+    plan = FaultPlan(seed=0, tx_faults=LinkFaults(drop=1.0))
+    net = Testnet(fault_plan=plan)
+    net.send_transaction(_simple_tx(net))
+    assert all(len(node.mempool) == 0 for node in net.network.nodes)
+    assert net.network.stats.dropped >= len(net.network.nodes)
+
+
+def test_delayed_transaction_released_on_block_tick() -> None:
+    plan = FaultPlan(
+        seed=0, tx_faults=LinkFaults(delay=1.0, max_delay_blocks=1)
+    )
+    net = Testnet(fault_plan=plan)
+    net.send_transaction(_simple_tx(net))
+    assert all(len(node.mempool) == 0 for node in net.network.nodes)
+    net.mine_block()  # tick releases the delayed copies
+    assert any(len(node.mempool) == 1 for node in net.network.nodes)
+
+
+def test_scheduled_crash_and_restart_reconverges() -> None:
+    plan = FaultPlan(seed=0, crashes=(CrashWindow("full-1", 2, 4),))
+    net = Testnet(fault_plan=plan)
+    crashed = net.full_nodes[1]
+    net.mine_block()  # height 1: everyone up
+    net.mine_block()  # height 2: full-1 crashes on this tick
+    assert crashed.crashed
+    with pytest.raises(ChainError):
+        crashed.import_block(net.any_node.head_block)
+    net.mine_block()  # height 3: still down, misses this block too
+    net.mine_block()  # height 4: restart + journal replay + peer sync
+    assert not crashed.crashed
+    assert crashed.height == net.network.height
+    net.assert_consensus()
+    assert net.network.stats.crashes == 1
+    assert net.network.stats.restarts == 1
+
+
+def test_partition_window_applies_and_heals() -> None:
+    plan = FaultPlan(
+        seed=0,
+        partitions=(PartitionWindow(
+            2, 4, (("miner-0", "miner-1", "full-0"), ("full-1",)),
+        ),),
+    )
+    net = Testnet(fault_plan=plan)
+    isolated = net.full_nodes[1]
+    net.mine_block()
+    net.mine_block()  # partition begins
+    net.mine_block()  # mined inside the window: full-1 must miss it
+    assert isolated.height < net.network.height
+    net.mine_block()  # window over: heal + head-relative sync
+    assert isolated.height == net.network.height
+    net.assert_consensus()
+
+
+def test_chaos_plan_shape() -> None:
+    plan = chaos_plan(seed=42)
+    assert plan.crashes and plan.partitions
+    assert "miner-0" in plan.immune
+    assert plan.horizon > 0
+    # Determinism across constructions.
+    again = chaos_plan(seed=42)
+    assert again.crashes == plan.crashes
+    assert again.partitions == plan.partitions
+
+
+def _simple_tx(net: Testnet):
+    from repro.crypto import ecdsa
+    from repro.chain.transaction import Transaction
+
+    key = ecdsa.ECDSAKeyPair.from_seed(b"fault-user")
+    # Fund without faults by crediting state at genesis is not possible
+    # here, so pay from the faucet directly (signature-valid, nonce 0,
+    # zero balance is fine for mempool admission of the faucet's key).
+    return Transaction(
+        nonce=0, gas_price=1, gas_limit=21_000,
+        to=key.address(), value=1,
+    ).sign(net.faucet_key)

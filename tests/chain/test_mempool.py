@@ -103,3 +103,37 @@ def test_unsigned_rejected() -> None:
     )
     with pytest.raises(InvalidTransactionError):
         pool.add(broken)
+
+
+def test_arrival_list_stays_bounded_under_churn() -> None:
+    """Soak: removed/included hashes must be compacted, not retained.
+
+    The arrival list may temporarily hold removed hashes, but it can
+    never exceed twice the live pool (plus a small constant).
+    """
+    pool = Mempool()
+    for round_number in range(50):
+        txs = [_tx(ALICE, round_number * 20 + i) for i in range(20)]
+        for tx in txs:
+            pool.add(tx)
+        for tx in txs:
+            pool.remove(tx.tx_hash)
+        assert pool.arrival_backlog <= 2 * len(pool) + 33
+    assert len(pool) == 0
+    assert pool.arrival_backlog <= 33
+
+
+def test_prune_stale_drops_passed_nonces() -> None:
+    from repro.chain.state import WorldState
+
+    pool = Mempool()
+    stale = _tx(ALICE, 0)
+    live = _tx(ALICE, 2)
+    pool.add(stale)
+    pool.add(live)
+    state = WorldState()
+    state.credit(ALICE.address(), 10**9)
+    state.account(ALICE.address()).nonce = 2
+    assert pool.prune_stale(state) == 1
+    assert not pool.contains(stale.tx_hash)
+    assert pool.contains(live.tx_hash)

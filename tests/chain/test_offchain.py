@@ -105,3 +105,91 @@ def test_task_descriptions_can_point_offchain(zebra_system) -> None:
     # On-chain footprint is the reference string, not the image.
     assert len(params.description) < 100 < len(fake_image)
     assert worker.submit_answer(task, [1]).receipt.success
+
+
+# ----- replicated store ------------------------------------------------------------
+
+
+def _replicated(n: int = 3, **fault_kwargs):
+    from repro.chain.offchain import FlakyContentStore, ReplicatedContentStore
+
+    replicas = [FlakyContentStore(seed=i, **fault_kwargs) for i in range(n)]
+    return ReplicatedContentStore(replicas), replicas
+
+
+def test_replicated_roundtrip_clean() -> None:
+    store, replicas = _replicated()
+    blob = b"replicated blob " * 100
+    cid = store.put(blob)
+    assert store.get(cid) == blob
+    assert all(r.has(cid) for r in replicas)
+
+
+def test_replicated_survives_one_replica_down() -> None:
+    store, replicas = _replicated()
+    replicas[0].down = True
+    blob = b"only two replicas got this"
+    cid = store.put(blob)
+    assert store.get(cid) == blob
+    assert not replicas[0].has(cid)
+
+
+def test_read_repair_heals_a_replica_that_missed_the_write() -> None:
+    store, replicas = _replicated()
+    replicas[2].down = True
+    cid = store.put(b"repair me")
+    replicas[2].down = False  # back up, but without the blob
+    assert not replicas[2].has(cid)
+    assert store.get(cid) == b"repair me"
+    assert replicas[2].has(cid)  # read path repaired the hole
+    assert store.read_repairs >= 1
+
+
+def test_replicated_get_skips_tampered_replica() -> None:
+    store, replicas = _replicated()
+    blob = b"X" * 300
+    cid = store.put(blob)
+    replicas[0].store.tamper_chunk(cid, 0, b"Y" * 300)
+    assert store.get(cid) == blob  # integrity check routes around it
+
+
+def test_replicated_all_down_raises() -> None:
+    from repro.chain.offchain import StoreUnavailableError
+
+    store, replicas = _replicated()
+    cid = store.put(b"doomed")
+    for replica in replicas:
+        replica.down = True
+    with pytest.raises(StoreUnavailableError):
+        store.get(cid)
+    with pytest.raises(StoreUnavailableError):
+        store.put(b"nobody will take this")
+
+
+def test_replicated_retry_wins_against_transient_failures() -> None:
+    """With a 40% per-get failure rate and three replicas over two
+    rounds, a seeded run still serves every read."""
+    store, _ = _replicated(get_failure_rate=0.4)
+    blobs = [bytes([i]) * 100 for i in range(20)]
+    cids = [store.put(blob) for blob in blobs]
+    for blob, cid in zip(blobs, cids):
+        assert store.get(cid) == blob
+
+
+def test_flaky_store_failures_are_deterministic() -> None:
+    from repro.chain.offchain import FlakyContentStore, StoreUnavailableError
+
+    def trace(seed: int):
+        replica = FlakyContentStore(seed=seed, get_failure_rate=0.5)
+        cid = replica.put(b"det")
+        outcomes = []
+        for _ in range(32):
+            try:
+                replica.get(cid)
+                outcomes.append(True)
+            except StoreUnavailableError:
+                outcomes.append(False)
+        return outcomes
+
+    assert trace(11) == trace(11)
+    assert trace(11) != trace(12)

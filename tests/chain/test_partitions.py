@@ -111,3 +111,53 @@ def test_heal_is_idempotent() -> None:
     network.heal()
     network.heal()
     assert node_a.head_block.block_hash == node_b.head_block.block_hash
+
+
+def test_heal_imports_only_blocks_above_the_receivers_head() -> None:
+    """Peer sync is head-relative: no O(n²) full-chain replay.
+
+    A long shared prefix must not be re-offered to anyone on heal —
+    verified through the per-node block-import counters.
+    """
+    network, (node_a, node_b) = _pow_world()
+    # Build a 10-block common prefix everyone already has.
+    for i in range(10):
+        block = node_a.create_block(timestamp=1_500_000_000 + 15 * (i + 1))
+        network.broadcast_block(block, origin=node_a)
+    assert node_a.height == node_b.height == 10
+    # Diverge: A mines 2, B mines 3 during a partition.
+    network.partition([node_a], [node_b])
+    for i in range(2):
+        node_a.create_block(timestamp=1_500_000_200 + 15 * i)
+    for i in range(3):
+        node_b.create_block(timestamp=1_500_000_201 + 15 * i)
+    attempts_a = node_a.import_attempts
+    attempts_b = node_b.import_attempts
+    network.heal()
+    assert node_a.head_block.block_hash == node_b.head_block.block_hash
+    assert node_a.height == 13
+    # A needed exactly B's 3 divergent blocks — not the 10-block prefix.
+    assert node_a.import_attempts - attempts_a == 3
+    # B already had the winning chain: nothing was pushed at it.
+    assert node_b.import_attempts - attempts_b == 0
+
+
+def test_divergent_mining_then_sync_convergence_with_stats() -> None:
+    network, (node_a, node_b, node_c) = _pow_world(miners=3)
+    network.partition([node_a, node_c], [node_b])
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                     to=b"\x06" * 20, value=13).sign(USER)
+    network.broadcast_transaction(tx, origin=node_a)
+    block = node_a.create_block(timestamp=1_500_000_015)
+    network.broadcast_block(block, origin=node_a)  # c hears it, b does not
+    node_b.create_block(timestamp=1_500_000_016)
+    node_b.create_block(timestamp=1_500_000_031)
+    node_b.create_block(timestamp=1_500_000_046)
+    network.heal()
+    for node in (node_a, node_b, node_c):
+        assert node.height == 3
+        assert node.head_block.block_hash == node_b.head_block.block_hash
+    assert network.stats.syncs >= 2
+    assert network.stats.sync_blocks >= 6  # 3 blocks each into a and c
+    # The orphaned transfer is pending again on the reorged nodes.
+    assert node_a.mempool.contains(tx.tx_hash)

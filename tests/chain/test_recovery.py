@@ -1,0 +1,163 @@
+"""Node crash recovery: journal replay, peer sync, reorg re-injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.errors import ChainError
+from repro.chain.consensus import SimulatedPoWEngine
+from repro.chain.journal import ChainJournal, JournalCorruptionError
+from repro.chain.network import Network, Testnet
+from repro.chain.node import GenesisConfig, Node
+from repro.chain.transaction import Transaction
+
+USER = ecdsa.ECDSAKeyPair.from_seed(b"rc-user")
+
+
+def _pow_world(miners: int = 2):
+    genesis = GenesisConfig(allocations={USER.address(): 10**12})
+    engine = SimulatedPoWEngine(difficulty=4)
+    network = Network()
+    nodes = [
+        network.add_node(
+            Node(f"pow-{i}", genesis, engine=engine,
+                 keypair=ecdsa.ECDSAKeyPair.from_seed(b"pow-%d" % i),
+                 is_miner=True)
+        )
+        for i in range(miners)
+    ]
+    return network, nodes
+
+
+# ----- journal ---------------------------------------------------------------------
+
+
+def test_journal_hash_chain_detects_tampering() -> None:
+    net = Testnet(miners=1, full_nodes=1)
+    net.mine_block()
+    net.mine_block()
+    journal = net.miners[0].journal
+    assert len(journal) == 2
+    # Swap the two entries: replay must refuse the broken chain.
+    journal._entries[0], journal._entries[1] = (
+        journal._entries[1], journal._entries[0],
+    )
+    with pytest.raises(JournalCorruptionError):
+        list(journal.replay())
+
+
+def test_journal_records_import_order() -> None:
+    net = Testnet(miners=1, full_nodes=1)
+    blocks = [net.mine_block() for _ in range(3)]
+    replayed = list(net.full_nodes[0].journal.replay())
+    assert [b.block_hash for b in replayed] == [b.block_hash for b in blocks]
+
+
+# ----- crash / restart -------------------------------------------------------------
+
+
+def test_restart_rebuilds_state_by_reexecution() -> None:
+    net = Testnet()
+    net.fund(USER.address(), 12_345)
+    node = net.full_nodes[0]
+    expected_root = node.head_state.state_root()
+    expected_height = node.height
+    receipts_before = dict(node._receipts)
+    node.crash()
+    assert node.crashed
+    replayed = node.restart()
+    assert replayed == expected_height
+    assert node.height == expected_height
+    assert node.head_state.state_root() == expected_root
+    assert node.balance_of(USER.address()) == 12_345
+    # Receipts come back because recovery re-executes every block.
+    assert set(node._receipts) == set(receipts_before)
+
+
+def test_crashed_node_rejects_all_chain_operations() -> None:
+    net = Testnet()
+    node = net.full_nodes[1]
+    node.crash()
+    with pytest.raises(ChainError):
+        node.submit_transaction(
+            Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                        to=b"\x01" * 20, value=1).sign(net.faucet_key)
+        )
+    with pytest.raises(ChainError):
+        node.import_block(net.any_node.head_block)
+
+
+def test_restarted_node_catches_up_missed_blocks_via_sync() -> None:
+    net = Testnet()
+    net.mine_block()
+    node = net.full_nodes[1]
+    node.crash()
+    missed = [net.mine_block() for _ in range(3)]
+    node.restart()
+    assert node.height == net.network.height - len(missed)
+    imported = net.network.sync_node(node)
+    assert imported == len(missed)
+    assert node.height == net.network.height
+    net.assert_consensus()
+
+
+# ----- reorg re-injection -----------------------------------------------------------
+
+
+def test_reorg_returns_orphaned_transactions_to_mempool() -> None:
+    """A same-height tiebreak reorg must not lose a submission."""
+    network, (node_a, node_b) = _pow_world()
+    network.partition([node_a], [node_b])
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                     to=b"\x09" * 20, value=55).sign(USER)
+    network.broadcast_transaction(tx, origin=node_a)
+    block_a = node_a.create_block(timestamp=1_500_000_015)  # includes tx
+    block_b = node_b.create_block(timestamp=1_500_000_016)  # empty
+    assert any(s.tx_hash == tx.tx_hash for s in block_a.transactions)
+    network.heal()
+    assert node_a.head_block.block_hash == node_b.head_block.block_hash
+    if node_a.head_block.block_hash == block_b.block_hash:
+        # A reorged away from its own block: the tx must be pending
+        # again, ready for the next block.
+        assert node_a.mempool.contains(tx.tx_hash)
+        assert node_a.head_state.balance_of(b"\x09" * 20) == 0
+    else:
+        # B reorged onto A's branch, which already carries the tx.
+        assert node_b.head_state.balance_of(b"\x09" * 20) == 55
+    # Either way the tx is included exactly once within two blocks.
+    winner = max((node_a, node_b), key=lambda n: n.mempool.contains(tx.tx_hash))
+    if winner.mempool.contains(tx.tx_hash):
+        block = winner.create_block(timestamp=1_500_000_040)
+        network.broadcast_block(block, origin=winner)
+    assert node_a.head_state.balance_of(b"\x09" * 20) in (0, 55)
+
+
+def test_reorg_does_not_reinject_transactions_on_both_branches() -> None:
+    network, (node_a, node_b) = _pow_world()
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                     to=b"\x0a" * 20, value=5).sign(USER)
+    network.broadcast_transaction(tx)
+    network.partition([node_a], [node_b])
+    node_a.create_block(timestamp=1_500_000_015)  # includes tx
+    node_b.create_block(timestamp=1_500_000_016)  # also includes tx
+    network.heal()
+    loser = node_a if node_a.head_block.header.miner != node_a.address else node_b
+    # The tx rode both branches, so nobody should be re-offering it.
+    assert not loser.mempool.contains(tx.tx_hash)
+    assert node_a.head_state.balance_of(b"\x0a" * 20) == 5
+
+
+def test_block_by_number_is_indexed_after_reorg() -> None:
+    network, (node_a, node_b) = _pow_world()
+    network.partition([node_a], [node_b])
+    block_a = node_a.create_block(timestamp=1_500_000_015)
+    node_b.create_block(timestamp=1_500_000_016)
+    block_b2 = node_b.create_block(timestamp=1_500_000_031)
+    network.heal()
+    # Everyone's canonical index follows B's longer chain.
+    for node in (node_a, node_b):
+        assert node.block_by_number(2).block_hash == block_b2.block_hash
+        assert node.block_by_number(1).block_hash != block_a.block_hash
+        assert node.block_by_number(3) is None
+        assert node.canonical_hash(0) == node.chain_to_genesis()[0].block_hash

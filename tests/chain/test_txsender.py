@@ -1,0 +1,153 @@
+"""TxSender timeout/retry semantics: at-most-once under loss."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.chain.network import Testnet
+from repro.chain.transaction import SignedTransaction, Transaction
+from repro.chain.txsender import TxAbandonedError, TxSender
+
+USER = ecdsa.ECDSAKeyPair.from_seed(b"txs-user")
+SINK = b"\x42" * 20
+
+
+class _DropFirstN:
+    """An adversary censoring the first ``n`` broadcasts it sees."""
+
+    def __init__(self, n: int) -> None:
+        self.remaining = n
+        self.dropped: List[bytes] = []
+
+    def on_transaction(self, stx: SignedTransaction):
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.dropped.append(stx.tx_hash)
+            return []
+        return [stx]
+
+
+def _funded_net() -> Testnet:
+    net = Testnet()
+    net.fund(USER.address(), 10**9)
+    return net
+
+
+def test_clean_send_confirms_in_one_attempt() -> None:
+    net = _funded_net()
+    sender = TxSender(net)
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000, to=SINK, value=3)
+    report = sender.send_with_report(tx, USER)
+    assert report.receipt.success
+    assert report.attempts == 1
+    assert report.final_gas_price == 1
+    assert net.any_node.balance_of(SINK) == 3
+
+
+def test_dropped_tx_is_resubmitted_with_gas_bump() -> None:
+    net = _funded_net()
+    net.network.adversary = _DropFirstN(1)
+    sender = TxSender(net, timeout_blocks=2)
+    tx = Transaction(nonce=0, gas_price=100, gas_limit=21_000, to=SINK, value=7)
+    report = sender.send_with_report(tx, USER)
+    assert report.receipt.success
+    assert report.attempts == 2
+    assert report.final_gas_price == 125  # +25% bump on the retry
+    assert net.any_node.balance_of(SINK) == 7
+
+
+def test_duplicate_resubmission_is_idempotent() -> None:
+    """Both the original and the bumped replacement float around; the
+    shared nonce guarantees exactly one inclusion."""
+    net = _funded_net()
+
+    class _DelayingAdversary:
+        """Holds the first broadcast, re-releasing it alongside later ones."""
+
+        def __init__(self) -> None:
+            self.held: List[SignedTransaction] = []
+            self.calls = 0
+
+        def on_transaction(self, stx: SignedTransaction):
+            self.calls += 1
+            if self.calls == 1:
+                self.held.append(stx)
+                return []
+            return [stx] + self.held  # duplicate the withheld original
+
+    net.network.adversary = _DelayingAdversary()
+    sender = TxSender(net, timeout_blocks=2)
+    tx = Transaction(nonce=0, gas_price=10, gas_limit=21_000, to=SINK, value=9)
+    report = sender.send_with_report(tx, USER)
+    assert report.receipt.success
+    assert len(report.tx_hashes) == 2  # two distinct attempts existed
+    assert net.any_node.balance_of(SINK) == 9  # paid exactly once
+    net.mine_blocks(3)  # give the stale duplicate every chance to apply
+    assert net.any_node.balance_of(SINK) == 9
+    assert net.any_node.nonce_of(USER.address()) == 1
+
+
+def test_superseded_nonce_is_reported_not_retried_forever() -> None:
+    net = _funded_net()
+
+    class _Substituting:
+        """Censors the victim and spends its nonce on something else."""
+
+        def __init__(self) -> None:
+            other = Transaction(
+                nonce=0, gas_price=999, gas_limit=21_000,
+                to=b"\x43" * 20, value=1,
+            )
+            self.replacement = other.sign(USER)
+
+        def on_transaction(self, stx: SignedTransaction):
+            if stx.transaction.to == SINK:
+                return [self.replacement]
+            return [stx]
+
+    net.network.adversary = _Substituting()
+    sender = TxSender(net, timeout_blocks=2, max_attempts=2)
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000, to=SINK, value=5)
+    with pytest.raises(TxAbandonedError):
+        sender.send(tx, USER)
+    assert net.any_node.balance_of(SINK) == 0
+    assert net.any_node.balance_of(b"\x43" * 20) == 1
+
+
+def test_send_signed_rebroadcasts_without_bump() -> None:
+    net = _funded_net()
+    net.network.adversary = _DropFirstN(1)
+    sender = TxSender(net, timeout_blocks=2)
+    stx = Transaction(
+        nonce=0, gas_price=1, gas_limit=21_000, to=SINK, value=2
+    ).sign(USER)
+    receipt = sender.send_signed(stx)
+    assert receipt.success
+    assert receipt.tx_hash == stx.tx_hash
+    assert sender.total_resubmissions == 1
+
+
+def test_abandons_after_max_attempts_of_total_loss() -> None:
+    net = _funded_net()
+    net.network.adversary = _DropFirstN(10**6)  # black hole
+    sender = TxSender(net, timeout_blocks=1, max_attempts=3)
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000, to=SINK, value=1)
+    with pytest.raises(TxAbandonedError):
+        sender.send(tx, USER)
+    assert sender.total_attempts == 3
+
+
+def test_gas_bump_clamped_to_sender_balance() -> None:
+    net = Testnet()
+    poor = ecdsa.ECDSAKeyPair.from_seed(b"txs-poor")
+    net.fund(poor.address(), 30_000)  # covers gas_limit at price 1 only
+    net.network.adversary = _DropFirstN(1)
+    sender = TxSender(net, timeout_blocks=2)
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000, to=SINK, value=100)
+    report = sender.send_with_report(tx, poor)
+    assert report.receipt.success
+    # (30_000 - 100) // 21_000 == 1: no affordable bump, same price resent.
+    assert report.final_gas_price == 1

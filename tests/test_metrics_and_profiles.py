@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import example, given, strategies as st
 
 from repro.core.metrics import (
     BoxStats,
@@ -43,6 +43,11 @@ def test_box_stats_known_values() -> None:
 
 
 @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=40))
+# Regressions: sums of identical samples whose mean rounds one ulp
+# below the minimum, and an interpolation-heavy odd-length list.
+@example(samples=[174763.09620499396, 174763.09620499396, 174763.09620499396])
+@example(samples=[0.1] * 3)
+@example(samples=[0.001, 0.001, 0.001, 0.001, 0.001, 0.001, 0.001])
 def test_box_stats_ordering_invariant(samples) -> None:
     stats = BoxStats.from_samples(samples)
     assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
