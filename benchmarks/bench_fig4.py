@@ -10,11 +10,16 @@ paper-scale circuit parameters (minutes per run in pure Python).
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 
 from repro.core.metrics import BoxStats, time_call
 
 _FIG4_RUNS = int(os.environ.get("REPRO_FIG4_RUNS", "12"))
+
+#: Where the before/after SNARK timings land (repo root).
+_BENCH_SNARK_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_snark.json"
 
 
 def _make_attestation(auth_material, counter=[0]):
@@ -90,3 +95,124 @@ def test_fig4_verification_is_cheap_relative_to_proving(
     benchmark.extra_info["prove_over_verify"] = round(
         prove_seconds / max(verify_seconds, 1e-9), 1
     )
+
+
+def test_snark_before_after(benchmark, bench_profile, auth_material) -> None:
+    """Naive vs optimized Groth16 on the largest circuit (the auth SNARK).
+
+    Writes ``BENCH_snark.json`` at the repo root: setup/prove/verify in
+    both modes, plus batch_verify(n=10) against 10 sequential verifies.
+    The optimized hot path (Pippenger MSM, fixed-base tables, prepared
+    pairings, decomposed final exponentiation) must beat the naive
+    reference by ≥3× on setup+prove, and the batched verifier must beat
+    sequential — both asserted here so the speedup cannot silently rot.
+    """
+    from repro.anonauth.scheme import AuthCircuit, attestation_statement
+    from repro.zksnark.groth16 import Groth16Backend
+
+    params = auth_material["params"]
+    scheme = auth_material["scheme"]
+    # Rebuild a setup-capable circuit: key material needs example wires.
+    from repro.anonauth.scheme import _example_instance
+
+    instance = _example_instance(bench_profile, auth_material["authority"])
+    circuit = AuthCircuit(
+        bench_profile,
+        params.cert_mode,
+        master_public_key=params.master_public_key,
+        example=instance,
+    )
+
+    fast = Groth16Backend()
+    naive = Groth16Backend(optimized=False)
+
+    fast_setup = min(time_call(lambda: fast.setup(circuit, seed=b"ba"), repeats=1))
+    naive_setup = min(time_call(lambda: naive.setup(circuit, seed=b"ba"), repeats=1))
+    keys = fast.setup(circuit, seed=b"bench-ba")
+
+    fast_prove = min(
+        time_call(lambda: fast.prove(keys.proving_key, circuit, instance), repeats=1)
+    )
+    naive_prove = min(
+        time_call(lambda: naive.prove(keys.proving_key, circuit, instance), repeats=1)
+    )
+
+    statement = circuit.public_inputs(instance)
+    proof = fast.prove(keys.proving_key, circuit, instance)
+    fast_verify = min(
+        time_call(lambda: fast.verify(keys.verifying_key, statement, proof), repeats=3)
+    )
+    naive_verify = min(
+        time_call(
+            lambda: naive.verify(keys.verifying_key, statement, proof), repeats=3
+        )
+    )
+
+    # batch_verify(n=10) vs 10 sequential verifications (distinct messages)
+    n_batch = 10
+    statements = []
+    proofs = []
+    for i in range(n_batch):
+        message = b"\xba" * 32 + b"batch-%d" % i
+        attestation = scheme.auth(
+            message,
+            auth_material["user"],
+            auth_material["certificate"],
+            auth_material["commitment"],
+        )
+        statements.append(attestation_statement(message, attestation))
+        proofs.append(attestation.proof)
+    vk = params.keys.verifying_key
+    batch_seconds = min(
+        time_call(lambda: fast.batch_verify(vk, statements, proofs), repeats=1)
+    )
+    sequential_seconds = min(
+        time_call(
+            lambda: all(
+                fast.verify(vk, s, p) for s, p in zip(statements, proofs)
+            ),
+            repeats=1,
+        )
+    )
+
+    setup_prove_speedup = (naive_setup + naive_prove) / max(
+        fast_setup + fast_prove, 1e-9
+    )
+    assert setup_prove_speedup >= 3.0, (
+        f"optimized setup+prove only {setup_prove_speedup:.2f}x faster"
+    )
+    assert batch_seconds < sequential_seconds, (
+        f"batch_verify(n={n_batch}) took {batch_seconds:.3f}s vs "
+        f"{sequential_seconds:.3f}s sequential"
+    )
+
+    record = {
+        "profile": os.environ.get("REPRO_BENCH_PROFILE", "test"),
+        "circuit": {"name": circuit.name, "cert_mode": params.cert_mode},
+        "before": {
+            "setup_s": round(naive_setup, 4),
+            "prove_s": round(naive_prove, 4),
+            "verify_s": round(naive_verify, 4),
+        },
+        "after": {
+            "setup_s": round(fast_setup, 4),
+            "prove_s": round(fast_prove, 4),
+            "verify_s": round(fast_verify, 4),
+        },
+        "speedup": {
+            "setup": round(naive_setup / max(fast_setup, 1e-9), 2),
+            "prove": round(naive_prove / max(fast_prove, 1e-9), 2),
+            "verify": round(naive_verify / max(fast_verify, 1e-9), 2),
+            "setup_plus_prove": round(setup_prove_speedup, 2),
+        },
+        "batch_verify": {
+            "n": n_batch,
+            "batched_s": round(batch_seconds, 4),
+            "sequential_s": round(sequential_seconds, 4),
+            "speedup": round(sequential_seconds / max(batch_seconds, 1e-9), 2),
+        },
+    }
+    _BENCH_SNARK_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    benchmark(lambda: fast.verify(keys.verifying_key, statement, proof))
+    benchmark.extra_info["bench_snark"] = record

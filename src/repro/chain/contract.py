@@ -200,6 +200,19 @@ class Contract:
             self._ctx.meter, verifying_key, public_inputs, proof
         )
 
+    def snark_batch_verify(
+        self,
+        verifying_key: Any,
+        statements: List[List[int]],
+        proofs: List[Any],
+    ) -> bool:
+        """The batched zk-SNARK verification precompile (n proofs, one check)."""
+        from repro.chain.precompiles import snark_batch_verify_precompile
+
+        return snark_batch_verify_precompile(
+            self._ctx.meter, verifying_key, statements, proofs
+        )
+
     def _assert_mutable(self) -> None:
         if self._ctx.read_only:
             raise ContractError("state mutation inside a read-only call")

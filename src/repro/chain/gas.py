@@ -32,6 +32,13 @@ class GasSchedule:
     # Byzantium-style pairing precompile pricing.
     snark_verify_base: int = 100_000
     snark_verify_per_input: int = 40_000
+    # Batched verification: the base covers the one shared final
+    # exponentiation plus the two fixed gamma/delta pairings; each
+    # extra proof only adds a Miller loop, so the per-proof term is
+    # well below a standalone snark_verify_base.
+    snark_batch_verify_base: int = 120_000
+    snark_batch_verify_per_proof: int = 35_000
+    snark_batch_verify_per_input: int = 8_000
 
     def intrinsic_gas(self, data: bytes, is_create: bool) -> int:
         cost = self.tx_base + self.calldata_byte * len(data)

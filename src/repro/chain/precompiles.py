@@ -41,6 +41,10 @@ class PrecompileMetrics:
 #: Global metrics sink — the benchmark harness reads and resets this.
 SNARK_VERIFY_METRICS = PrecompileMetrics()
 
+#: Separate sink for the batched verifier, so benchmarks can compare
+#: amortized against sequential cost.
+SNARK_BATCH_VERIFY_METRICS = PrecompileMetrics()
+
 
 def snark_verify_precompile(
     meter: GasMeter, verifying_key: Any, public_inputs: List[int], proof: Any
@@ -67,4 +71,60 @@ def snark_verify_precompile(
         result = backend.verify(verifying_key, list(public_inputs), proof)
     finally:
         SNARK_VERIFY_METRICS.record(time.perf_counter() - started)
+    return result
+
+
+def snark_batch_verify_precompile(
+    meter: GasMeter,
+    verifying_key: Any,
+    statements: List[List[int]],
+    proofs: List[Any],
+) -> bool:
+    """Verify n zk-SNARK proofs under one key in a single combined check.
+
+    Dispatches to the backend's ``batch_verify`` (for Groth16 a
+    random-linear-combination multi-pairing with one final
+    exponentiation); gas is charged up front with a per-proof term far
+    below a standalone ``snark_verify``, mirroring the real amortized
+    cost.  All proofs must come from the same backend.
+    """
+    if not isinstance(statements, (list, tuple)) or not isinstance(
+        proofs, (list, tuple)
+    ):
+        raise ContractError("snark_batch_verify expects statement and proof lists")
+    if len(statements) != len(proofs):
+        raise ContractError(
+            "snark_batch_verify got "
+            f"{len(statements)} statements but {len(proofs)} proofs"
+        )
+    backends = set()
+    total_inputs = 0
+    for statement, proof in zip(statements, proofs):
+        if not isinstance(proof, Proof):
+            raise ContractError("snark_batch_verify expects Proof objects")
+        if not isinstance(statement, (list, tuple)):
+            raise ContractError("snark_batch_verify expects lists of public inputs")
+        backends.add(proof.backend)
+        total_inputs += len(statement)
+    if len(backends) > 1:
+        raise ContractError(
+            f"snark_batch_verify proofs span multiple backends: {sorted(backends)}"
+        )
+    schedule = meter.schedule
+    meter.consume(
+        schedule.snark_batch_verify_base
+        + schedule.snark_batch_verify_per_proof * len(proofs)
+        + schedule.snark_batch_verify_per_input * total_inputs,
+        "snark_batch_verify",
+    )
+    if not proofs:
+        return True
+    backend = get_backend(next(iter(backends)))
+    started = time.perf_counter()
+    try:
+        result = backend.batch_verify(
+            verifying_key, [list(s) for s in statements], list(proofs)
+        )
+    finally:
+        SNARK_BATCH_VERIFY_METRICS.record(time.perf_counter() - started)
     return result

@@ -78,6 +78,10 @@ class TaskContract(Contract):
         self.storage["tags"] = [attestation.t1]
         self.storage["ciphertexts"] = []
         self.storage["submitters"] = []
+        # Wire-encoded attestations of accepted submissions, kept so the
+        # whole collection phase can be re-audited in one batched
+        # verification (see ``audit_submissions``).
+        self.storage["attestations"] = []
         self.storage["collection_end_block"] = None
         self.storage["burned"] = 0
         self.emit(
@@ -189,6 +193,9 @@ class TaskContract(Contract):
         submitters = self.storage["submitters"]
         submitters.append(self.msg_sender)
         self.storage["submitters"] = submitters
+        attestations = self.storage["attestations"]
+        attestations.append(attestation_wire)
+        self.storage["attestations"] = attestations
         index = len(ciphertexts) - 1
         if len(ciphertexts) == params["num_answers"]:
             self.storage["collection_end_block"] = self.block_number
@@ -347,6 +354,43 @@ class TaskContract(Contract):
     def get_tags(self) -> List[int]:
         """All linkability tags seen so far (requester's first)."""
         return list(self.storage["tags"])
+
+    @view
+    def audit_submissions(self) -> bool:
+        """Re-verify every accepted submission in ONE batched check.
+
+        Replays each stored attestation against the message it
+        originally authenticated (α_C ‖ α_i ‖ C_i) and hands all n
+        statement/proof pairs to the ``snark_batch_verify`` precompile —
+        a single random-linear-combination multi-pairing instead of n
+        independent verifications.  True whenever the collection phase
+        only ever admitted properly authenticated answers (always, for
+        an honest chain); auditors and light clients get an O(1)-pairing
+        spot check of the whole task.
+        """
+        registry_address = self.storage["registry"]
+        attestation_wires = self.storage["attestations"]
+        ciphertext_wires = self.storage["ciphertexts"]
+        submitters = self.storage["submitters"]
+        statements: List[List[int]] = []
+        proofs: List[Any] = []
+        for wire, ciphertext_wire, submitter in zip(
+            attestation_wires, ciphertext_wires, submitters
+        ):
+            attestation = Attestation.from_wire(wire)
+            known = self.static_read(
+                registry_address,
+                "is_known_commitment",
+                [attestation.registry_commitment],
+            )
+            self.require(known, "audit: unknown registry commitment")
+            message = task_prefix(self.address) + submitter + ciphertext_wire
+            statements.append(attestation_statement(message, attestation))
+            proofs.append(attestation.proof)
+        if not proofs:
+            return True
+        auth_vk = self.static_read(registry_address, "get_auth_vk", [])
+        return self.snark_batch_verify(auth_vk, statements, proofs)
 
     @view
     def answer_deadline(self) -> int:

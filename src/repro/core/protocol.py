@@ -61,6 +61,10 @@ class TaskHandle:
     def is_collection_closed(self) -> bool:
         return self.system.node.call(self.address, "is_collection_closed")
 
+    def audit_submissions(self) -> bool:
+        """Batch-re-verify every accepted submission's attestation."""
+        return self.system.node.call(self.address, "audit_submissions")
+
 
 class ZebraLancerSystem:
     """One fully bootstrapped ZebraLancer deployment."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ProofError
 from repro.zksnark.circuit import ConstraintSystem
@@ -138,6 +138,29 @@ class ProvingBackend(abc.ABC):
     @abc.abstractmethod
     def verify(self, verifying_key: Any, public_inputs: List[int], proof: Proof) -> bool:
         """Check a proof against the statement vector."""
+
+    def batch_verify(
+        self,
+        verifying_key: Any,
+        statements: Sequence[List[int]],
+        proofs: Sequence[Proof],
+    ) -> bool:
+        """Check n (statement, proof) pairs under one verifying key.
+
+        The default just loops over :meth:`verify`; backends with an
+        amortizable verifier (Groth16's random-linear-combination
+        multi-pairing) override this with a genuinely cheaper check.
+        An empty batch is vacuously valid.
+        """
+        if len(statements) != len(proofs):
+            raise ProofError(
+                f"batch length mismatch: {len(statements)} statements "
+                f"vs {len(proofs)} proofs"
+            )
+        return all(
+            self.verify(verifying_key, list(statement), proof)
+            for statement, proof in zip(statements, proofs)
+        )
 
     def _check_backend(self, proof: Proof) -> None:
         if proof.backend != self.name:

@@ -12,33 +12,55 @@ from repro.zksnark.bn128.fq12 import FQ12
 from repro.zksnark.bn128.curve import (
     G1,
     G2,
+    FixedBaseTable,
     g1_add,
+    g1_fixed_base,
+    g1_msm,
     g1_mul,
     g1_neg,
     g2_add,
+    g2_fixed_base,
+    g2_msm,
     g2_mul,
     g2_neg,
+    is_in_g2_subgroup,
     is_on_g1,
     is_on_g2,
 )
-from repro.zksnark.bn128.pairing import final_exponentiate, miller_loop, pairing
+from repro.zksnark.bn128.pairing import (
+    G2Prepared,
+    final_exponentiate,
+    miller_loop,
+    multi_pairing,
+    pairing,
+    prepare_g2,
+)
 
 __all__ = [
     "FIELD_MODULUS",
     "CURVE_ORDER",
     "FQ2",
     "FQ12",
+    "FixedBaseTable",
     "G1",
     "G2",
+    "G2Prepared",
     "g1_add",
+    "g1_fixed_base",
+    "g1_msm",
     "g1_mul",
     "g1_neg",
     "g2_add",
+    "g2_fixed_base",
+    "g2_msm",
     "g2_mul",
     "g2_neg",
+    "is_in_g2_subgroup",
     "is_on_g1",
     "is_on_g2",
     "final_exponentiate",
     "miller_loop",
+    "multi_pairing",
     "pairing",
+    "prepare_g2",
 ]

@@ -1,14 +1,17 @@
 """BN128 group operations.
 
 G1 points are affine ``(x, y)`` int pairs (or ``None`` for infinity) on
-``y² = x³ + 3`` over FQ; scalar multiplication runs in Jacobian
-coordinates.  G2 points are affine pairs of :class:`FQ2` on the twist
-``y² = x³ + 3/(9+i)``.
+``y² = x³ + 3`` over FQ; G2 points are affine pairs of :class:`FQ2` on
+the twist ``y² = x³ + 3/(9+i)``.  All scalar multiplication and
+multi-scalar multiplication runs in Jacobian coordinates (no field
+inversions on the hot path); MSMs use Pippenger bucket windowing and
+repeated multiplications of a fixed base go through precomputed
+windowed tables (:class:`FixedBaseTable`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.zksnark.bn128.fq import CURVE_ORDER, FIELD_MODULUS
 from repro.zksnark.bn128.fq2 import FQ2
@@ -38,7 +41,11 @@ G2: G2Point = (
 
 
 def is_on_g1(point: G1Point) -> bool:
-    """Membership test for G1 (affine curve equation)."""
+    """Membership test for G1 (affine curve equation).
+
+    G1 has cofactor 1, so the curve equation alone IS the subgroup
+    check.
+    """
     if point is None:
         return True
     x, y = point
@@ -46,17 +53,42 @@ def is_on_g1(point: G1Point) -> bool:
 
 
 def is_on_g2(point: G2Point) -> bool:
-    """Curve-equation test for the twist (subgroup check via cofactor-free order)."""
+    """Curve-equation test for the twist.
+
+    This is NOT a subgroup check: the twist has a large cofactor, so a
+    point can satisfy the curve equation while lying outside the
+    r-order subgroup.  Use :func:`is_in_g2_subgroup` (as
+    :func:`g2_from_bytes` does) whenever the point comes from an
+    untrusted source.
+    """
     if point is None:
         return True
     x, y = point
     return y.square() - x.square() * x == B2
 
 
+def is_in_g2_subgroup(point: G2Point) -> bool:
+    """Full G2 membership: curve equation plus r-torsion.
+
+    The twist's group order is c·r with a ~254-bit cofactor c, so the
+    curve equation must be complemented by an order check
+    ``r·P = O``; without it a malicious prover can smuggle a point of
+    the wrong order into the pairing.
+    """
+    if point is None:
+        return True
+    if not is_on_g2(point):
+        return False
+    return _g2_jac_mul(_g2_to_jac(point), CURVE_ORDER)[2].is_zero()
+
+
 def g1_neg(point: G1Point) -> G1Point:
     if point is None:
         return None
     return (point[0], -point[1] % _Q)
+
+
+# ----- G1 Jacobian core ----------------------------------------------------------
 
 
 def _g1_jac_double(pt):
@@ -109,6 +141,10 @@ def _g1_from_jac(pt) -> G1Point:
     return ((x * zi2) % _Q, (y * zi2 * zi) % _Q)
 
 
+def _g1_jac_is_zero(pt) -> bool:
+    return pt[2] == 0
+
+
 def g1_add(p1: G1Point, p2: G1Point) -> G1Point:
     """Affine G1 addition (via one Jacobian round trip)."""
     if p1 is None:
@@ -133,22 +169,82 @@ def g1_mul(point: G1Point, scalar: int) -> G1Point:
     return _g1_from_jac(acc)
 
 
-def g1_msm(points, scalars) -> G1Point:
-    """Multi-scalar multiplication Σ s_i·P_i (simple Jacobian accumulation)."""
-    acc = (0, 1, 0)
-    for point, scalar in zip(points, scalars):
-        scalar %= CURVE_ORDER
-        if point is None or scalar == 0:
-            continue
-        addend = (point[0], point[1], 1)
-        partial = (0, 1, 0)
-        while scalar:
-            if scalar & 1:
-                partial = _g1_jac_add(partial, addend)
-            addend = _g1_jac_double(addend)
-            scalar >>= 1
-        acc = _g1_jac_add(acc, partial)
-    return _g1_from_jac(acc)
+# ----- G2 Jacobian core ----------------------------------------------------------
+
+_FQ2_ZERO = FQ2(0, 0)
+_FQ2_ONE = FQ2(1, 0)
+_G2_JAC_INF = (_FQ2_ZERO, _FQ2_ONE, _FQ2_ZERO)
+
+
+def _g2_to_jac(point: G2Point):
+    if point is None:
+        return _G2_JAC_INF
+    return (point[0], point[1], _FQ2_ONE)
+
+
+def _g2_jac_double(pt):
+    x, y, z = pt
+    if y.is_zero() or z.is_zero():
+        return _G2_JAC_INF
+    ysq = y.square()
+    s = (x * ysq) * 4
+    m = x.square() * 3
+    nx = m.square() - s - s
+    ny = m * (s - nx) - ysq.square() * 8
+    nz = (y * z) * 2
+    return (nx, ny, nz)
+
+
+def _g2_jac_add(p1, p2):
+    if p1[2].is_zero():
+        return p2
+    if p2[2].is_zero():
+        return p1
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    z1sq = z1.square()
+    z2sq = z2.square()
+    u1 = x1 * z2sq
+    u2 = x2 * z1sq
+    s1 = y1 * z2sq * z2
+    s2 = y2 * z1sq * z1
+    if u1 == u2:
+        if s1 != s2:
+            return _G2_JAC_INF
+        return _g2_jac_double(p1)
+    h = u2 - u1
+    r = s2 - s1
+    h2 = h.square()
+    h3 = h * h2
+    u1h2 = u1 * h2
+    nx = r.square() - h3 - u1h2 * 2
+    ny = r * (u1h2 - nx) - s1 * h3
+    nz = h * z1 * z2
+    return (nx, ny, nz)
+
+
+def _g2_from_jac(pt) -> G2Point:
+    x, y, z = pt
+    if z.is_zero():
+        return None
+    zi = z.inverse()
+    zi2 = zi.square()
+    return (x * zi2, y * zi2 * zi)
+
+
+def _g2_jac_is_zero(pt) -> bool:
+    return pt[2].is_zero()
+
+
+def _g2_jac_mul(pt, scalar: int):
+    acc = _G2_JAC_INF
+    addend = pt
+    while scalar:
+        if scalar & 1:
+            acc = _g2_jac_add(acc, addend)
+        addend = _g2_jac_double(addend)
+        scalar >>= 1
+    return acc
 
 
 def g2_neg(point: G2Point) -> G2Point:
@@ -188,7 +284,15 @@ def g2_add(p1: G2Point, p2: G2Point) -> G2Point:
 
 
 def g2_mul(point: G2Point, scalar: int) -> G2Point:
-    """Scalar multiplication on G2 (affine double-and-add)."""
+    """Scalar multiplication on G2 (Jacobian double-and-add)."""
+    scalar %= CURVE_ORDER
+    if point is None or scalar == 0:
+        return None
+    return _g2_from_jac(_g2_jac_mul(_g2_to_jac(point), scalar))
+
+
+def g2_mul_naive(point: G2Point, scalar: int) -> G2Point:
+    """Affine double-and-add (one FQ2 inversion per step); reference only."""
     scalar %= CURVE_ORDER
     result: G2Point = None
     addend = point
@@ -198,6 +302,243 @@ def g2_mul(point: G2Point, scalar: int) -> G2Point:
         addend = g2_double(addend)
         scalar >>= 1
     return result
+
+
+# ----- Pippenger multi-scalar multiplication -------------------------------------
+
+
+def _msm_window_size(n: int) -> int:
+    if n < 4:
+        return 2
+    if n < 16:
+        return 3
+    if n < 64:
+        return 5
+    if n < 512:
+        return 6
+    if n < 4096:
+        return 8
+    return 10
+
+
+def _pippenger_jac(pairs, jac_add, jac_double, jac_is_zero, zero):
+    """Bucket-window MSM over Jacobian pairs [(point_jac, scalar), ...].
+
+    Scalars must already be reduced mod r and nonzero.
+    """
+    c = _msm_window_size(len(pairs))
+    mask = (1 << c) - 1
+    num_windows = (CURVE_ORDER.bit_length() + c - 1) // c
+    total = zero
+    for w in range(num_windows - 1, -1, -1):
+        if not jac_is_zero(total):
+            for _ in range(c):
+                total = jac_double(total)
+        shift = w * c
+        buckets = [None] * (mask + 1)
+        for pt, s in pairs:
+            d = (s >> shift) & mask
+            if d:
+                held = buckets[d]
+                buckets[d] = pt if held is None else jac_add(held, pt)
+        # Σ d·bucket[d] via the running-sum trick.
+        running = None
+        acc = None
+        for d in range(mask, 0, -1):
+            b = buckets[d]
+            if b is not None:
+                running = b if running is None else jac_add(running, b)
+            if running is not None:
+                acc = running if acc is None else jac_add(acc, running)
+        if acc is not None:
+            total = jac_add(total, acc)
+    return total
+
+
+def _msm_pairs(points, scalars, to_jac):
+    points = list(points)
+    scalars = list(scalars)
+    if len(points) != len(scalars):
+        raise ValueError(
+            f"MSM length mismatch: {len(points)} points vs {len(scalars)} scalars"
+        )
+    pairs = []
+    for pt, s in zip(points, scalars):
+        s %= CURVE_ORDER
+        if pt is not None and s:
+            pairs.append((to_jac(pt), s))
+    return pairs
+
+
+def g1_msm(points, scalars) -> G1Point:
+    """Multi-scalar multiplication Σ s_i·P_i on G1 (Pippenger).
+
+    Raises :class:`ValueError` when the two sequences differ in length —
+    a silent ``zip`` truncation here would drop terms and produce a
+    wrong (e.g. unprovable or unsound) group element.
+    """
+    pairs = _msm_pairs(points, scalars, lambda p: (p[0], p[1], 1))
+    if not pairs:
+        return None
+    if len(pairs) == 1:
+        pt, s = pairs[0]
+        return g1_mul((pt[0], pt[1]), s)
+    return _g1_from_jac(
+        _pippenger_jac(pairs, _g1_jac_add, _g1_jac_double, _g1_jac_is_zero, (0, 1, 0))
+    )
+
+
+def g1_msm_naive(points, scalars) -> G1Point:
+    """Per-point double-and-add accumulation; the MSM reference oracle."""
+    points = list(points)
+    scalars = list(scalars)
+    if len(points) != len(scalars):
+        raise ValueError(
+            f"MSM length mismatch: {len(points)} points vs {len(scalars)} scalars"
+        )
+    acc = (0, 1, 0)
+    for point, scalar in zip(points, scalars):
+        scalar %= CURVE_ORDER
+        if point is None or scalar == 0:
+            continue
+        addend = (point[0], point[1], 1)
+        partial = (0, 1, 0)
+        while scalar:
+            if scalar & 1:
+                partial = _g1_jac_add(partial, addend)
+            addend = _g1_jac_double(addend)
+            scalar >>= 1
+        acc = _g1_jac_add(acc, partial)
+    return _g1_from_jac(acc)
+
+
+def g2_msm(points, scalars) -> G2Point:
+    """Multi-scalar multiplication Σ s_i·P_i on G2 (Pippenger)."""
+    pairs = _msm_pairs(points, scalars, _g2_to_jac)
+    if not pairs:
+        return None
+    if len(pairs) == 1:
+        pt, s = pairs[0]
+        return _g2_from_jac(_g2_jac_mul(pt, s))
+    return _g2_from_jac(
+        _pippenger_jac(pairs, _g2_jac_add, _g2_jac_double, _g2_jac_is_zero, _G2_JAC_INF)
+    )
+
+
+def g2_msm_naive(points, scalars) -> G2Point:
+    """Per-point scalar multiplication accumulation; reference oracle."""
+    points = list(points)
+    scalars = list(scalars)
+    if len(points) != len(scalars):
+        raise ValueError(
+            f"MSM length mismatch: {len(points)} points vs {len(scalars)} scalars"
+        )
+    acc: G2Point = None
+    for point, scalar in zip(points, scalars):
+        acc = g2_add(acc, g2_mul(point, scalar))
+    return acc
+
+
+# ----- Fixed-base windowed precomputation ----------------------------------------
+
+
+class FixedBaseTable:
+    """Windowed precomputation for many scalar mults of one fixed base.
+
+    Row i holds the odd/even multiples ``j · 2^(i·w) · B`` for
+    ``j ∈ [1, 2^w)``; a 254-bit scalar multiplication then costs one
+    Jacobian addition per window (~32 for w=8) instead of ~380
+    double/add steps.  Rows are stored in Jacobian coordinates so the
+    build needs no field inversions.
+    """
+
+    def __init__(self, point, jac_add, jac_double, from_jac, to_jac, window: int) -> None:
+        self._jac_add = jac_add
+        self._from_jac = from_jac
+        self.window = window
+        self.point = point
+        mask = (1 << window) - 1
+        self._mask = mask
+        num_windows = (CURVE_ORDER.bit_length() + window - 1) // window
+        table: List[list] = []
+        base = to_jac(point)
+        for _ in range(num_windows):
+            row = [base]
+            cur = base
+            for _ in range(mask - 1):
+                cur = jac_add(cur, base)
+                row.append(cur)
+            table.append(row)
+            for _ in range(window):
+                base = jac_double(base)
+        self._table = table
+
+    def mul_jac(self, scalar: int):
+        """The scalar multiple in Jacobian coordinates (or None)."""
+        scalar %= CURVE_ORDER
+        if scalar == 0:
+            return None
+        acc = None
+        mask = self._mask
+        window = self.window
+        for row in self._table:
+            d = scalar & mask
+            scalar >>= window
+            if d:
+                entry = row[d - 1]
+                acc = entry if acc is None else self._jac_add(acc, entry)
+            if not scalar:
+                break
+        return acc
+
+    def mul(self, scalar: int):
+        """The affine scalar multiple of the fixed base."""
+        acc = self.mul_jac(scalar)
+        if acc is None:
+            return None
+        return self._from_jac(acc)
+
+
+def g1_fixed_base(point: G1Point, window: int = 8) -> FixedBaseTable:
+    """Build a fixed-base table for a G1 point."""
+    return FixedBaseTable(
+        point,
+        _g1_jac_add,
+        _g1_jac_double,
+        _g1_from_jac,
+        lambda p: (p[0], p[1], 1),
+        window,
+    )
+
+
+def g2_fixed_base(point: G2Point, window: int = 7) -> FixedBaseTable:
+    """Build a fixed-base table for a G2 point."""
+    return FixedBaseTable(
+        point, _g2_jac_add, _g2_jac_double, _g2_from_jac, _g2_to_jac, window
+    )
+
+
+_G1_GENERATOR_TABLE: Optional[FixedBaseTable] = None
+_G2_GENERATOR_TABLE: Optional[FixedBaseTable] = None
+
+
+def g1_generator_table() -> FixedBaseTable:
+    """The process-wide fixed-base table for the G1 generator (lazy)."""
+    global _G1_GENERATOR_TABLE
+    if _G1_GENERATOR_TABLE is None:
+        _G1_GENERATOR_TABLE = g1_fixed_base(G1)
+    return _G1_GENERATOR_TABLE
+
+
+def g2_generator_table() -> FixedBaseTable:
+    """The process-wide fixed-base table for the G2 generator (lazy)."""
+    global _G2_GENERATOR_TABLE
+    if _G2_GENERATOR_TABLE is None:
+        _G2_GENERATOR_TABLE = g2_fixed_base(G2)
+    return _G2_GENERATOR_TABLE
+
+
+# ----- serialization -------------------------------------------------------------
 
 
 def g1_to_bytes(point: G1Point) -> bytes:
@@ -228,6 +569,13 @@ def g2_to_bytes(point: G2Point) -> bytes:
 
 
 def g2_from_bytes(data: bytes) -> G2Point:
+    """Deserialize and fully validate a G2 point.
+
+    Beyond the curve equation this enforces the r-torsion subgroup
+    check: the twist's cofactor is huge, and accepting an off-subgroup
+    proof element (e.g. Groth16's B) breaks the pairing equation's
+    soundness assumptions.
+    """
     if len(data) != 128:
         raise ValueError("G2 encoding must be 128 bytes")
     x = FQ2.from_bytes(data[:64])
@@ -237,4 +585,6 @@ def g2_from_bytes(data: bytes) -> G2Point:
     point = (x, y)
     if not is_on_g2(point):
         raise ValueError("bytes do not encode a G2 point")
+    if not is_in_g2_subgroup(point):
+        raise ValueError("G2 point is not in the r-order subgroup")
     return point

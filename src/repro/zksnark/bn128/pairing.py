@@ -1,18 +1,29 @@
 """Optimal ate pairing on BN128.
 
-G2 points are mapped through the sextic twist into FQ12, the Miller loop
-runs over the 6u+2 ate loop count, and the final exponentiation raises
-to (q^12 − 1)/r.  Structure follows the classical BN construction (the
-same one libsnark/py_ecc implement); validated by bilinearity and
-non-degeneracy property tests.
+The Miller loop runs over the 6u+2 ate loop count.  The fast path keeps
+the G2 operand on the twist (affine FQ2 arithmetic) and precomputes the
+line coefficients once per G2 point (:func:`prepare_g2`); evaluating a
+line at the G1 argument then yields a *sparse* FQ12 element (≤5 nonzero
+coefficients) folded in via :meth:`FQ12.mul_sparse`.  Verifiers that
+pair against fixed G2 points (Groth16's γ and δ) reuse one
+:class:`G2Prepared` across every verification.
+
+The final exponentiation splits (q^12 − 1)/r into the easy part
+(q^6 − 1)(q^2 + 1) — a conjugation, one inversion and a Frobenius —
+and the ~762-bit hard part (q^4 − q^2 + 1)/r, instead of a naive
+~2794-bit exponentiation.
+
+The historical FQ12-only implementation is kept as ``*_naive`` for
+equivalence tests and before/after benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.zksnark.bn128.curve import G1Point, G2Point
+from repro.zksnark.bn128.curve import G1Point, G2Point, g2_add, g2_double, g2_neg
 from repro.zksnark.bn128.fq import CURVE_ORDER, FIELD_MODULUS
+from repro.zksnark.bn128.fq2 import FQ2
 from repro.zksnark.bn128.fq12 import FQ12
 
 _Q = FIELD_MODULUS
@@ -21,8 +32,12 @@ _Q = FIELD_MODULUS
 ATE_LOOP_COUNT = 29793968203157093288
 _LOG_ATE_LOOP_COUNT = 63
 
-#: Exponent of the final exponentiation.
+#: Exponent of the (naive, monolithic) final exponentiation.
 _FINAL_EXPONENT = (FIELD_MODULUS**12 - 1) // CURVE_ORDER
+
+#: Hard part of the decomposed final exponentiation: Φ₁₂(q)/r.
+_HARD_EXPONENT = (FIELD_MODULUS**4 - FIELD_MODULUS**2 + 1) // CURVE_ORDER
+assert (FIELD_MODULUS**4 - FIELD_MODULUS**2 + 1) % CURVE_ORDER == 0
 
 # An FQ12 point is an affine pair of FQ12 coordinates (None = infinity).
 FQ12Point = Optional[Tuple[FQ12, FQ12]]
@@ -44,6 +59,17 @@ def twist(point: G2Point) -> FQ12Point:
     return (nx * _W2, ny * _W3)
 
 
+def _untwist(point: FQ12Point) -> G2Point:
+    """Invert :func:`twist` for FQ12 points in the twist's image."""
+    if point is None:
+        return None
+    xc = point[0].coeffs
+    yc = point[1].coeffs
+    x = FQ2(xc[2] + 9 * xc[8], xc[8])
+    y = FQ2(yc[3] + 9 * yc[9], yc[9])
+    return (x, y)
+
+
 def cast_g1_to_fq12(point: G1Point) -> FQ12Point:
     """Embed a G1 point into the FQ12 curve."""
     if point is None:
@@ -52,8 +78,154 @@ def cast_g1_to_fq12(point: G1Point) -> FQ12Point:
     return (FQ12.from_fq(x), FQ12.from_fq(y))
 
 
+# ----- prepared Miller loop (fast path) ------------------------------------------
+#
+# Line functions are computed on the twist in FQ2.  For twisted points
+# the FQ12 slope is w·S with S the FQ2 twist slope, so the line through
+# R evaluated at P = (xP, yP) ∈ G1 is
+#
+#     l(P) = −yP · 1 + xP · (S at w) + ((Y_R − S·X_R) at w^3)
+#
+# where "at w^k" denotes the twist embedding of an FQ2 element c0+c1·i
+# into coefficient slots (k, k+6) as (c0 − 9·c1, c1).  A vertical line
+# (R and −R) degenerates to l(P) = xP · 1 − (X_R at w^2).  Both shapes
+# are sparse: 5 (resp. 3) nonzero FQ12 coefficients.
+
+#: A line step: (square_first, slope FQ2 | None, aux FQ2).
+#: slope=None marks a vertical line with aux = X_R; otherwise
+#: aux = Y_R − slope·X_R.
+_LineStep = Tuple[bool, Optional[FQ2], FQ2]
+
+
+class G2Prepared:
+    """Precomputed Miller-loop line coefficients for a fixed G2 point."""
+
+    __slots__ = ("point", "steps")
+
+    def __init__(self, point: G2Point, steps: Optional[List[_LineStep]]) -> None:
+        self.point = point
+        self.steps = steps
+
+
+def _line_step(square_first: bool, p1: G2Point, p2: G2Point) -> _LineStep:
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 != x2:
+        slope = (y2 - y1) / (x2 - x1)
+        return (square_first, slope, y1 - slope * x1)
+    if y1 == y2:
+        slope = (x1.square() * 3) / (y1 * 2)
+        return (square_first, slope, y1 - slope * x1)
+    return (square_first, None, x1)
+
+
+def _g2_frobenius(point: G2Point) -> G2Point:
+    """ψ = twist⁻¹ ∘ (q-power Frobenius) ∘ twist on G2."""
+    if point is None:
+        return None
+    x12, y12 = twist(point)
+    return _untwist((x12.frobenius(1), y12.frobenius(1)))
+
+
+def prepare_g2(q_point: G2Point) -> G2Prepared:
+    """Precompute every Miller-loop line coefficient for ``q_point``.
+
+    Preparation walks the ate loop once in affine FQ2 (~90 cheap FQ2
+    inversions); each later pairing against the point is then just
+    sparse FQ12 updates.
+    """
+    if q_point is None:
+        return G2Prepared(None, None)
+    steps: List[_LineStep] = []
+    r = q_point
+    for i in range(_LOG_ATE_LOOP_COUNT, -1, -1):
+        steps.append(_line_step(True, r, r))
+        r = g2_add(r, r)
+        if ATE_LOOP_COUNT & (1 << i):
+            steps.append(_line_step(False, r, q_point))
+            r = g2_add(r, q_point)
+    q1 = _g2_frobenius(q_point)
+    nq2 = g2_neg(_g2_frobenius(q1))
+    steps.append(_line_step(False, r, q1))
+    r = g2_add(r, q1)
+    steps.append(_line_step(False, r, nq2))
+    return G2Prepared(q_point, steps)
+
+
+def _miller_eval(steps: List[_LineStep], p_point: G1Point, f: FQ12) -> FQ12:
+    """Fold the prepared line steps, evaluated at ``p_point``, into f."""
+    xp, yp = p_point
+    nyp = -yp % _Q
+    for square_first, slope, aux in steps:
+        if square_first:
+            f = f * f
+        if slope is not None:
+            items = (
+                (0, nyp),
+                (1, (slope.c0 - 9 * slope.c1) * xp),
+                (7, slope.c1 * xp),
+                (3, aux.c0 - 9 * aux.c1),
+                (9, aux.c1),
+            )
+        else:
+            items = ((0, xp), (2, 9 * aux.c1 - aux.c0), (8, -aux.c1))
+        f = f.mul_sparse(items)
+    return f
+
+
+def miller_loop(q_point, p_point: G1Point) -> FQ12:
+    """The raw Miller loop (no final exponentiation) for e(P, Q).
+
+    ``q_point`` may be a plain G2 point or a :class:`G2Prepared`.
+    Returns FQ12.one() if either input is the point at infinity.
+    """
+    if not isinstance(q_point, G2Prepared):
+        q_point = prepare_g2(q_point)
+    if q_point.steps is None or p_point is None:
+        return FQ12.one()
+    return _miller_eval(q_point.steps, p_point, FQ12.one())
+
+
+def final_exponentiate(value: FQ12) -> FQ12:
+    """Raise to (q^12 − 1)/r, mapping Miller values into the r-torsion.
+
+    Decomposed: the easy part (q^6 − 1)(q^2 + 1) costs one conjugation,
+    one inversion and one Frobenius; only the cyclotomic hard part
+    Φ₁₂(q)/r needs a (much shorter) square-and-multiply chain.
+    """
+    f1 = value.conjugate() * value.inverse()  # ^(q^6 − 1): x^(q^6) = conj(x)
+    f2 = f1.frobenius(2) * f1  # ^(q^2 + 1)
+    return f2 ** _HARD_EXPONENT
+
+
+def pairing(q_point, p_point: G1Point) -> FQ12:
+    """The optimal ate pairing e(P, Q) ∈ μ_r ⊂ FQ12."""
+    return final_exponentiate(miller_loop(q_point, p_point))
+
+
+def multi_pairing(pairs) -> FQ12:
+    """Π e(P_i, Q_i) with a single shared final exponentiation.
+
+    ``pairs`` is an iterable of (G2Point | G2Prepared, G1Point) tuples.
+    This is how the Groth16 verifier keeps the pairing count affordable,
+    and how :meth:`Groth16Backend.batch_verify` amortizes n proofs into
+    one product.
+    """
+    acc = FQ12.one()
+    for q_point, p_point in pairs:
+        if not isinstance(q_point, G2Prepared):
+            q_point = prepare_g2(q_point)
+        if q_point.steps is None or p_point is None:
+            continue
+        acc = acc * _miller_eval(q_point.steps, p_point, FQ12.one())
+    return final_exponentiate(acc)
+
+
+# ----- naive reference path ------------------------------------------------------
+
+
 def _line(p1: FQ12Point, p2: FQ12Point, t: FQ12Point) -> FQ12:
-    """Evaluate the line through p1, p2 at point t (affine formulas)."""
+    """Evaluate the line through p1, p2 at point t (affine FQ12 formulas)."""
     assert p1 is not None and p2 is not None and t is not None
     x1, y1 = p1
     x2, y2 = p2
@@ -90,14 +262,11 @@ def _frobenius_point(point: FQ12Point) -> FQ12Point:
     if point is None:
         return None
     x, y = point
-    return (x ** _Q, y ** _Q)
+    return (x.frobenius(1), y.frobenius(1))
 
 
-def miller_loop(q_point: G2Point, p_point: G1Point) -> FQ12:
-    """The raw Miller loop (no final exponentiation) for e(P, Q).
-
-    Returns FQ12.one() if either input is the point at infinity.
-    """
+def miller_loop_naive(q_point: G2Point, p_point: G1Point) -> FQ12:
+    """The historical all-FQ12 Miller loop (reference oracle)."""
     if q_point is None or p_point is None:
         return FQ12.one()
     q12 = twist(q_point)
@@ -122,23 +291,19 @@ def miller_loop(q_point: G2Point, p_point: G1Point) -> FQ12:
     return f
 
 
-def final_exponentiate(value: FQ12) -> FQ12:
-    """Raise to (q^12 − 1)/r, mapping Miller values into the r-torsion."""
+def final_exponentiate_naive(value: FQ12) -> FQ12:
+    """Monolithic (q^12 − 1)/r exponentiation (reference oracle)."""
     return value ** _FINAL_EXPONENT
 
 
-def pairing(q_point: G2Point, p_point: G1Point) -> FQ12:
-    """The optimal ate pairing e(P, Q) ∈ μ_r ⊂ FQ12."""
-    return final_exponentiate(miller_loop(q_point, p_point))
+def pairing_naive(q_point: G2Point, p_point: G1Point) -> FQ12:
+    """Reference pairing via the naive Miller loop and exponentiation."""
+    return final_exponentiate_naive(miller_loop_naive(q_point, p_point))
 
 
-def multi_pairing(pairs) -> FQ12:
-    """Π e(P_i, Q_i) with a single shared final exponentiation.
-
-    ``pairs`` is an iterable of (G2Point, G1Point) tuples.  This is how
-    the Groth16 verifier keeps the pairing count affordable.
-    """
+def multi_pairing_naive(pairs) -> FQ12:
+    """Reference multi-pairing (naive Miller loops, naive exponent)."""
     acc = FQ12.one()
     for q_point, p_point in pairs:
-        acc = acc * miller_loop(q_point, p_point)
-    return final_exponentiate(acc)
+        acc = acc * miller_loop_naive(q_point, p_point)
+    return final_exponentiate_naive(acc)

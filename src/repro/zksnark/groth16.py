@@ -6,16 +6,33 @@ classic three group elements (A ∈ G1, B ∈ G2, C ∈ G1); verification is
 one multi-pairing plus a statement-dependent MSM — exactly the
 asymmetric cost profile the paper exploits with its outsource-then-prove
 methodology (heavy proving off-chain, tiny verification on-chain).
+
+Performance layer (all pure Python, no extra dependencies):
+
+- setup's thousands of generator multiplications go through windowed
+  fixed-base tables (:func:`g1_generator_table`);
+- the prover's five inner products run as Pippenger MSMs (G1 and G2);
+- the verifier pairs against *prepared* γ/δ (precomputed Miller-loop
+  line coefficients) and uses the decomposed final exponentiation;
+- :meth:`Groth16Backend.batch_verify` checks n proofs with a single
+  random-linear-combination multi-pairing;
+- ``jobs > 1`` optionally fans setup/prove out over ``multiprocessing``
+  (fork-based; silently serial where fork is unavailable).
+
+``Groth16Backend(optimized=False)`` routes every group operation
+through the naive reference implementations — the before/after axis of
+``benchmarks/bench_fig4.py``.
 """
 
 from __future__ import annotations
 
+import os
 import secrets
-from dataclasses import dataclass
-from typing import Any, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
 
 from repro.crypto.hashing import sha256
-from repro.errors import ProofError, UnsatisfiedConstraintError
+from repro.errors import ProofError
 from repro.zksnark.backend import (
     CircuitDefinition,
     KeyPair,
@@ -30,18 +47,29 @@ from repro.zksnark.bn128.curve import (
     G2Point,
     g1_add,
     g1_from_bytes,
+    g1_generator_table,
     g1_msm,
+    g1_msm_naive,
     g1_mul,
     g1_neg,
     g1_to_bytes,
     g2_add,
     g2_from_bytes,
+    g2_generator_table,
+    g2_msm,
     g2_mul,
+    g2_mul_naive,
     g2_to_bytes,
 )
 from repro.zksnark.bn128.fq import CURVE_ORDER
 from repro.zksnark.bn128.fq12 import FQ12
-from repro.zksnark.bn128.pairing import multi_pairing, pairing
+from repro.zksnark.bn128.pairing import (
+    G2Prepared,
+    multi_pairing,
+    multi_pairing_naive,
+    pairing,
+    prepare_g2,
+)
 from repro.zksnark.qap import QAP
 
 
@@ -75,6 +103,20 @@ class Groth16VerifyingKey:
     delta_g2: G2Point
     ic: List[G1Point]
     alpha_beta: FQ12  # precomputed e(alpha, beta)
+    #: Prepared Miller-loop line coefficients for the two fixed G2
+    #: points every verification pairs against (filled lazily).
+    gamma_prepared: Optional[G2Prepared] = field(default=None, repr=False, compare=False)
+    delta_prepared: Optional[G2Prepared] = field(default=None, repr=False, compare=False)
+
+    def prepared_gamma(self) -> G2Prepared:
+        if self.gamma_prepared is None:
+            self.gamma_prepared = prepare_g2(self.gamma_g2)
+        return self.gamma_prepared
+
+    def prepared_delta(self) -> G2Prepared:
+        if self.delta_prepared is None:
+            self.delta_prepared = prepare_g2(self.delta_g2)
+        return self.delta_prepared
 
     def size_bytes(self) -> int:
         """Serialized size (what Table I's "Key" column measures)."""
@@ -118,11 +160,77 @@ class Groth16ProvingKey:
 
 _PROOF_LEN = 64 + 128 + 64
 
+#: Bit width of the batch-verification combination scalars; 2^-127
+#: soundness error per forged proof in the batch.
+_BATCH_SCALAR_BITS = 127
+
+
+def _g1_generator_chunk(scalars: Sequence[int]) -> List[G1Point]:
+    """Fixed-base G1 generator multiples for one fan-out chunk."""
+    table = g1_generator_table()
+    return [table.mul(s) for s in scalars]
+
+
+def _g2_generator_chunk(scalars: Sequence[int]) -> List[G2Point]:
+    """Fixed-base G2 generator multiples for one fan-out chunk."""
+    table = g2_generator_table()
+    return [table.mul(s) for s in scalars]
+
+
+def _msm_task(task):
+    """One prover MSM, shaped for ``multiprocessing`` map."""
+    kind, points, scalars = task
+    if kind == "g2":
+        return g2_msm(points, scalars)
+    return g1_msm(points, scalars)
+
+
+def _fanout_map(worker, items: list, jobs: int, chunked: bool):
+    """Map ``worker`` over ``items``, forking when ``jobs > 1``.
+
+    ``chunked=True`` splits one long scalar list into per-process
+    slices; ``chunked=False`` maps the worker over heterogeneous tasks.
+    Falls back to serial execution wherever fork is unavailable.
+    """
+    if jobs > 1 and len(items) > 1:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:
+            ctx = None
+        if ctx is not None:
+            if chunked:
+                size = (len(items) + jobs - 1) // jobs
+                chunks = [items[i : i + size] for i in range(0, len(items), size)]
+                with ctx.Pool(min(jobs, len(chunks))) as pool:
+                    parts = pool.map(worker, chunks)
+                return [point for part in parts for point in part]
+            with ctx.Pool(min(jobs, len(items))) as pool:
+                return pool.map(worker, items)
+    if chunked:
+        return worker(items)
+    return [worker(item) for item in items]
+
 
 class Groth16Backend(ProvingBackend):
-    """The real pairing-based backend."""
+    """The real pairing-based backend.
+
+    ``optimized=False`` switches every group/pairing operation to the
+    naive reference path (double-and-add, per-wire G2 loop, monolithic
+    final exponentiation) — kept so benchmarks can measure the speedup
+    and tests can cross-check the two implementations.  ``jobs``
+    (default: the ``REPRO_SNARK_JOBS`` env var, else 1) enables a
+    multiprocessing fan-out for setup and the prover's MSMs.
+    """
 
     name = "groth16"
+
+    def __init__(self, optimized: bool = True, jobs: Optional[int] = None) -> None:
+        self._optimized = optimized
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_SNARK_JOBS", "1") or 1)
+        self._jobs = max(1, jobs)
 
     def setup(self, circuit: CircuitDefinition, seed: Optional[bytes] = None) -> KeyPair:
         if circuit.requires_ideal_backend:
@@ -150,10 +258,6 @@ class Groth16Backend(ProvingBackend):
         num_wires = r1cs.num_wires
         num_public = r1cs.num_public
 
-        a_query = [g1_mul(G1, evaluation.a_at[i]) for i in range(num_wires)]
-        b_g1_query = [g1_mul(G1, evaluation.b_at[i]) for i in range(num_wires)]
-        b_g2_query = [g2_mul(G2, evaluation.b_at[i]) for i in range(num_wires)]
-
         def combined(i: int) -> int:
             return (
                 beta * evaluation.a_at[i]
@@ -161,29 +265,59 @@ class Groth16Backend(ProvingBackend):
                 + evaluation.c_at[i]
             ) % p
 
-        ic = [g1_mul(G1, combined(i) * gamma_inv % p) for i in range(num_public + 1)]
-        k_query = [
-            g1_mul(G1, combined(i) * delta_inv % p)
-            for i in range(num_public + 1, num_wires)
+        ic_scalars = [combined(i) * gamma_inv % p for i in range(num_public + 1)]
+        k_scalars = [
+            combined(i) * delta_inv % p for i in range(num_public + 1, num_wires)
         ]
         z_delta = evaluation.z_at * delta_inv % p
-        h_query = []
+        h_scalars = []
         power = 1
         for _ in range(max(0, evaluation.degree - 1)):
-            h_query.append(g1_mul(G1, power * z_delta % p))
+            h_scalars.append(power * z_delta % p)
             power = power * tau % p
 
-        alpha_g1 = g1_mul(G1, alpha)
-        beta_g1 = g1_mul(G1, beta)
-        beta_g2 = g2_mul(G2, beta)
+        if self._optimized:
+            # Build the shared tables before any fork so children
+            # inherit them instead of rebuilding.
+            g1_table = g1_generator_table()
+            g2_table = g2_generator_table()
+            jobs = self._jobs
+
+            def batch_g1(scalars: List[int]) -> List[G1Point]:
+                if jobs > 1 and len(scalars) >= 64:
+                    return _fanout_map(_g1_generator_chunk, scalars, jobs, chunked=True)
+                return [g1_table.mul(s) for s in scalars]
+
+            def batch_g2(scalars: List[int]) -> List[G2Point]:
+                if jobs > 1 and len(scalars) >= 64:
+                    return _fanout_map(_g2_generator_chunk, scalars, jobs, chunked=True)
+                return [g2_table.mul(s) for s in scalars]
+
+        else:
+
+            def batch_g1(scalars: List[int]) -> List[G1Point]:
+                return [g1_mul(G1, s) for s in scalars]
+
+            def batch_g2(scalars: List[int]) -> List[G2Point]:
+                return [g2_mul_naive(G2, s) for s in scalars]
+
+        a_query = batch_g1(evaluation.a_at)
+        b_g1_query = batch_g1(evaluation.b_at)
+        b_g2_query = batch_g2(evaluation.b_at)
+        ic = batch_g1(ic_scalars)
+        k_query = batch_g1(k_scalars)
+        h_query = batch_g1(h_scalars)
+
+        (alpha_g1, beta_g1, delta_g1) = batch_g1([alpha, beta, delta])
+        (beta_g2, gamma_g2, delta_g2) = batch_g2([beta, gamma, delta])
         proving_key = Groth16ProvingKey(
             circuit_digest=digest,
             num_public=num_public,
             alpha_g1=alpha_g1,
             beta_g1=beta_g1,
             beta_g2=beta_g2,
-            delta_g1=g1_mul(G1, delta),
-            delta_g2=g2_mul(G2, delta),
+            delta_g1=delta_g1,
+            delta_g2=delta_g2,
             a_query=a_query,
             b_g1_query=b_g1_query,
             b_g2_query=b_g2_query,
@@ -195,11 +329,14 @@ class Groth16Backend(ProvingBackend):
             num_public=num_public,
             alpha_g1=alpha_g1,
             beta_g2=beta_g2,
-            gamma_g2=g2_mul(G2, gamma),
-            delta_g2=proving_key.delta_g2,
+            gamma_g2=gamma_g2,
+            delta_g2=delta_g2,
             ic=ic,
             alpha_beta=pairing(beta_g2, alpha_g1),
         )
+        if self._optimized:
+            verifying_key.prepared_gamma()
+            verifying_key.prepared_delta()
         return KeyPair(proving_key=proving_key, verifying_key=verifying_key)
 
     def prove(
@@ -218,32 +355,64 @@ class Groth16Backend(ProvingBackend):
         qap = QAP(r1cs)
         h_coeffs = qap.witness_quotient(assignment)
 
+        num_wires = len(assignment)
+        if not (
+            len(proving_key.a_query) == num_wires
+            and len(proving_key.b_g1_query) == num_wires
+            and len(proving_key.b_g2_query) == num_wires
+        ):
+            raise ProofError(
+                "proving key wire count does not match the witness: "
+                f"{len(proving_key.a_query)} query points vs {num_wires} wires"
+            )
+        aux_values = assignment[proving_key.num_public + 1 :]
+        if len(aux_values) != len(proving_key.k_query):
+            raise ProofError(
+                "proving key K-query length does not match the auxiliary witness"
+            )
+        if len(h_coeffs) > len(proving_key.h_query):
+            raise ProofError(
+                "quotient degree exceeds the proving key's H powers: "
+                f"{len(h_coeffs)} coefficients vs {len(proving_key.h_query)} powers"
+            )
+
         drbg = rng or _Drbg(secrets.token_bytes(32))
         blind_r = drbg.field_element()
         blind_s = drbg.field_element()
         p = CURVE_ORDER
 
-        a_acc = g1_msm(proving_key.a_query, assignment)
+        if self._optimized:
+            tasks = [
+                ("g1", proving_key.a_query, assignment),
+                ("g1", proving_key.b_g1_query, assignment),
+                ("g2", proving_key.b_g2_query, assignment),
+                ("g1", proving_key.k_query, aux_values),
+                ("g1", proving_key.h_query[: len(h_coeffs)], h_coeffs),
+            ]
+            a_acc, b1_acc, b2_acc, k_acc, h_acc = _fanout_map(
+                _msm_task, tasks, self._jobs, chunked=False
+            )
+        else:
+            a_acc = g1_msm_naive(proving_key.a_query, assignment)
+            b1_acc = g1_msm_naive(proving_key.b_g1_query, assignment)
+            b2_acc: G2Point = None
+            for point, value in zip(proving_key.b_g2_query, assignment):
+                if value == 0 or point is None:
+                    continue
+                b2_acc = g2_add(b2_acc, g2_mul_naive(point, value))
+            k_acc = g1_msm_naive(proving_key.k_query, aux_values)
+            h_acc = g1_msm_naive(proving_key.h_query[: len(h_coeffs)], h_coeffs)
+
         proof_a = g1_add(
             g1_add(proving_key.alpha_g1, a_acc), g1_mul(proving_key.delta_g1, blind_r)
         )
-
-        b1_acc = g1_msm(proving_key.b_g1_query, assignment)
         proof_b_g1 = g1_add(
             g1_add(proving_key.beta_g1, b1_acc), g1_mul(proving_key.delta_g1, blind_s)
         )
-        b2_acc: G2Point = None
-        for point, value in zip(proving_key.b_g2_query, assignment):
-            if value == 0 or point is None:
-                continue
-            b2_acc = g2_add(b2_acc, g2_mul(point, value))
         proof_b = g2_add(
             g2_add(proving_key.beta_g2, b2_acc), g2_mul(proving_key.delta_g2, blind_s)
         )
 
-        aux_values = assignment[proving_key.num_public + 1 :]
-        k_acc = g1_msm(proving_key.k_query, aux_values)
-        h_acc = g1_msm(proving_key.h_query[: len(h_coeffs)], h_coeffs)
         proof_c = k_acc
         proof_c = g1_add(proof_c, h_acc)
         proof_c = g1_add(proof_c, g1_mul(proof_a, blind_s))
@@ -253,6 +422,26 @@ class Groth16Backend(ProvingBackend):
         payload = g1_to_bytes(proof_a) + g2_to_bytes(proof_b) + g1_to_bytes(proof_c)
         return Proof(backend=self.name, payload=payload)
 
+    def _decode_proof(self, proof: Proof):
+        """Parse and validate a proof payload; None when malformed.
+
+        Hardening beyond the curve checks in ``g*_from_bytes``: the
+        all-zero (infinity) encodings are rejected for all three proof
+        elements — A or B at infinity collapses e(A, B) to 1 and C at
+        infinity is never produced by an honest prover.
+        """
+        if len(proof.payload) != _PROOF_LEN:
+            return None
+        try:
+            proof_a = g1_from_bytes(proof.payload[:64])
+            proof_b = g2_from_bytes(proof.payload[64:192])
+            proof_c = g1_from_bytes(proof.payload[192:])
+        except ValueError:
+            return None
+        if proof_a is None or proof_b is None or proof_c is None:
+            return None
+        return proof_a, proof_b, proof_c
+
     def verify(
         self,
         verifying_key: Groth16VerifyingKey,
@@ -260,24 +449,102 @@ class Groth16Backend(ProvingBackend):
         proof: Proof,
     ) -> bool:
         self._check_backend(proof)
-        if len(proof.payload) != _PROOF_LEN:
-            return False
         if len(public_inputs) != verifying_key.num_public:
             return False
-        try:
-            proof_a = g1_from_bytes(proof.payload[:64])
-            proof_b = g2_from_bytes(proof.payload[64:192])
-            proof_c = g1_from_bytes(proof.payload[192:])
-        except ValueError:
+        decoded = self._decode_proof(proof)
+        if decoded is None:
             return False
+        proof_a, proof_b, proof_c = decoded
         ic_acc = verifying_key.ic[0]
         ic_points = verifying_key.ic[1:]
-        ic_acc = g1_add(ic_acc, g1_msm(ic_points, [v % CURVE_ORDER for v in public_inputs]))
-        lhs = multi_pairing(
-            [
-                (proof_b, proof_a),
-                (verifying_key.gamma_g2, g1_neg(ic_acc)),
-                (verifying_key.delta_g2, g1_neg(proof_c)),
-            ]
-        )
+        inputs = [v % CURVE_ORDER for v in public_inputs]
+        if self._optimized:
+            ic_acc = g1_add(ic_acc, g1_msm(ic_points, inputs))
+            lhs = multi_pairing(
+                [
+                    (proof_b, proof_a),
+                    (verifying_key.prepared_gamma(), g1_neg(ic_acc)),
+                    (verifying_key.prepared_delta(), g1_neg(proof_c)),
+                ]
+            )
+        else:
+            ic_acc = g1_add(ic_acc, g1_msm_naive(ic_points, inputs))
+            lhs = multi_pairing_naive(
+                [
+                    (proof_b, proof_a),
+                    (verifying_key.gamma_g2, g1_neg(ic_acc)),
+                    (verifying_key.delta_g2, g1_neg(proof_c)),
+                ]
+            )
         return lhs == verifying_key.alpha_beta
+
+    def batch_verify(
+        self,
+        verifying_key: Groth16VerifyingKey,
+        statements: Sequence[List[int]],
+        proofs: Sequence[Proof],
+    ) -> bool:
+        """Check n proofs with one random-linear-combination multi-pairing.
+
+        Each proof i must satisfy
+        ``e(A_i, B_i) = e(α, β) · e(IC_i, γ) · e(C_i, δ)``.  Raising the
+        i-th equation to an independent uniform 127-bit power z_i and
+        multiplying them together yields a single check
+
+        ``Π e(z_i·A_i, B_i) · e(−Σ z_i·IC_i, γ) · e(−Σ z_i·C_i, δ)
+          = e(α, β)^{Σ z_i}``
+
+        with n+2 Miller loops and ONE final exponentiation instead of
+        3n Miller loops and n exponentiations.  Soundness: if any single
+        equation fails, the combined equation holds with probability at
+        most 2^-127 over the verifier's choice of z (the standard
+        small-exponent batching argument); z_0 is fixed to 1, which is
+        harmless since the combination only needs pairwise-independent
+        randomization of the *relative* weights.
+
+        Returns False on any malformed proof; raises
+        :class:`ProofError` when statements and proofs differ in length.
+        """
+        if len(statements) != len(proofs):
+            raise ProofError(
+                f"batch length mismatch: {len(statements)} statements "
+                f"vs {len(proofs)} proofs"
+            )
+        count = len(proofs)
+        if count == 0:
+            return True
+        if count == 1:
+            return self.verify(verifying_key, list(statements[0]), proofs[0])
+        decoded = []
+        for statement, proof in zip(statements, proofs):
+            self._check_backend(proof)
+            if len(statement) != verifying_key.num_public:
+                return False
+            parsed = self._decode_proof(proof)
+            if parsed is None:
+                return False
+            decoded.append(parsed)
+
+        weights = [1] + [
+            secrets.randbits(_BATCH_SCALAR_BITS) + 1 for _ in range(count - 1)
+        ]
+        total_weight = sum(weights) % CURVE_ORDER
+
+        # Σ_i z_i·IC_i collapses into ONE MSM over the vk's IC points:
+        # the coefficient of ic[0] is Σ z_i and of ic[j] is Σ z_i·x_ij.
+        ic_coeffs = [total_weight]
+        for j in range(verifying_key.num_public):
+            acc = 0
+            for statement, z in zip(statements, weights):
+                acc += z * (statement[j] % CURVE_ORDER)
+            ic_coeffs.append(acc % CURVE_ORDER)
+        ic_acc = g1_msm(verifying_key.ic, ic_coeffs)
+        c_acc = g1_msm([c for (_, _, c) in decoded], weights)
+
+        pairs = [
+            (proof_b, g1_mul(proof_a, z))
+            for (proof_a, proof_b, _), z in zip(decoded, weights)
+        ]
+        pairs.append((verifying_key.prepared_gamma(), g1_neg(ic_acc)))
+        pairs.append((verifying_key.prepared_delta(), g1_neg(c_acc)))
+        return multi_pairing(pairs) == verifying_key.alpha_beta ** total_weight

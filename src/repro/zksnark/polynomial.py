@@ -2,9 +2,11 @@
 
 Coefficients are plain ints (low index = constant term).  The QAP layer
 relies on interpolation, multiplication and exact division by the
-vanishing polynomial; no FFT is used, so everything here is O(n^2) —
-adequate for the circuit sizes this reproduction targets and documented
-as such in DESIGN.md.
+vanishing polynomial.  No FFT is used, but multiplication switches to
+Karatsuba above a small threshold and the vanishing polynomial is built
+as a balanced product tree, which together keep the prover's polynomial
+work subquadratic for the circuit sizes this reproduction targets (see
+DESIGN.md).
 """
 
 from __future__ import annotations
@@ -49,16 +51,70 @@ def poly_scale(field: PrimeField, a: Sequence[int], k: int) -> List[int]:
     return trim([(c * k) % p for c in a])
 
 
-def poly_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
-    if not a or not b:
-        return []
-    p = field.modulus
+#: Below this size schoolbook multiplication beats Karatsuba's overhead.
+_KARATSUBA_THRESHOLD = 32
+
+
+def _mul_schoolbook(a: Sequence[int], b: Sequence[int]) -> List[int]:
     out = [0] * (len(a) + len(b) - 1)
     for i, ca in enumerate(a):
         if ca == 0:
             continue
         for j, cb in enumerate(b):
             out[i + j] += ca * cb
+    return out
+
+
+def _mul_karatsuba(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Unreduced product over the integers, O(n^1.585).
+
+    Working with raw ints and reducing once at the end is safe: python
+    ints are arbitrary precision, and the single final ``% p`` pass is
+    cheaper than reducing at every level.
+    """
+    n = min(len(a), len(b))
+    if n <= _KARATSUBA_THRESHOLD:
+        return _mul_schoolbook(a, b)
+    half = (max(len(a), len(b)) + 1) // 2
+    a_lo, a_hi = a[:half], a[half:]
+    b_lo, b_hi = b[:half], b[half:]
+    lo = _mul_karatsuba(a_lo, b_lo) if a_lo and b_lo else []
+    hi = _mul_karatsuba(a_hi, b_hi) if a_hi and b_hi else []
+    a_sum = [x + y for x, y in zip(a_lo, a_hi)] + list(
+        a_lo[len(a_hi):] or a_hi[len(a_lo):]
+    )
+    b_sum = [x + y for x, y in zip(b_lo, b_hi)] + list(
+        b_lo[len(b_hi):] or b_hi[len(b_lo):]
+    )
+    mid = _mul_karatsuba(a_sum, b_sum) if a_sum and b_sum else []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, c in enumerate(lo):
+        out[i] += c
+    for i, c in enumerate(hi):
+        out[i + 2 * half] += c
+    # (mid - lo - hi) = a_lo·b_hi + a_hi·b_lo lands at the half offset.
+    # Combine before placing: mid's top coefficients cancel against
+    # lo/hi and may individually exceed the output degree.
+    width = max(len(mid), len(lo), len(hi))
+    diff = list(mid) + [0] * (width - len(mid))
+    for i, c in enumerate(lo):
+        diff[i] -= c
+    for i, c in enumerate(hi):
+        diff[i] -= c
+    for i, c in enumerate(diff):
+        if c:
+            out[i + half] += c
+    return out
+
+
+def poly_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    if not a or not b:
+        return []
+    p = field.modulus
+    if min(len(a), len(b)) <= _KARATSUBA_THRESHOLD:
+        out = _mul_schoolbook(a, b)
+    else:
+        out = _mul_karatsuba(list(a), list(b))
     return trim([c % p for c in out])
 
 
@@ -95,12 +151,25 @@ def poly_divmod(
 
 
 def vanishing_polynomial(field: PrimeField, points: Sequence[int]) -> List[int]:
-    """Z(x) = prod_j (x - points[j])."""
+    """Z(x) = prod_j (x - points[j]).
+
+    Built as a balanced product tree so the big multiplications at the
+    top of the tree run through Karatsuba, instead of the O(n^2) cost of
+    multiplying one linear factor at a time.
+    """
     p = field.modulus
-    z = [1]
-    for pt in points:
-        z = poly_mul(field, z, [(-pt) % p, 1])
-    return z
+    if not points:
+        return [1]
+    leaves: List[List[int]] = [[(-pt) % p, 1] for pt in points]
+    while len(leaves) > 1:
+        paired = [
+            poly_mul(field, leaves[i], leaves[i + 1])
+            for i in range(0, len(leaves) - 1, 2)
+        ]
+        if len(leaves) % 2:
+            paired.append(leaves[-1])
+        leaves = paired
+    return leaves[0]
 
 
 def lagrange_interpolate(

@@ -55,6 +55,7 @@ def test_fig4_runs_and_summarizes() -> None:
     assert "FIG. 4" in text and "paper:" in text
 
 
+@pytest.mark.slow
 def test_fig4_groth16_single_run() -> None:
     """One real-proof sample to keep the pairing path covered."""
     result = run_fig4(profile="test", backend_name="groth16", runs=1)

@@ -172,6 +172,7 @@ def test_stale_certificate_fails_against_new_commitment(world) -> None:
     assert not scheme.verify(message, attestation, authority.registry_commitment())
 
 
+@pytest.mark.slow
 def test_groth16_end_to_end(groth16_auth_system) -> None:
     """The real pairing-based pipeline (one pass; slow)."""
     params, authority = groth16_auth_system

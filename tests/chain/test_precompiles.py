@@ -1,4 +1,4 @@
-"""The snark_verify precompile: dispatch, gas, metrics, input hygiene."""
+"""The snark_verify precompiles: dispatch, gas, metrics, input hygiene."""
 
 from __future__ import annotations
 
@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import ContractError, OutOfGasError
 from repro.chain.gas import GasMeter
-from repro.chain.precompiles import SNARK_VERIFY_METRICS, snark_verify_precompile
+from repro.chain.precompiles import (
+    SNARK_BATCH_VERIFY_METRICS,
+    SNARK_VERIFY_METRICS,
+    snark_batch_verify_precompile,
+    snark_verify_precompile,
+)
 from repro.zksnark import CircuitDefinition, MockBackend
 from repro.zksnark.backend import Proof
 
@@ -71,6 +76,90 @@ def test_non_list_inputs_revert(material) -> None:
     keys, proof = material
     with pytest.raises(ContractError):
         snark_verify_precompile(_meter(), keys.verifying_key, 25, proof)
+
+
+def test_batch_valid_proofs_verify(material) -> None:
+    keys, proof = material
+    assert snark_batch_verify_precompile(
+        _meter(), keys.verifying_key, [[25], [25]], [proof, proof]
+    )
+
+
+def test_batch_invalid_statement_returns_false(material) -> None:
+    keys, proof = material
+    assert not snark_batch_verify_precompile(
+        _meter(), keys.verifying_key, [[25], [26]], [proof, proof]
+    )
+
+
+def test_batch_empty_is_valid_and_cheap(material) -> None:
+    keys, _ = material
+    meter = _meter()
+    assert snark_batch_verify_precompile(meter, keys.verifying_key, [], [])
+    assert meter.used == meter.schedule.snark_batch_verify_base
+
+
+def test_batch_gas_charged_per_proof_and_input(material) -> None:
+    keys, proof = material
+    meter = _meter()
+    snark_batch_verify_precompile(
+        meter, keys.verifying_key, [[25], [25], [25]], [proof] * 3
+    )
+    schedule = meter.schedule
+    assert meter.used == (
+        schedule.snark_batch_verify_base
+        + 3 * schedule.snark_batch_verify_per_proof
+        + 3 * schedule.snark_batch_verify_per_input
+    )
+
+
+def test_batch_amortizes_below_sequential_gas(material) -> None:
+    """The whole point: n batched proofs must be cheaper than n singles."""
+    keys, proof = material
+    n = 10
+    batch_meter = _meter()
+    snark_batch_verify_precompile(
+        batch_meter, keys.verifying_key, [[25]] * n, [proof] * n
+    )
+    seq_meter = _meter()
+    for _ in range(n):
+        snark_verify_precompile(seq_meter, keys.verifying_key, [25], proof)
+    assert batch_meter.used < seq_meter.used
+
+
+def test_batch_length_mismatch_reverts(material) -> None:
+    keys, proof = material
+    with pytest.raises(ContractError):
+        snark_batch_verify_precompile(
+            _meter(), keys.verifying_key, [[25]], [proof, proof]
+        )
+
+
+def test_batch_mixed_backends_revert(material) -> None:
+    keys, proof = material
+    alien = Proof(backend="groth16", payload=proof.payload)
+    with pytest.raises(ContractError):
+        snark_batch_verify_precompile(
+            _meter(), keys.verifying_key, [[25], [25]], [proof, alien]
+        )
+
+
+def test_batch_non_proof_input_reverts(material) -> None:
+    keys, _ = material
+    with pytest.raises(ContractError):
+        snark_batch_verify_precompile(
+            _meter(), keys.verifying_key, [[25]], [b"junk"]
+        )
+
+
+def test_batch_metrics_recorded(material) -> None:
+    keys, proof = material
+    SNARK_BATCH_VERIFY_METRICS.reset()
+    snark_batch_verify_precompile(
+        _meter(), keys.verifying_key, [[25], [25]], [proof, proof]
+    )
+    assert SNARK_BATCH_VERIFY_METRICS.calls == 1
+    SNARK_BATCH_VERIFY_METRICS.reset()
 
 
 def test_metrics_recorded(material) -> None:

@@ -120,6 +120,7 @@ def test_multiple_tasks_interleaved(zebra_system) -> None:
     assert task_b.rewards() == [200, 200]
 
 
+@pytest.mark.slow
 def test_groth16_system_end_to_end() -> None:
     """The full protocol over the REAL Groth16 backend (slow; 1 worker)."""
     system = ZebraLancerSystem(
@@ -130,10 +131,28 @@ def test_groth16_system_end_to_end() -> None:
     worker = Worker(system, "w0")
     task = requester.publish_task(policy, "t", num_answers=1, budget=100)
     assert worker.submit_answer(task, [1]).receipt.success
+    # batched re-audit of the collection phase over the real verifier
+    assert task.audit_submissions()
     receipt = requester.evaluate_and_reward(task)
     assert receipt.success, receipt.error
     assert task.rewards() == [100]
     system.testnet.assert_consensus()
+
+
+def test_audit_submissions_batch_reverifies(zebra_system) -> None:
+    """audit_submissions batch-checks every stored attestation (mock)."""
+    requester = Requester(zebra_system, "req")
+    workers = [Worker(zebra_system, f"w{i}") for i in range(3)]
+    task = requester.publish_task(
+        MajorityVotePolicy(3), "t", num_answers=3, budget=300
+    )
+    assert task.audit_submissions()  # no submissions yet: vacuously true
+    for worker, answer in zip(workers, ([1], [1], [2])):
+        assert worker.submit_answer(task, answer).receipt.success
+    assert task.audit_submissions()
+    assert requester.evaluate_and_reward(task).success
+    # the audit is a view — still works after settlement
+    assert task.audit_submissions()
 
 
 def test_schnorr_cert_mode_end_to_end() -> None:

@@ -1,0 +1,189 @@
+"""Groth16 hardening (malformed proofs) and batched verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProofError
+from repro.zksnark import CircuitDefinition, ConstraintSystem, Groth16Backend, Proof
+from repro.zksnark.mock import MockBackend
+
+
+class CubeCircuit(CircuitDefinition):
+    """x^3 + x + 5 == out."""
+
+    name = "cube-batch"
+
+    def example_instance(self):
+        return {"x": 3, "out": 35}
+
+    def synthesize(self, cs: ConstraintSystem, instance) -> None:
+        out = cs.alloc_public(instance["out"])
+        x = cs.alloc(instance["x"])
+        x2 = cs.mul(x, x)
+        x3 = cs.mul(x2, x)
+        cs.enforce_equal(x3 + x + 5, out)
+
+
+def _instance(x: int) -> dict:
+    return {"x": x, "out": x**3 + x + 5}
+
+
+@pytest.fixture(scope="module")
+def backend() -> Groth16Backend:
+    return Groth16Backend()
+
+@pytest.fixture(scope="module")
+def keys(backend):
+    return backend.setup(CubeCircuit(), seed=b"batch-test")
+
+
+@pytest.fixture(scope="module")
+def batch(backend, keys):
+    """Five valid (statement, proof) pairs for distinct instances."""
+    statements = []
+    proofs = []
+    for x in (1, 2, 3, 4, 5):
+        inst = _instance(x)
+        statements.append([inst["out"]])
+        proofs.append(backend.prove(keys.proving_key, CubeCircuit(), inst))
+    return statements, proofs
+
+
+# ----- malformed-proof hardening ------------------------------------------------------
+
+
+def test_rejects_infinity_proof_a(backend, keys, batch) -> None:
+    statements, proofs = batch
+    payload = proofs[0].payload
+    forged = Proof(backend="groth16", payload=b"\x00" * 64 + payload[64:])
+    assert not backend.verify(keys.verifying_key, statements[0], forged)
+
+
+def test_rejects_infinity_proof_b(backend, keys, batch) -> None:
+    statements, proofs = batch
+    payload = proofs[0].payload
+    forged = Proof(
+        backend="groth16", payload=payload[:64] + b"\x00" * 128 + payload[192:]
+    )
+    assert not backend.verify(keys.verifying_key, statements[0], forged)
+
+
+def test_rejects_infinity_proof_c(backend, keys, batch) -> None:
+    statements, proofs = batch
+    payload = proofs[0].payload
+    forged = Proof(backend="groth16", payload=payload[:192] + b"\x00" * 64)
+    assert not backend.verify(keys.verifying_key, statements[0], forged)
+
+
+def test_rejects_off_curve_proof_points(backend, keys, batch) -> None:
+    statements, proofs = batch
+    payload = proofs[0].payload
+    forged = Proof(backend="groth16", payload=b"\x01" * 64 + payload[64:])
+    assert not backend.verify(keys.verifying_key, statements[0], forged)
+
+
+def test_prove_rejects_mismatched_proving_key(backend, keys) -> None:
+    """A truncated H-query raises instead of silently dropping terms."""
+    from dataclasses import replace
+
+    truncated = replace(keys.proving_key, h_query=keys.proving_key.h_query[:1])
+    with pytest.raises(ProofError, match="H powers"):
+        backend.prove(truncated, CubeCircuit(), _instance(3))
+
+
+def test_prove_rejects_wire_count_mismatch(backend, keys) -> None:
+    from dataclasses import replace
+
+    clipped = replace(keys.proving_key, a_query=keys.proving_key.a_query[:-1])
+    with pytest.raises(ProofError, match="wire count"):
+        backend.prove(clipped, CubeCircuit(), _instance(3))
+
+
+# ----- batch verification -------------------------------------------------------------
+
+
+def test_batch_accepts_all_valid(backend, keys, batch) -> None:
+    statements, proofs = batch
+    assert backend.batch_verify(keys.verifying_key, statements, proofs)
+
+
+def test_batch_rejects_one_forged_proof(backend, keys, batch) -> None:
+    statements, proofs = batch
+    # a proof valid for a DIFFERENT statement, substituted into slot 2
+    swapped = list(proofs)
+    swapped[2] = proofs[3]
+    assert not backend.batch_verify(keys.verifying_key, statements, swapped)
+
+
+def test_batch_rejects_one_tampered_proof(backend, keys, batch) -> None:
+    statements, proofs = batch
+    flipped = bytearray(proofs[4].payload)
+    flipped[10] ^= 0x01
+    tampered = list(proofs)
+    tampered[4] = Proof(backend="groth16", payload=bytes(flipped))
+    assert not backend.batch_verify(keys.verifying_key, statements, tampered)
+
+
+def test_batch_rejects_wrong_statement(backend, keys, batch) -> None:
+    statements, proofs = batch
+    wrong = [list(s) for s in statements]
+    wrong[1][0] += 1
+    assert not backend.batch_verify(keys.verifying_key, wrong, proofs)
+
+
+def test_batch_empty_is_vacuously_valid(backend, keys) -> None:
+    assert backend.batch_verify(keys.verifying_key, [], [])
+
+
+def test_batch_single_falls_back_to_verify(backend, keys, batch) -> None:
+    statements, proofs = batch
+    assert backend.batch_verify(keys.verifying_key, statements[:1], proofs[:1])
+
+
+def test_batch_length_mismatch_raises(backend, keys, batch) -> None:
+    statements, proofs = batch
+    with pytest.raises(ProofError, match="length mismatch"):
+        backend.batch_verify(keys.verifying_key, statements[:2], proofs[:3])
+
+
+def test_batch_rejects_infinity_proof_in_batch(backend, keys, batch) -> None:
+    statements, proofs = batch
+    forged = list(proofs)
+    forged[0] = Proof(
+        backend="groth16", payload=b"\x00" * 64 + proofs[0].payload[64:]
+    )
+    assert not backend.batch_verify(keys.verifying_key, statements, forged)
+
+
+def test_mock_backend_inherits_default_batch_verify() -> None:
+    mock = MockBackend()
+    keys = mock.setup(CubeCircuit(), seed=b"mock-batch")
+    statements = []
+    proofs = []
+    for x in (1, 2, 3):
+        inst = _instance(x)
+        statements.append([inst["out"]])
+        proofs.append(mock.prove(keys.proving_key, CubeCircuit(), inst))
+    assert mock.batch_verify(keys.verifying_key, statements, proofs)
+    bad = list(proofs)
+    bad[1] = proofs[2]
+    assert not mock.batch_verify(keys.verifying_key, statements, bad)
+
+
+# ----- naive/optimized cross-compatibility --------------------------------------------
+
+
+def test_naive_mode_interoperates_with_optimized(keys, backend, batch) -> None:
+    statements, proofs = batch
+    naive = Groth16Backend(optimized=False)
+    assert naive.verify(keys.verifying_key, statements[0], proofs[0])
+    naive_proof = naive.prove(keys.proving_key, CubeCircuit(), _instance(2))
+    assert backend.verify(keys.verifying_key, statements[1], naive_proof)
+
+
+def test_naive_and_optimized_setup_agree(backend) -> None:
+    naive = Groth16Backend(optimized=False)
+    fast_keys = backend.setup(CubeCircuit(), seed=b"agree")
+    naive_keys = naive.setup(CubeCircuit(), seed=b"agree")
+    assert fast_keys.verifying_key.to_bytes() == naive_keys.verifying_key.to_bytes()

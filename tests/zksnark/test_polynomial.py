@@ -96,3 +96,45 @@ def test_basis_partition_of_unity() -> None:
 def test_trim() -> None:
     assert poly.trim([1, 2, 0, 0]) == [1, 2]
     assert poly.trim([0, 0]) == []
+
+
+def _schoolbook_mul(a, b):
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        for j, cb in enumerate(b):
+            out[i + j] += ca * cb
+    return poly.trim([c % FR.modulus for c in out])
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=FR.modulus - 1), max_size=80),
+    st.lists(st.integers(min_value=0, max_value=FR.modulus - 1), max_size=80),
+)
+@settings(max_examples=60, deadline=None)
+def test_karatsuba_matches_schoolbook(a, b) -> None:
+    assert poly.poly_mul(FR, a, b) == _schoolbook_mul(a, b)
+
+
+def test_karatsuba_above_threshold_unbalanced_shapes() -> None:
+    import random
+
+    rng = random.Random(11)
+    for la, lb in [(65, 33), (200, 40), (40, 200), (128, 128), (129, 127)]:
+        a = [rng.randrange(FR.modulus) for _ in range(la)]
+        b = [rng.randrange(FR.modulus) for _ in range(lb)]
+        assert poly.poly_mul(FR, a, b) == _schoolbook_mul(a, b)
+
+
+def test_vanishing_product_tree_has_all_roots() -> None:
+    import random
+
+    rng = random.Random(12)
+    points = [rng.randrange(FR.modulus) for _ in range(37)]
+    z = poly.vanishing_polynomial(FR, points)
+    assert len(z) == len(points) + 1  # monic, degree n
+    assert z[-1] == 1
+    for point in points:
+        assert poly.poly_eval(FR, z, point) == 0
+    assert poly.vanishing_polynomial(FR, []) == [1]
