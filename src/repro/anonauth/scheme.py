@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import observability as obs
 from repro.crypto.hashing import hash_to_int
 from repro.errors import AuthenticationError
 from repro.profiles import SecurityProfile, get_profile
@@ -247,23 +248,29 @@ class AnonymousAuthScheme:
             raise AuthenticationError(
                 f"message must be longer than the {PREFIX_LENGTH}-byte prefix"
             )
-        mimc = self.params.mimc
-        p_digest = prefix_digest(message[:PREFIX_LENGTH])
-        m_digest = message_digest(message)
-        t1 = mimc_hash_native([p_digest, keypair.secret_key], mimc)
-        t2 = mimc_hash_native([m_digest, keypair.secret_key], mimc)
-        instance = AuthInstance(
-            prefix_digest=p_digest,
-            message_digest=m_digest,
-            registry_commitment=registry_commitment,
-            t1=t1,
-            t2=t2,
-            secret_key=keypair.secret_key,
-            certificate=certificate,
-        )
-        proof = self._backend.prove(
-            self.params.keys.proving_key, self._circuit, instance
-        )
+        with obs.span(
+            "protocol.authenticate",
+            backend=self.params.backend_name,
+            message_bytes=len(message),
+        ):
+            mimc = self.params.mimc
+            p_digest = prefix_digest(message[:PREFIX_LENGTH])
+            m_digest = message_digest(message)
+            t1 = mimc_hash_native([p_digest, keypair.secret_key], mimc)
+            t2 = mimc_hash_native([m_digest, keypair.secret_key], mimc)
+            instance = AuthInstance(
+                prefix_digest=p_digest,
+                message_digest=m_digest,
+                registry_commitment=registry_commitment,
+                t1=t1,
+                t2=t2,
+                secret_key=keypair.secret_key,
+                certificate=certificate,
+            )
+            proof = self._backend.prove(
+                self.params.keys.proving_key, self._circuit, instance
+            )
+        obs.count("auth.attestations")
         return Attestation(
             t1=t1, t2=t2, proof=proof, registry_commitment=registry_commitment
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import abc
 from typing import List, Optional, Sequence
 
+from repro import observability as obs
 from repro.crypto import ecdsa
 from repro.crypto.hashing import keccak256
 from repro.errors import InvalidBlockError
@@ -52,6 +53,7 @@ class PoAEngine(ConsensusEngine):
     def validate_seal(self, header: BlockHeader) -> None:
         expected = self.expected_proposer(header.number)
         if header.miner != expected:
+            obs.count("consensus.seal_rejections")
             raise InvalidBlockError(
                 f"block {header.number} sealed by the wrong validator"
             )
@@ -59,9 +61,12 @@ class PoAEngine(ConsensusEngine):
             signature = ecdsa.ECDSASignature.from_bytes(header.seal)
             signer = ecdsa.recover_address(header.hash_without_seal(), signature)
         except Exception as exc:  # noqa: BLE001 - any failure is invalid
+            obs.count("consensus.seal_rejections")
             raise InvalidBlockError(f"unreadable PoA seal: {exc}") from exc
         if signer != expected:
+            obs.count("consensus.seal_rejections")
             raise InvalidBlockError("PoA seal signed by the wrong key")
+        obs.count("consensus.seals_validated")
 
 
 class SimulatedPoWEngine(ConsensusEngine):
@@ -88,4 +93,6 @@ class SimulatedPoWEngine(ConsensusEngine):
     def validate_seal(self, header: BlockHeader) -> None:
         digest = keccak256(header.hash_without_seal() + header.seal)
         if int.from_bytes(digest, "big") >= self._target:
+            obs.count("consensus.seal_rejections")
             raise InvalidBlockError("PoW seal does not meet the target")
+        obs.count("consensus.seals_validated")

@@ -12,6 +12,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import OutOfGasError
+from repro import observability as obs
+
+#: Gas ``reason`` strings → opcode-class metric suffix.  Keys are the
+#: first word of every reason the VM and contract runtime emit; the
+#: fallback class is ``other`` so new call sites never crash metering.
+_GAS_CLASSES = {
+    "intrinsic": "intrinsic",
+    "storage": "storage",
+    "balance": "storage",
+    "method": "call",
+    "nested": "call",
+    "static": "call",
+    "transfer": "transfer",
+    "event": "log",
+    "log": "log",
+    "snark_verify": "snark",
+    "snark_batch_verify": "snark",
+}
+
+
+def gas_class(reason: str) -> str:
+    """Map a consume() reason to its opcode class (for ``vm.gas.*``)."""
+    first = reason.split(" ", 1)[0] if reason else "other"
+    return _GAS_CLASSES.get(first, "other")
 
 
 @dataclass(frozen=True)
@@ -65,8 +89,11 @@ class GasMeter:
     def consume(self, amount: int, reason: str = "") -> None:
         if amount < 0:
             raise ValueError("gas amounts are non-negative")
+        if obs.TRACER.enabled:
+            obs.count(f"vm.gas.{gas_class(reason)}", amount)
         if self.used + amount > self.limit:
             self.used = self.limit
+            obs.count("vm.out_of_gas")
             raise OutOfGasError(
                 f"out of gas{f' while {reason}' if reason else ''}: "
                 f"limit {self.limit}"

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro import observability as obs
 from repro.errors import InvalidTransactionError
 from repro.chain.transaction import SignedTransaction
 
@@ -42,9 +43,17 @@ class Mempool:
         if not stx.verify_signature():
             raise InvalidTransactionError("refusing unsigned transaction")
         if stx.tx_hash in self._pool:
+            if obs.TRACER.enabled:
+                obs.count("mempool.duplicates")
             return False
         self._pool[stx.tx_hash] = stx
         self._arrival.append(stx.tx_hash)
+        if obs.TRACER.enabled:
+            obs.count("mempool.admitted")
+            obs.observe(
+                "mempool.depth", len(self._pool),
+                buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000),
+            )
         return True
 
     def remove(self, tx_hash: bytes) -> None:
@@ -76,6 +85,8 @@ class Mempool:
         for tx_hash in stale:
             self._pool.pop(tx_hash, None)
         self._maybe_compact()
+        if stale and obs.TRACER.enabled:
+            obs.count("mempool.evictions", len(stale))
         return len(stale)
 
     def contains(self, tx_hash: bytes) -> bool:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import observability as obs
 from repro.crypto import ecdsa
 from repro.errors import ChainError, InvalidBlockError, InvalidTransactionError
 from repro.chain.block import Block, BlockHeader, GENESIS_PARENT, transactions_root
@@ -196,35 +197,39 @@ class Node:
         if not self.is_miner:
             raise InvalidBlockError(f"node {self.name} is not a miner")
         parent = self.head_block
-        state = self.head_state.snapshot()
-        block_ctx = BlockContext(
-            number=parent.number + 1, timestamp=timestamp, coinbase=self.address
-        )
-        selected = self.mempool.select_for_block(self.genesis.gas_limit)
-        included: List[SignedTransaction] = []
-        gas_used = 0
-        for stx in selected:
-            try:
-                self.vm.validate_transaction(state, stx)
-            except InvalidTransactionError:
-                continue  # leave it out (it may become valid later)
-            receipt = self.vm.execute_transaction(state, stx, block_ctx)
-            gas_used += receipt.gas_used
-            included.append(stx)
-        header = BlockHeader(
-            number=parent.number + 1,
-            parent_hash=parent.block_hash,
-            timestamp=timestamp,
-            miner=self.address,
-            state_root=state.state_root(),
-            tx_root=transactions_root(included),
-            gas_used=gas_used,
-            gas_limit=self.genesis.gas_limit,
-        )
-        seal = self.engine.seal(header, self.keypair)
-        sealed = BlockHeader(**{**header.__dict__, "seal": seal})
-        block = Block(header=sealed, transactions=tuple(included))
-        self.import_block(block)
+        with obs.span(
+            "chain.create_block", node=self.name, number=parent.number + 1
+        ) as mine_span:
+            state = self.head_state.snapshot()
+            block_ctx = BlockContext(
+                number=parent.number + 1, timestamp=timestamp, coinbase=self.address
+            )
+            selected = self.mempool.select_for_block(self.genesis.gas_limit)
+            included: List[SignedTransaction] = []
+            gas_used = 0
+            for stx in selected:
+                try:
+                    self.vm.validate_transaction(state, stx)
+                except InvalidTransactionError:
+                    continue  # leave it out (it may become valid later)
+                receipt = self.vm.execute_transaction(state, stx, block_ctx)
+                gas_used += receipt.gas_used
+                included.append(stx)
+            header = BlockHeader(
+                number=parent.number + 1,
+                parent_hash=parent.block_hash,
+                timestamp=timestamp,
+                miner=self.address,
+                state_root=state.state_root(),
+                tx_root=transactions_root(included),
+                gas_used=gas_used,
+                gas_limit=self.genesis.gas_limit,
+            )
+            seal = self.engine.seal(header, self.keypair)
+            sealed = BlockHeader(**{**header.__dict__, "seal": seal})
+            block = Block(header=sealed, transactions=tuple(included))
+            mine_span.set_attrs(txs=len(included), gas_used=gas_used)
+            self.import_block(block)
         return block
 
     # ----- block import --------------------------------------------------------------------
@@ -235,6 +240,15 @@ class Node:
         self.import_attempts += 1
         if block.block_hash in self._blocks:
             return False
+        with obs.span(
+            "chain.import_block",
+            node=self.name,
+            number=block.number,
+            txs=len(block.transactions),
+        ):
+            return self._import_block_inner(block)
+
+    def _import_block_inner(self, block: Block) -> bool:
         parent_state = self._states.get(block.header.parent_hash)
         parent_block = self._blocks.get(block.header.parent_hash)
         if parent_state is None or parent_block is None:
@@ -277,6 +291,10 @@ class Node:
         self.mempool.drop_included(block.transactions)
         self._maybe_reorg(block)
         self.mempool.prune_stale(self.head_state)
+        if obs.TRACER.enabled:
+            obs.count("chain.blocks_imported")
+            obs.gauge_set("chain.height", self.height)
+            obs.gauge_set("chain.mempool_depth", len(self.mempool))
         return True
 
     def _maybe_reorg(self, candidate: Block) -> None:
@@ -317,6 +335,12 @@ class Node:
             self._canonical[block.number] = block.block_hash
         self._head = candidate.block_hash
         if orphaned:
+            if obs.TRACER.enabled:
+                obs.count("chain.reorgs")
+                obs.observe(
+                    "chain.reorg_depth", len(orphaned),
+                    buckets=(1, 2, 3, 5, 8, 13, 21),
+                )
             self._reinject_orphaned(orphaned, fork_height)
 
     def _reinject_orphaned(self, orphaned: List[Block], fork_height: int) -> None:

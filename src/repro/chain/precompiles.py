@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List
 
+from repro import observability as obs
 from repro.errors import ContractError
 from repro.chain.gas import GasMeter
 from repro.zksnark.backend import Proof, get_backend
@@ -67,10 +68,17 @@ def snark_verify_precompile(
     )
     backend = get_backend(proof.backend)
     started = time.perf_counter()
-    try:
-        result = backend.verify(verifying_key, list(public_inputs), proof)
-    finally:
-        SNARK_VERIFY_METRICS.record(time.perf_counter() - started)
+    with obs.span(
+        "chain.verify_proof", backend=proof.backend, inputs=len(public_inputs)
+    ):
+        try:
+            result = backend.verify(verifying_key, list(public_inputs), proof)
+        finally:
+            elapsed = time.perf_counter() - started
+            SNARK_VERIFY_METRICS.record(elapsed)
+            if obs.TRACER.enabled:
+                obs.count("chain.snark_verify.calls")
+                obs.observe("chain.snark_verify.seconds", elapsed)
     return result
 
 
@@ -121,10 +129,21 @@ def snark_batch_verify_precompile(
         return True
     backend = get_backend(next(iter(backends)))
     started = time.perf_counter()
-    try:
-        result = backend.batch_verify(
-            verifying_key, [list(s) for s in statements], list(proofs)
-        )
-    finally:
-        SNARK_BATCH_VERIFY_METRICS.record(time.perf_counter() - started)
+    with obs.span(
+        "chain.batch_verify_proof",
+        backend=next(iter(backends)),
+        proofs=len(proofs),
+        inputs=total_inputs,
+    ):
+        try:
+            result = backend.batch_verify(
+                verifying_key, [list(s) for s in statements], list(proofs)
+            )
+        finally:
+            elapsed = time.perf_counter() - started
+            SNARK_BATCH_VERIFY_METRICS.record(elapsed)
+            if obs.TRACER.enabled:
+                obs.count("chain.snark_batch_verify.calls")
+                obs.count("chain.snark_batch_verify.proofs", len(proofs))
+                obs.observe("chain.snark_batch_verify.seconds", elapsed)
     return result

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from repro import observability as obs
 from repro.crypto import ecdsa
 from repro.errors import ChainError
 from repro.chain.receipts import Receipt
@@ -71,6 +72,17 @@ class TxSender:
         self, tx: Transaction, keypair: ecdsa.ECDSAKeyPair
     ) -> SendReport:
         """Broadcast ``tx``, confirming it through drops and delays."""
+        with obs.span("txsender.send", nonce=tx.nonce) as send_span:
+            report = self._send_with_report(tx, keypair)
+            send_span.set_attrs(
+                attempts=report.attempts, blocks_waited=report.blocks_waited
+            )
+        self._record_report(report)
+        return report
+
+    def _send_with_report(
+        self, tx: Transaction, keypair: ecdsa.ECDSAKeyPair
+    ) -> SendReport:
         report = SendReport(final_gas_price=tx.gas_price)
         sender = keypair.address()
         current = tx
@@ -113,6 +125,17 @@ class TxSender:
         the identical bytes — idempotent because the chain dedupes by
         nonce and the mempool by hash.
         """
+        with obs.span(
+            "txsender.send", nonce=stx.transaction.nonce, signed=True
+        ) as send_span:
+            report, receipt = self._send_signed(stx)
+            send_span.set_attrs(
+                attempts=report.attempts, blocks_waited=report.blocks_waited
+            )
+        self._record_report(report)
+        return receipt
+
+    def _send_signed(self, stx: SignedTransaction):
         report = SendReport(tx_hashes=[stx.tx_hash])
         for _ in range(self.max_attempts):
             report.attempts += 1
@@ -122,11 +145,11 @@ class TxSender:
             self.testnet.send_transaction(stx)
             receipt = self._await_receipt(report)
             if receipt is not None:
-                return receipt
+                return report, receipt
             if self.testnet.any_node.nonce_of(stx.sender) > stx.transaction.nonce:
                 receipt = self._find_receipt(report.tx_hashes)
                 if receipt is not None:
-                    return receipt
+                    return report, receipt
                 raise TxAbandonedError(
                     "nonce consumed by a transaction that is not ours"
                 )
@@ -136,6 +159,18 @@ class TxSender:
         )
 
     # ----- internals ----------------------------------------------------------------
+
+    def _record_report(self, report: SendReport) -> None:
+        if not obs.TRACER.enabled:
+            return
+        obs.count("txsender.sends")
+        obs.count("txsender.attempts", report.attempts)
+        if report.attempts > 1:
+            obs.count("txsender.retries", report.attempts - 1)
+        obs.observe(
+            "txsender.blocks_waited", report.blocks_waited,
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+        )
 
     def _await_receipt(self, report: SendReport) -> Optional[Receipt]:
         receipt = self._find_receipt(report.tx_hashes)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from repro import observability as obs
 from repro.errors import (
     ChainError,
     ContractError,
@@ -67,6 +68,27 @@ class VM:
         self, state: WorldState, stx: SignedTransaction, block: BlockContext
     ) -> Receipt:
         """Validate and apply one transaction; always returns a receipt."""
+        with obs.span(
+            "vm.execute_tx",
+            kind="create" if stx.transaction.is_create else "call",
+            block=block.number,
+        ) as vm_span:
+            receipt = self._execute_transaction(state, stx, block)
+            vm_span.set_attrs(status=receipt.status, gas_used=receipt.gas_used)
+        if obs.TRACER.enabled:
+            obs.count("vm.transactions")
+            if receipt.status != STATUS_SUCCESS:
+                obs.count("vm.reverts")
+            obs.observe(
+                "vm.gas_used_per_tx", receipt.gas_used,
+                buckets=(25_000, 50_000, 100_000, 250_000, 500_000,
+                         1_000_000, 2_500_000, 5_000_000, 10_000_000),
+            )
+        return receipt
+
+    def _execute_transaction(
+        self, state: WorldState, stx: SignedTransaction, block: BlockContext
+    ) -> Receipt:
         self.validate_transaction(state, stx)
         tx = stx.transaction
         sender = stx.sender

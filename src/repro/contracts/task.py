@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, List
 
+from repro import observability as obs
 from repro.chain.address import ZERO_ADDRESS
 from repro.chain.contract import Contract, ContractRegistry, external, view
 from repro.anonauth.scheme import Attestation, attestation_statement, task_prefix
@@ -91,6 +92,7 @@ class TaskContract(Contract):
             num_answers=params_storage["num_answers"],
             description=params_storage["description"],
         )
+        obs.count("task.published")
 
     # ----- helpers -------------------------------------------------------------
 
@@ -142,6 +144,12 @@ class TaskContract(Contract):
         address, so a free-rider cannot re-send a broadcast answer from
         his own address.
         """
+        with obs.span("contract.submit_answer", task=self.address.hex()):
+            index = self._submit_answer(ciphertext_wire, attestation_wire)
+        obs.count("task.submissions")
+        return index
+
+    def _submit_answer(self, ciphertext_wire: bytes, attestation_wire: bytes) -> int:
         self.require(
             self.storage["phase"] == PHASE_COLLECTING, "task is not collecting"
         )
@@ -210,6 +218,18 @@ class TaskContract(Contract):
         proof_payload: bytes,
     ) -> None:
         """The requester's proved instruction R = (R_1..R_n)."""
+        with obs.span(
+            "contract.submit_reward_instruction", task=self.address.hex()
+        ):
+            self._submit_reward_instruction(
+                rewards, ok_flags, proof_backend, proof_payload
+            )
+        obs.count("task.reward_instructions")
+
+    def _submit_reward_instruction(
+        self, rewards: List[int], ok_flags: List[int], proof_backend: str,
+        proof_payload: bytes,
+    ) -> None:
         from repro.zksnark.backend import Proof
 
         self.require(
@@ -368,6 +388,16 @@ class TaskContract(Contract):
         an honest chain); auditors and light clients get an O(1)-pairing
         spot check of the whole task.
         """
+        with obs.span(
+            "contract.audit_submissions",
+            task=self.address.hex(),
+            answers=len(self.storage["ciphertexts"]),
+        ):
+            result = self._audit_submissions()
+        obs.count("task.audits")
+        return result
+
+    def _audit_submissions(self) -> bool:
         registry_address = self.storage["registry"]
         attestation_wires = self.storage["attestations"]
         ciphertext_wires = self.storage["ciphertexts"]

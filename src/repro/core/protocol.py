@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import observability as obs
 from repro.crypto import ecdsa
 from repro.crypto.hashing import sha256
 from repro.errors import ProtocolError
@@ -63,7 +64,14 @@ class TaskHandle:
 
     def audit_submissions(self) -> bool:
         """Batch-re-verify every accepted submission's attestation."""
-        return self.system.node.call(self.address, "audit_submissions")
+        with obs.span(
+            "protocol.audit", task=self.address.hex(), answers=self.answer_count()
+        ) as audit_span:
+            result = self.system.node.call(self.address, "audit_submissions")
+            audit_span.set_attrs(passed=bool(result))
+        if obs.TRACER.enabled:
+            obs.count("protocol.audits")
+        return result
 
 
 class ZebraLancerSystem:
@@ -160,22 +168,25 @@ class ZebraLancerSystem:
 
     def register_participant(self, identity: str, public_key: int) -> Certificate:
         """Register at the RA and publish the new commitment on-chain."""
-        certificate = self.authority.register(identity, public_key)
-        data = encode_call(
-            "update_commitment", [self.authority.registry_commitment()]
-        )
-        tx = Transaction(
-            nonce=self._ra_nonce,
-            gas_price=DEFAULT_GAS_PRICE,
-            gas_limit=DEFAULT_GAS_LIMIT,
-            to=self.registry_address,
-            value=0,
-            data=data,
-        )
-        self._ra_nonce += 1
-        receipt = self.send_reliable(tx, self._ra_key)
-        if not receipt.success:
-            raise ProtocolError(f"commitment update failed: {receipt.error}")
+        with obs.span("protocol.register", identity=identity):
+            certificate = self.authority.register(identity, public_key)
+            data = encode_call(
+                "update_commitment", [self.authority.registry_commitment()]
+            )
+            tx = Transaction(
+                nonce=self._ra_nonce,
+                gas_price=DEFAULT_GAS_PRICE,
+                gas_limit=DEFAULT_GAS_LIMIT,
+                to=self.registry_address,
+                value=0,
+                data=data,
+            )
+            self._ra_nonce += 1
+            receipt = self.send_reliable(tx, self._ra_key)
+            if not receipt.success:
+                raise ProtocolError(f"commitment update failed: {receipt.error}")
+        if obs.TRACER.enabled:
+            obs.count("protocol.registrations")
         return certificate
 
     def current_certificate(self, public_key: int) -> Certificate:

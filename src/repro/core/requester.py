@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import observability as obs
 from repro.crypto.hashing import sha256
 from repro.errors import DecryptionError, ProtocolError
 from repro.anonauth.keys import UserKeyPair
@@ -80,6 +81,26 @@ class Requester:
         submissions_per_worker: int = 1,
     ) -> TaskHandle:
         """Announce a task (deploying its contract with the budget)."""
+        with obs.span(
+            "requester.publish_task", requester=self.identity, answers=num_answers
+        ):
+            handle = self._publish_task(
+                policy, description, num_answers, budget, answer_window,
+                instruction_window, rsa_bits, submissions_per_worker,
+            )
+        return handle
+
+    def _publish_task(
+        self,
+        policy: RewardPolicy,
+        description: str,
+        num_answers: int,
+        budget: int,
+        answer_window: int,
+        instruction_window: int,
+        rsa_bits: int,
+        submissions_per_worker: int,
+    ) -> TaskHandle:
         system = self.system
         label = f"{self.identity}/task-{self._task_counter}"
         self._task_counter += 1
@@ -179,6 +200,16 @@ class Requester:
 
     def evaluate_and_reward(self, handle: TaskHandle) -> Receipt:
         """Compute rewards per the policy, prove, and instruct the contract."""
+        with obs.span(
+            "protocol.reward", requester=self.identity, task=handle.address.hex()
+        ) as reward_span:
+            receipt = self._evaluate_and_reward(handle)
+            reward_span.set_attrs(status=receipt.status)
+        if obs.TRACER.enabled:
+            obs.count("protocol.rewards")
+        return receipt
+
+    def _evaluate_and_reward(self, handle: TaskHandle) -> Receipt:
         system = self.system
         record = self._record(handle)
         answers, keys, flags = self.decrypt_answers(handle)

@@ -11,6 +11,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro import observability as obs
 from repro.crypto.hashing import sha256
 from repro.crypto.rsa import RSAPublicKey
 from repro.errors import ProtocolError
@@ -97,6 +98,20 @@ class Worker:
             if isinstance(handle_or_address, TaskHandle)
             else handle_or_address
         )
+        with obs.span(
+            "protocol.submit", worker=self.identity, task=task_address.hex()
+        ):
+            record = self._submit_answer(task_address, answer_fields, validate)
+        if obs.TRACER.enabled:
+            obs.count("protocol.submissions")
+        return record
+
+    def _submit_answer(
+        self,
+        task_address: bytes,
+        answer_fields: Sequence[int],
+        validate: bool,
+    ) -> SubmissionRecord:
         system = self.system
         params = (
             self.validate_task(task_address)

@@ -1,0 +1,87 @@
+"""Exporters: JSON-lines span logs and the Prometheus text dump.
+
+The JSON-lines format is one span per line (the dict shape of
+:meth:`repro.observability.tracer.Span.to_dict`), append-friendly and
+parseable back into the same dicts — the round-trip is asserted in
+``tests/observability/test_tracer.py`` and the CI e2e run uploads one
+of these files as a build artifact.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import IO, Any, Dict, Iterable, List, Union
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Span
+
+PathOrFile = Union[str, IO[str]]
+
+
+def spans_to_jsonl(spans: Iterable[Union[Span, Dict[str, Any]]]) -> str:
+    """Serialize finished spans (or span dicts) to a JSON-lines string."""
+    return "".join(
+        json.dumps(
+            span.to_dict() if isinstance(span, Span) else span,
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        + "\n"
+        for span in spans
+    )
+
+
+def write_spans_jsonl(
+    spans: Iterable[Union[Span, Dict[str, Any]]], destination: PathOrFile
+) -> int:
+    """Write spans as JSON-lines; returns the number of spans written."""
+    text = spans_to_jsonl(spans)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return text.count("\n")
+
+
+def read_spans_jsonl(source: PathOrFile) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines span log back into span dicts."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _parse_lines(handle)
+    return _parse_lines(source)
+
+
+def _parse_lines(handle: IO[str]) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad span record on line {line_number}: {exc}") from exc
+        if not isinstance(record, dict) or "name" not in record:
+            raise ValueError(f"span record on line {line_number} is not a span dict")
+        records.append(record)
+    return records
+
+
+def write_prometheus(registry: MetricsRegistry, destination: PathOrFile) -> str:
+    """Dump the registry in the Prometheus text format; returns the text."""
+    text = registry.render_prometheus()
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return text
+
+
+def render_to_string(registry: MetricsRegistry) -> str:
+    """Convenience: the Prometheus dump as a string."""
+    buffer = io.StringIO()
+    write_prometheus(registry, buffer)
+    return buffer.getvalue()

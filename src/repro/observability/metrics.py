@@ -1,0 +1,231 @@
+"""A metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Metric naming follows the Prometheus convention (dot-separated here,
+rendered with underscores by the exporter): ``chain.reorg_depth``,
+``snark.verify_seconds``, ``vm.gas.storage``.  All three instrument
+types are lock-protected; the hot paths only reach them behind the
+observability enabled flag, so a disabled system pays one attribute
+read per call site.
+
+Histograms are fixed-bucket (cumulative, Prometheus-style): a bucket
+list ``(0.01, 0.1, 1)`` yields counts for ``le=0.01``, ``le=0.1``,
+``le=1`` and ``le=+Inf``, plus a running sum and count.  Buckets are
+set at first registration; later registrations reuse the existing
+instrument (so call sites don't need to coordinate).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets in seconds (sub-ms to tens of seconds).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Default size/depth buckets (mempool depth, batch sizes, reorg depth).
+DEFAULT_DEPTH_BUCKETS: Tuple[float, ...] = (
+    1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (mempool depth, chain height)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self.value: float = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (Prometheus semantics)."""
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help_text: str = "",
+    ) -> None:
+        if not buckets:
+            raise ValueError("histograms need at least one bucket boundary")
+        ordered = sorted(float(b) for b in buckets)
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("histogram bucket boundaries must be distinct")
+        self.name = name
+        self.help_text = help_text
+        self.buckets: Tuple[float, ...] = tuple(ordered)
+        # counts[i] is the number of observations <= buckets[i];
+        # counts[-1] (the +Inf bucket) equals count.
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            for i in range(index, len(self.counts)):
+                self.counts[i] += 1
+            self.sum += value
+            self.count += 1
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative counts keyed by upper bound (``+Inf`` last)."""
+        labels = [repr(b) for b in self.buckets] + ["+Inf"]
+        return dict(zip(labels, self.counts))
+
+    def quantile(self, q: float) -> float:
+        """The upper bound of the bucket holding the q-quantile.
+
+        Bucketed quantiles are upper bounds, not interpolations — good
+        enough for dashboards, documented so nobody mistakes them for
+        exact order statistics.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for boundary, cumulative in zip(self.buckets, self.counts):
+            if cumulative >= rank:
+                return boundary
+        return float("inf")
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name, help_text)
+            return instrument
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name, help_text)
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help_text: str = "",
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets or DEFAULT_LATENCY_BUCKETS, help_text
+                )
+            return instrument
+
+    def reset(self) -> None:
+        """Forget every instrument (tests isolate through this)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ----- read-side ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict dump of every instrument (JSON-friendly)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: {
+                    "buckets": h.bucket_counts(),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in sorted(histograms.items())
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """The text exposition format (``# TYPE`` lines + samples)."""
+        lines: List[str] = []
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        for name, counter in counters:
+            flat = _flatten(name)
+            if counter.help_text:
+                lines.append(f"# HELP {flat} {counter.help_text}")
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {counter.value}")
+        for name, gauge in gauges:
+            flat = _flatten(name)
+            if gauge.help_text:
+                lines.append(f"# HELP {flat} {gauge.help_text}")
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_format_value(gauge.value)}")
+        for name, histogram in histograms:
+            flat = _flatten(name)
+            if histogram.help_text:
+                lines.append(f"# HELP {flat} {histogram.help_text}")
+            lines.append(f"# TYPE {flat} histogram")
+            for boundary, cumulative in zip(histogram.buckets, histogram.counts):
+                lines.append(
+                    f'{flat}_bucket{{le="{_format_value(boundary)}"}} {cumulative}'
+                )
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {histogram.counts[-1]}')
+            lines.append(f"{flat}_sum {_format_value(histogram.sum)}")
+            lines.append(f"{flat}_count {histogram.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _flatten(name: str) -> str:
+    """``chain.reorg_depth`` → ``chain_reorg_depth`` (Prometheus-legal)."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)

@@ -20,6 +20,7 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import observability as obs
 from repro.errors import ProofError
 from repro.zksnark.circuit import ConstraintSystem
 from repro.zksnark.field import FR, PrimeField
@@ -157,10 +158,18 @@ class ProvingBackend(abc.ABC):
                 f"batch length mismatch: {len(statements)} statements "
                 f"vs {len(proofs)} proofs"
             )
-        return all(
-            self.verify(verifying_key, list(statement), proof)
-            for statement, proof in zip(statements, proofs)
-        )
+        with obs.span(
+            "snark.batch_verify", backend=self.name, proofs=len(proofs)
+        ) as batch_span:
+            result = all(
+                self.verify(verifying_key, list(statement), proof)
+                for statement, proof in zip(statements, proofs)
+            )
+            batch_span.set_attrs(valid=result)
+        if obs.TRACER.enabled:
+            obs.count("snark.batch_verify.calls")
+            obs.count("snark.batch_verify.proofs", len(proofs))
+        return result
 
     def _check_backend(self, proof: Proof) -> None:
         if proof.backend != self.name:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro import observability as obs
 from repro.zksnark.bn128.fq import CURVE_ORDER, FIELD_MODULUS
 from repro.zksnark.bn128.fq2 import FQ2
 
@@ -377,6 +378,8 @@ def g1_msm(points, scalars) -> G1Point:
     a silent ``zip`` truncation here would drop terms and produce a
     wrong (e.g. unprovable or unsound) group element.
     """
+    if obs.TRACER.enabled:
+        obs.count("snark.msm.g1_calls")
     pairs = _msm_pairs(points, scalars, lambda p: (p[0], p[1], 1))
     if not pairs:
         return None
@@ -390,6 +393,8 @@ def g1_msm(points, scalars) -> G1Point:
 
 def g1_msm_naive(points, scalars) -> G1Point:
     """Per-point double-and-add accumulation; the MSM reference oracle."""
+    if obs.TRACER.enabled:
+        obs.count("snark.msm.g1_naive_calls")
     points = list(points)
     scalars = list(scalars)
     if len(points) != len(scalars):
@@ -414,6 +419,8 @@ def g1_msm_naive(points, scalars) -> G1Point:
 
 def g2_msm(points, scalars) -> G2Point:
     """Multi-scalar multiplication Σ s_i·P_i on G2 (Pippenger)."""
+    if obs.TRACER.enabled:
+        obs.count("snark.msm.g2_calls")
     pairs = _msm_pairs(points, scalars, _g2_to_jac)
     if not pairs:
         return None
@@ -427,6 +434,8 @@ def g2_msm(points, scalars) -> G2Point:
 
 def g2_msm_naive(points, scalars) -> G2Point:
     """Per-point scalar multiplication accumulation; reference oracle."""
+    if obs.TRACER.enabled:
+        obs.count("snark.msm.g2_naive_calls")
     points = list(points)
     scalars = list(scalars)
     if len(points) != len(scalars):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import observability as obs
 from repro.zksnark.bn128.curve import G1Point, G2Point, g2_add, g2_double, g2_neg
 from repro.zksnark.bn128.fq import CURVE_ORDER, FIELD_MODULUS
 from repro.zksnark.bn128.fq2 import FQ2
@@ -200,6 +201,9 @@ def final_exponentiate(value: FQ12) -> FQ12:
 
 def pairing(q_point, p_point: G1Point) -> FQ12:
     """The optimal ate pairing e(P, Q) ∈ μ_r ⊂ FQ12."""
+    if obs.TRACER.enabled:
+        obs.count("snark.pairing.calls")
+        obs.count("snark.pairing.miller_loops")
     return final_exponentiate(miller_loop(q_point, p_point))
 
 
@@ -211,6 +215,10 @@ def multi_pairing(pairs) -> FQ12:
     and how :meth:`Groth16Backend.batch_verify` amortizes n proofs into
     one product.
     """
+    pairs = list(pairs)
+    if obs.TRACER.enabled:
+        obs.count("snark.pairing.multi_calls")
+        obs.count("snark.pairing.miller_loops", len(pairs))
     acc = FQ12.one()
     for q_point, p_point in pairs:
         if not isinstance(q_point, G2Prepared):
@@ -303,6 +311,10 @@ def pairing_naive(q_point: G2Point, p_point: G1Point) -> FQ12:
 
 def multi_pairing_naive(pairs) -> FQ12:
     """Reference multi-pairing (naive Miller loops, naive exponent)."""
+    pairs = list(pairs)
+    if obs.TRACER.enabled:
+        obs.count("snark.pairing.multi_naive_calls")
+        obs.count("snark.pairing.miller_loops", len(pairs))
     acc = FQ12.one()
     for q_point, p_point in pairs:
         acc = acc * miller_loop_naive(q_point, p_point)

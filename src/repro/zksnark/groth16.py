@@ -31,6 +31,7 @@ import secrets
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
+from repro import observability as obs
 from repro.crypto.hashing import sha256
 from repro.errors import ProofError
 from repro.zksnark.backend import (
@@ -233,6 +234,17 @@ class Groth16Backend(ProvingBackend):
         self._jobs = max(1, jobs)
 
     def setup(self, circuit: CircuitDefinition, seed: Optional[bytes] = None) -> KeyPair:
+        with obs.span(
+            "snark.setup",
+            backend=self.name,
+            circuit=circuit.name,
+            optimized=self._optimized,
+        ):
+            keys = self._setup(circuit, seed)
+        obs.count("snark.setup.calls")
+        return keys
+
+    def _setup(self, circuit: CircuitDefinition, seed: Optional[bytes]) -> KeyPair:
         if circuit.requires_ideal_backend:
             raise ProofError(
                 f"circuit {circuit.name!r} declares native predicates that "
@@ -346,6 +358,23 @@ class Groth16Backend(ProvingBackend):
         instance: Any,
         rng: Optional[_Drbg] = None,
     ) -> Proof:
+        with obs.span(
+            "snark.prove",
+            backend=self.name,
+            circuit=circuit.name,
+            optimized=self._optimized,
+        ):
+            proof = self._prove(proving_key, circuit, instance, rng)
+        obs.count("snark.prove.calls")
+        return proof
+
+    def _prove(
+        self,
+        proving_key: Groth16ProvingKey,
+        circuit: CircuitDefinition,
+        instance: Any,
+        rng: Optional[_Drbg],
+    ) -> Proof:
         cs = circuit.build(instance)
         r1cs = cs.to_r1cs()
         if full_circuit_digest(circuit, r1cs) != proving_key.circuit_digest:
@@ -448,6 +477,26 @@ class Groth16Backend(ProvingBackend):
         public_inputs: List[int],
         proof: Proof,
     ) -> bool:
+        with obs.span(
+            "snark.verify",
+            backend=self.name,
+            inputs=len(public_inputs),
+            optimized=self._optimized,
+        ) as verify_span:
+            result = self._verify(verifying_key, public_inputs, proof)
+            verify_span.set_attrs(valid=result)
+        if obs.TRACER.enabled:
+            obs.count("snark.verify.calls")
+            if not result:
+                obs.count("snark.verify.rejections")
+        return result
+
+    def _verify(
+        self,
+        verifying_key: Groth16VerifyingKey,
+        public_inputs: List[int],
+        proof: Proof,
+    ) -> bool:
         self._check_backend(proof)
         if len(public_inputs) != verifying_key.num_public:
             return False
@@ -505,6 +554,22 @@ class Groth16Backend(ProvingBackend):
         Returns False on any malformed proof; raises
         :class:`ProofError` when statements and proofs differ in length.
         """
+        with obs.span(
+            "snark.batch_verify", backend=self.name, proofs=len(proofs)
+        ) as batch_span:
+            result = self._batch_verify(verifying_key, statements, proofs)
+            batch_span.set_attrs(valid=result)
+        if obs.TRACER.enabled:
+            obs.count("snark.batch_verify.calls")
+            obs.count("snark.batch_verify.proofs", len(proofs))
+        return result
+
+    def _batch_verify(
+        self,
+        verifying_key: Groth16VerifyingKey,
+        statements: Sequence[List[int]],
+        proofs: Sequence[Proof],
+    ) -> bool:
         if len(statements) != len(proofs):
             raise ProofError(
                 f"batch length mismatch: {len(statements)} statements "

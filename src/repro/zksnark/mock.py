@@ -24,6 +24,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+from repro import observability as obs
 from repro.crypto.hashing import sha256
 from repro.errors import ProofError
 from repro.serialization import encode
@@ -64,15 +65,25 @@ class MockBackend(ProvingBackend):
     name = "mock"
 
     def setup(self, circuit: CircuitDefinition, seed: Optional[bytes] = None) -> KeyPair:
-        cs = circuit.build(circuit.example_instance())
-        cs.check_satisfied()
-        digest = full_circuit_digest(circuit, cs.to_r1cs())
-        mac_key = sha256(b"mock-snark-key", seed if seed is not None else secrets.token_bytes(32), digest)
-        proving_key = MockProvingKey(digest, cs.num_public, mac_key)
-        verifying_key = MockVerifyingKey(digest, cs.num_public, mac_key)
+        with obs.span("snark.setup", backend=self.name, circuit=circuit.name):
+            cs = circuit.build(circuit.example_instance())
+            cs.check_satisfied()
+            digest = full_circuit_digest(circuit, cs.to_r1cs())
+            mac_key = sha256(b"mock-snark-key", seed if seed is not None else secrets.token_bytes(32), digest)
+            proving_key = MockProvingKey(digest, cs.num_public, mac_key)
+            verifying_key = MockVerifyingKey(digest, cs.num_public, mac_key)
+        obs.count("snark.setup.calls")
         return KeyPair(proving_key=proving_key, verifying_key=verifying_key)
 
     def prove(
+        self, proving_key: MockProvingKey, circuit: CircuitDefinition, instance: Any
+    ) -> Proof:
+        with obs.span("snark.prove", backend=self.name, circuit=circuit.name):
+            proof = self._prove(proving_key, circuit, instance)
+        obs.count("snark.prove.calls")
+        return proof
+
+    def _prove(
         self, proving_key: MockProvingKey, circuit: CircuitDefinition, instance: Any
     ) -> Proof:
         cs = circuit.build(instance)
@@ -89,6 +100,20 @@ class MockBackend(ProvingBackend):
         return Proof(backend=self.name, payload=payload)
 
     def verify(
+        self, verifying_key: MockVerifyingKey, public_inputs: List[int], proof: Proof
+    ) -> bool:
+        with obs.span(
+            "snark.verify", backend=self.name, inputs=len(public_inputs)
+        ) as verify_span:
+            result = self._verify(verifying_key, public_inputs, proof)
+            verify_span.set_attrs(valid=result)
+        if obs.TRACER.enabled:
+            obs.count("snark.verify.calls")
+            if not result:
+                obs.count("snark.verify.rejections")
+        return result
+
+    def _verify(
         self, verifying_key: MockVerifyingKey, public_inputs: List[int], proof: Proof
     ) -> bool:
         self._check_backend(proof)

@@ -1,0 +1,177 @@
+"""Metrics registry semantics: counters, gauges, histogram buckets,
+Prometheus rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.observability.export import render_to_string
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ----- counters / gauges ---------------------------------------------------------
+
+
+def test_counter_accumulates_and_rejects_negative() -> None:
+    counter = Counter("tx.count")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 42
+
+
+def test_gauge_set_and_add() -> None:
+    gauge = Gauge("mempool.depth")
+    gauge.set(7)
+    gauge.add(-2)
+    assert gauge.value == 5
+
+
+# ----- histogram bucket boundaries ----------------------------------------------
+
+
+def test_histogram_boundary_values_land_in_their_bucket() -> None:
+    """Prometheus ``le`` semantics: a value EQUAL to a boundary counts
+    in that bucket (less-than-or-equal)."""
+    h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+    h.observe(0.1)   # == first boundary → le=0.1
+    h.observe(1.0)   # == second boundary → le=1.0
+    h.observe(10.0)  # == last boundary → le=10.0
+    counts = h.bucket_counts()
+    assert counts["0.1"] == 1
+    assert counts["1.0"] == 2   # cumulative: 0.1 and 1.0
+    assert counts["10.0"] == 3
+    assert counts["+Inf"] == 3
+
+
+def test_histogram_overflow_goes_to_inf_only() -> None:
+    h = Histogram("latency", buckets=(1.0,))
+    h.observe(5.0)
+    counts = h.bucket_counts()
+    assert counts["1.0"] == 0
+    assert counts["+Inf"] == 1
+    assert h.count == 1
+    assert h.sum == 5.0
+
+
+def test_histogram_counts_are_cumulative_and_sum_tracks() -> None:
+    h = Histogram("gas", buckets=(10, 100, 1000))
+    for value in (5, 50, 500, 5000):
+        h.observe(value)
+    assert h.counts == [1, 2, 3, 4]
+    assert h.sum == 5555
+    assert h.count == 4
+
+
+def test_histogram_buckets_sorted_and_distinct() -> None:
+    h = Histogram("x", buckets=(10, 1, 5))
+    assert h.buckets == (1.0, 5.0, 10.0)
+    with pytest.raises(ValueError):
+        Histogram("dup", buckets=(1, 1, 2))
+    with pytest.raises(ValueError):
+        Histogram("empty", buckets=())
+
+
+def test_histogram_quantile_upper_bounds() -> None:
+    h = Histogram("q", buckets=(1, 2, 4, 8))
+    for value in (0.5, 1.5, 3, 6):
+        h.observe(value)
+    assert h.quantile(0.25) == 1
+    assert h.quantile(0.5) == 2
+    assert h.quantile(1.0) == 8
+    h.observe(100)  # beyond the last bucket
+    assert h.quantile(1.0) == math.inf
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_quantile_of_empty_is_zero() -> None:
+    assert Histogram("empty", buckets=(1,)).quantile(0.5) == 0.0
+
+
+# ----- registry -----------------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_instrument() -> None:
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    first = registry.histogram("h", buckets=(1, 2))
+    again = registry.histogram("h", buckets=(999,))  # ignored: first wins
+    assert again is first
+    assert again.buckets == (1.0, 2.0)
+
+
+def test_registry_snapshot_shape() -> None:
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h", buckets=(1,)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"c": 3}
+    assert snap["gauges"] == {"g": 1.5}
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["histograms"]["h"]["sum"] == 0.5
+    assert snap["histograms"]["h"]["buckets"] == {"1.0": 1, "+Inf": 1}
+
+
+def test_registry_reset_forgets_instruments() -> None:
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.reset()
+    assert registry.snapshot()["counters"] == {}
+    assert registry.counter("c").value == 0  # a fresh instrument
+
+
+# ----- Prometheus text format ----------------------------------------------------
+
+
+def test_prometheus_render_counter_and_gauge() -> None:
+    registry = MetricsRegistry()
+    registry.counter("chain.blocks_imported", help_text="imported blocks").inc(7)
+    registry.gauge("chain.height").set(12)
+    text = registry.render_prometheus()
+    assert "# HELP chain_blocks_imported imported blocks" in text
+    assert "# TYPE chain_blocks_imported counter" in text
+    assert "chain_blocks_imported 7" in text
+    assert "# TYPE chain_height gauge" in text
+    assert "chain_height 12" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_render_histogram_le_labels() -> None:
+    registry = MetricsRegistry()
+    h = registry.histogram("snark.verify.seconds", buckets=(0.5, 2.0))
+    h.observe(0.25)
+    h.observe(1.0)
+    h.observe(9.0)
+    text = registry.render_prometheus()
+    assert "# TYPE snark_verify_seconds histogram" in text
+    assert 'snark_verify_seconds_bucket{le="0.5"} 1' in text
+    assert 'snark_verify_seconds_bucket{le="2"} 2' in text
+    assert 'snark_verify_seconds_bucket{le="+Inf"} 3' in text
+    assert "snark_verify_seconds_sum 10.25" in text
+    assert "snark_verify_seconds_count 3" in text
+
+
+def test_prometheus_names_are_flattened() -> None:
+    registry = MetricsRegistry()
+    registry.counter("vm.gas.storage-io").inc()
+    text = registry.render_prometheus()
+    assert "vm_gas_storage_io 1" in text
+    assert "." not in text.split("# TYPE ")[1].split(" ")[0]
+
+
+def test_render_to_string_matches_registry_render() -> None:
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    assert render_to_string(registry) == registry.render_prometheus()

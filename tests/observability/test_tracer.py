@@ -1,0 +1,211 @@
+"""Span tracer semantics: nesting, attrs, clocks, JSONL round-trip."""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro import observability as obs
+from repro.observability import NULL_SPAN, NullSpan, Span, Tracer
+from repro.observability.export import (
+    read_spans_jsonl,
+    spans_to_jsonl,
+    write_spans_jsonl,
+)
+
+
+class FakeClock:
+    """A deterministic, manually advanced clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def tick(self, seconds: float = 1.0) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    t = Tracer()
+    t.enable()
+    return t
+
+
+def test_disabled_tracer_returns_shared_null_span() -> None:
+    t = Tracer()
+    assert t.enabled is False
+    s1 = t.span("anything", attr=1)
+    s2 = t.span("else")
+    assert s1 is NULL_SPAN and s2 is NULL_SPAN
+    assert isinstance(s1, NullSpan)
+    with s1 as inner:
+        inner.set_attrs(ignored=True)  # must be a silent no-op
+    assert t.finished_spans() == []
+
+
+def test_span_records_name_attrs_and_duration(tracer: Tracer) -> None:
+    clock = FakeClock()
+    tracer.set_clock(clock)
+    with tracer.span("chain.verify_proof", inputs=5) as span:
+        clock.tick(2.5)
+        span.set_attrs(valid=True)
+    (finished,) = tracer.finished_spans()
+    assert finished.name == "chain.verify_proof"
+    assert finished.attrs == {"inputs": 5, "valid": True}
+    assert finished.start == 0.0
+    assert finished.end == 2.5
+    assert finished.duration == 2.5
+    assert finished.status == "ok"
+
+
+def test_nested_spans_record_parent_ids(tracer: Tracer) -> None:
+    clock = FakeClock()
+    tracer.set_clock(clock)
+    with tracer.span("outer") as outer:
+        clock.tick()
+        with tracer.span("middle") as middle:
+            clock.tick()
+            with tracer.span("inner") as inner:
+                clock.tick()
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["outer"].parent_id is None
+    assert spans["middle"].parent_id == spans["outer"].span_id
+    assert spans["inner"].parent_id == spans["middle"].span_id
+    # Completion order: innermost finishes first.
+    assert [s.name for s in tracer.finished_spans()] == [
+        "inner", "middle", "outer",
+    ]
+    # Sibling after the nest links back to the root, not to the nest.
+    with tracer.span("outer2") as outer2:
+        assert outer2.parent_id is None
+
+
+def test_span_records_error_status_and_reraises(tracer: Tracer) -> None:
+    with pytest.raises(ValueError):
+        with tracer.span("explodes"):
+            raise ValueError("boom")
+    (finished,) = tracer.finished_spans()
+    assert finished.status == "error:ValueError"
+
+
+def test_current_span_tracks_the_open_span(tracer: Tracer) -> None:
+    assert tracer.current_span() is None
+    with tracer.span("a") as a:
+        assert tracer.current_span() is a
+        with tracer.span("b") as b:
+            assert tracer.current_span() is b
+        assert tracer.current_span() is a
+    assert tracer.current_span() is None
+
+
+def test_threads_get_independent_ancestry(tracer: Tracer) -> None:
+    parents = {}
+
+    def worker(label: str) -> None:
+        with tracer.span(f"root-{label}") as root:
+            parents[label] = root.parent_id
+            with tracer.span(f"child-{label}") as child:
+                parents[f"child-{label}"] = child.parent_id
+
+    threads = [threading.Thread(target=worker, args=(str(i),)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for i in range(4):
+        assert parents[str(i)] is None  # each thread roots its own tree
+        assert parents[f"child-{i}"] is not None
+    assert len(tracer.finished_spans()) == 8
+
+
+def test_set_clock_accepts_callable_and_now_object() -> None:
+    t = Tracer()
+    t.enable()
+    t.set_clock(lambda: 42.0)
+    with t.span("x"):
+        pass
+    assert t.finished_spans()[0].start == 42.0
+    t.set_clock(FakeClock())
+    with t.span("y"):
+        pass
+    assert t.finished_spans()[1].start == 0.0
+    with pytest.raises(TypeError):
+        t.set_clock(object())
+    t.set_clock(None)  # back to the wall clock without error
+
+
+def test_reset_drops_finished_spans(tracer: Tracer) -> None:
+    with tracer.span("gone"):
+        pass
+    tracer.reset()
+    assert tracer.finished_spans() == []
+
+
+def test_spans_named_filters(tracer: Tracer) -> None:
+    for name in ("a", "b", "a"):
+        with tracer.span(name):
+            pass
+    assert len(tracer.spans_named("a")) == 2
+    assert len(tracer.spans_named("b")) == 1
+    assert tracer.spans_named("zzz") == []
+
+
+def test_jsonl_round_trip(tracer: Tracer) -> None:
+    clock = FakeClock()
+    tracer.set_clock(clock)
+    with tracer.span("outer", kind="test"):
+        clock.tick(3.0)
+        with tracer.span("inner", depth=2):
+            clock.tick(1.0)
+    spans = tracer.finished_spans()
+    buffer = io.StringIO()
+    count = write_spans_jsonl(spans, buffer)
+    assert count == 2
+    parsed = read_spans_jsonl(io.StringIO(buffer.getvalue()))
+    assert parsed == [span.to_dict() for span in spans]
+    # A dict already round-tripped serializes identically.
+    assert spans_to_jsonl(parsed) == buffer.getvalue()
+
+
+def test_jsonl_round_trip_via_file(tracer: Tracer, tmp_path) -> None:
+    with tracer.span("only"):
+        pass
+    path = str(tmp_path / "trace.jsonl")
+    assert write_spans_jsonl(tracer.finished_spans(), path) == 1
+    (record,) = read_spans_jsonl(path)
+    assert record["name"] == "only"
+    assert record["pid"] == tracer.finished_spans()[0].pid
+
+
+def test_read_spans_jsonl_rejects_garbage(tmp_path) -> None:
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"name": "ok"}\nnot json\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="line 2"):
+        read_spans_jsonl(str(bad))
+    bad.write_text('["a", "list"]\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="not a span dict"):
+        read_spans_jsonl(str(bad))
+
+
+def test_global_helpers_respect_the_switch() -> None:
+    obs.reset()
+    obs.disable()
+    with obs.span("ignored", x=1):
+        pass
+    obs.count("ignored.counter")
+    obs.observe("ignored.histogram", 1.0)
+    obs.gauge_set("ignored.gauge", 1.0)
+    assert obs.TRACER.finished_spans() == []
+    assert obs.METRICS.snapshot()["counters"] == {}
+    try:
+        obs.enable()
+        with obs.span("seen", x=1):
+            pass
+        obs.count("seen.counter")
+        assert len(obs.TRACER.finished_spans()) == 1
+        assert obs.METRICS.snapshot()["counters"]["seen.counter"] == 1
+    finally:
+        obs.reset()
+        obs.disable()

@@ -1,0 +1,255 @@
+"""Differential sweep: optimized Groth16/BN128 paths vs naive references.
+
+~100 seeded cases asserting the optimized implementations (Pippenger
+MSMs, prepared-pairing multi-pairing, random-linear-combination
+``batch_verify``) agree bit-for-bit with the retained naive reference
+paths — including on corrupted proofs, where BOTH must reject.
+
+All randomness comes from seeded :class:`random.Random` instances, so a
+disagreement is reproducible from the failing case index alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.zksnark import (
+    CircuitDefinition,
+    ConstraintSystem,
+    Groth16Backend,
+    Proof,
+)
+from repro.zksnark.bn128.curve import (
+    G1,
+    G2,
+    g1_msm,
+    g1_msm_naive,
+    g1_mul,
+    g2_msm,
+    g2_msm_naive,
+    g2_mul,
+)
+from repro.zksnark.bn128.fq import CURVE_ORDER
+from repro.zksnark.bn128.pairing import (
+    multi_pairing,
+    multi_pairing_naive,
+    pairing,
+    pairing_naive,
+    prepare_g2,
+)
+
+
+class ProductCircuit(CircuitDefinition):
+    """a * b == out with two public inputs (out, a)."""
+
+    name = "diff-product"
+
+    def example_instance(self):
+        return {"out": 6, "a": 2, "b": 3}
+
+    def synthesize(self, cs: ConstraintSystem, instance) -> None:
+        out = cs.alloc_public(instance["out"])
+        a = cs.alloc_public(instance["a"])
+        b = cs.alloc(instance["b"])
+        cs.enforce(a, b, out)
+
+
+@pytest.fixture(scope="module")
+def optimized() -> Groth16Backend:
+    return Groth16Backend(optimized=True)
+
+
+@pytest.fixture(scope="module")
+def naive() -> Groth16Backend:
+    return Groth16Backend(optimized=False)
+
+
+@pytest.fixture(scope="module")
+def keys(optimized):
+    return optimized.setup(ProductCircuit(), seed=b"differential-keys")
+
+
+def _instance(rng: random.Random) -> dict:
+    a = rng.randrange(1, CURVE_ORDER)
+    b = rng.randrange(1, CURVE_ORDER)
+    return {"a": a, "b": b, "out": a * b % CURVE_ORDER}
+
+
+# ----- MSM: Pippenger vs double-and-add (60 cases) -------------------------------
+
+
+def _g1_points(rng: random.Random, count: int):
+    return [g1_mul(G1, rng.randrange(1, 2**64)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("case", range(30))
+def test_g1_msm_matches_naive(case: int) -> None:
+    rng = random.Random(1000 + case)
+    size = rng.randrange(0, 12)
+    points = _g1_points(rng, size)
+    scalars = [rng.randrange(0, CURVE_ORDER) for _ in range(size)]
+    if case % 5 == 0 and size:
+        scalars[rng.randrange(size)] = 0  # exercise zero-scalar skipping
+    if case % 7 == 0 and size:
+        points[rng.randrange(size)] = None  # and identity points
+    assert g1_msm(points, scalars) == g1_msm_naive(points, scalars)
+
+
+@pytest.mark.parametrize("case", range(15))
+def test_g2_msm_matches_naive(case: int) -> None:
+    rng = random.Random(2000 + case)
+    size = rng.randrange(0, 6)
+    # 64-bit scalars keep the naive per-point G2 ladder affordable.
+    points = [g2_mul(G2, rng.randrange(1, 2**32)) for _ in range(size)]
+    scalars = [rng.randrange(0, 2**64) for _ in range(size)]
+    assert g2_msm(points, scalars) == g2_msm_naive(points, scalars)
+
+
+@pytest.mark.parametrize("group", ["g1", "g2"])
+def test_msm_length_mismatch_raises_on_both_paths(group: str) -> None:
+    point = G1 if group == "g1" else G2
+    fast = g1_msm if group == "g1" else g2_msm
+    slow = g1_msm_naive if group == "g1" else g2_msm_naive
+    for fn in (fast, slow):
+        with pytest.raises(ValueError):
+            fn([point], [1, 2])
+
+
+# ----- pairing: prepared/decomposed vs all-FQ12 reference (10 cases) --------------
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_pairing_matches_naive(case: int) -> None:
+    rng = random.Random(3000 + case)
+    p = g1_mul(G1, rng.randrange(1, 2**64))
+    q = g2_mul(G2, rng.randrange(1, 2**32))
+    assert pairing(q, p) == pairing_naive(q, p)
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_multi_pairing_matches_naive(case: int) -> None:
+    rng = random.Random(4000 + case)
+    pairs = [
+        (
+            g2_mul(G2, rng.randrange(1, 2**32)),
+            g1_mul(G1, rng.randrange(1, 2**64)),
+        )
+        for _ in range(case + 2)
+    ]
+    assert multi_pairing(pairs) == multi_pairing_naive(pairs)
+
+
+def test_multi_pairing_accepts_prepared_points() -> None:
+    rng = random.Random(4100)
+    q = g2_mul(G2, rng.randrange(1, 2**32))
+    p = g1_mul(G1, rng.randrange(1, 2**64))
+    assert multi_pairing([(prepare_g2(q), p)]) == multi_pairing_naive([(q, p)])
+
+
+# ----- full verify: optimized vs naive verifier (24 cases) ------------------------
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_valid_proofs_verify_on_both_paths(optimized, naive, keys, case: int) -> None:
+    rng = random.Random(5000 + case)
+    instance = _instance(rng)
+    proof = optimized.prove(keys.proving_key, ProductCircuit(), instance)
+    statement = [instance["out"], instance["a"]]
+    assert optimized.verify(keys.verifying_key, statement, proof) is True
+    assert naive.verify(keys.verifying_key, statement, proof) is True
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_corrupted_proofs_rejected_on_both_paths(
+    optimized, naive, keys, case: int
+) -> None:
+    rng = random.Random(6000 + case)
+    instance = _instance(rng)
+    proof = optimized.prove(keys.proving_key, ProductCircuit(), instance)
+    statement = [instance["out"], instance["a"]]
+    corrupted = bytearray(proof.payload)
+    corrupted[rng.randrange(len(corrupted))] ^= 1 << rng.randrange(8)
+    bad = Proof(backend=proof.backend, payload=bytes(corrupted))
+    # A flipped bit either falls off the curve (decode failure) or
+    # yields a valid encoding of the wrong element; both paths must
+    # reject either way, and must AGREE.
+    assert optimized.verify(keys.verifying_key, statement, bad) is False
+    assert naive.verify(keys.verifying_key, statement, bad) is False
+
+
+@pytest.mark.parametrize("case", range(4))
+def test_wrong_statement_rejected_on_both_paths(
+    optimized, naive, keys, case: int
+) -> None:
+    rng = random.Random(7000 + case)
+    instance = _instance(rng)
+    proof = optimized.prove(keys.proving_key, ProductCircuit(), instance)
+    wrong = [
+        (instance["out"] + rng.randrange(1, CURVE_ORDER)) % CURVE_ORDER,
+        instance["a"],
+    ]
+    assert optimized.verify(keys.verifying_key, wrong, proof) is False
+    assert naive.verify(keys.verifying_key, wrong, proof) is False
+
+
+@pytest.mark.parametrize("case", range(2))
+def test_naive_prover_output_verifies_on_optimized_path(
+    optimized, naive, keys, case: int
+) -> None:
+    rng = random.Random(8000 + case)
+    instance = _instance(rng)
+    proof = naive.prove(keys.proving_key, ProductCircuit(), instance)
+    statement = [instance["out"], instance["a"]]
+    assert optimized.verify(keys.verifying_key, statement, proof) is True
+
+
+# ----- batch_verify vs a verify loop (3 cases) ------------------------------------
+
+
+def test_batch_verify_agrees_with_loop_on_valid_batch(optimized, keys) -> None:
+    rng = random.Random(9000)
+    instances = [_instance(rng) for _ in range(4)]
+    statements = [[inst["out"], inst["a"]] for inst in instances]
+    proofs = [
+        optimized.prove(keys.proving_key, ProductCircuit(), inst)
+        for inst in instances
+    ]
+    loop = all(
+        optimized.verify(keys.verifying_key, stmt, proof)
+        for stmt, proof in zip(statements, proofs)
+    )
+    assert optimized.batch_verify(keys.verifying_key, statements, proofs) is loop
+    assert loop is True
+
+
+def test_batch_verify_agrees_with_loop_on_poisoned_batch(optimized, keys) -> None:
+    rng = random.Random(9100)
+    instances = [_instance(rng) for _ in range(3)]
+    statements = [[inst["out"], inst["a"]] for inst in instances]
+    proofs = [
+        optimized.prove(keys.proving_key, ProductCircuit(), inst)
+        for inst in instances
+    ]
+    poisoned = bytearray(proofs[1].payload)
+    poisoned[17] ^= 0x40
+    proofs[1] = Proof(backend=proofs[1].backend, payload=bytes(poisoned))
+    loop = all(
+        optimized.verify(keys.verifying_key, stmt, proof)
+        for stmt, proof in zip(statements, proofs)
+    )
+    assert loop is False
+    assert optimized.batch_verify(keys.verifying_key, statements, proofs) is False
+
+
+def test_batch_verify_rejects_one_wrong_statement(optimized, keys) -> None:
+    rng = random.Random(9200)
+    instances = [_instance(rng) for _ in range(3)]
+    statements = [[inst["out"], inst["a"]] for inst in instances]
+    proofs = [
+        optimized.prove(keys.proving_key, ProductCircuit(), inst)
+        for inst in instances
+    ]
+    statements[2] = [(statements[2][0] + 1) % CURVE_ORDER, statements[2][1]]
+    assert optimized.batch_verify(keys.verifying_key, statements, proofs) is False
