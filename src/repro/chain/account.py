@@ -26,9 +26,11 @@ class Account:
         return self.contract_name is not None
 
     def clone(self) -> "Account":
+        # Most accounts are storage-less EOAs; skip deepcopy for them
+        # (snapshots clone the whole state once per executed tx).
         return Account(
             balance=self.balance,
             nonce=self.nonce,
             contract_name=self.contract_name,
-            storage=copy.deepcopy(self.storage),
+            storage=copy.deepcopy(self.storage) if self.storage else {},
         )

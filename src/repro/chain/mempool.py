@@ -10,7 +10,7 @@ deliberately exposes :meth:`pending` and accepts an ordering override.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import observability as obs
 from repro.errors import InvalidTransactionError
@@ -33,21 +33,45 @@ class Mempool:
     def __init__(self, ordering: Optional[OrderingPolicy] = None) -> None:
         self._pool: Dict[bytes, SignedTransaction] = {}
         self._arrival: List[bytes] = []
+        # (sender, nonce) -> tx_hash: the replace-by-fee slot index.
+        self._by_slot: Dict[Tuple[bytes, int], bytes] = {}
         self.ordering: OrderingPolicy = ordering or default_ordering
 
     def __len__(self) -> int:
         return len(self._pool)
 
     def add(self, stx: SignedTransaction) -> bool:
-        """Admit a transaction; returns False on duplicates."""
+        """Admit a transaction; returns False on duplicates.
+
+        Same-sender same-nonce is one *slot*: a second transaction for
+        an occupied slot replaces the incumbent only with a strictly
+        higher gas price (the gas-bumped retry), otherwise it is
+        rejected.  Without this eviction every retry wave leaves the
+        superseded copy behind, and block building keeps re-selecting
+        doomed duplicates — the livelock the concurrent-sender tests
+        exercise.
+        """
         if not stx.verify_signature():
             raise InvalidTransactionError("refusing unsigned transaction")
         if stx.tx_hash in self._pool:
             if obs.TRACER.enabled:
                 obs.count("mempool.duplicates")
             return False
+        slot = (stx.sender, stx.transaction.nonce)
+        incumbent_hash = self._by_slot.get(slot)
+        if incumbent_hash is not None and incumbent_hash in self._pool:
+            incumbent = self._pool[incumbent_hash]
+            if stx.transaction.gas_price <= incumbent.transaction.gas_price:
+                if obs.TRACER.enabled:
+                    obs.count("mempool.rbf_rejected")
+                return False
+            self._pool.pop(incumbent_hash, None)
+            if obs.TRACER.enabled:
+                obs.count("mempool.rbf_evictions")
         self._pool[stx.tx_hash] = stx
+        self._by_slot[slot] = stx.tx_hash
         self._arrival.append(stx.tx_hash)
+        self._maybe_compact()
         if obs.TRACER.enabled:
             obs.count("mempool.admitted")
             obs.observe(
@@ -57,8 +81,15 @@ class Mempool:
         return True
 
     def remove(self, tx_hash: bytes) -> None:
-        self._pool.pop(tx_hash, None)
+        self._forget(tx_hash)
         self._maybe_compact()
+
+    def _forget(self, tx_hash: bytes) -> None:
+        stx = self._pool.pop(tx_hash, None)
+        if stx is not None:
+            slot = (stx.sender, stx.transaction.nonce)
+            if self._by_slot.get(slot) == tx_hash:
+                self._by_slot.pop(slot, None)
 
     def _maybe_compact(self) -> None:
         """Prune removed hashes so the arrival list stays O(pool size)."""
@@ -83,7 +114,7 @@ class Mempool:
             if stx.transaction.nonce < state.nonce_of(stx.sender)
         ]
         for tx_hash in stale:
-            self._pool.pop(tx_hash, None)
+            self._forget(tx_hash)
         self._maybe_compact()
         if stale and obs.TRACER.enabled:
             obs.count("mempool.evictions", len(stale))
@@ -99,20 +130,30 @@ class Mempool:
         """
         return [self._pool[h] for h in self._arrival if h in self._pool]
 
-    def select_for_block(self, gas_limit: int) -> List[SignedTransaction]:
+    def select_for_block(
+        self, gas_limit: int, state=None
+    ) -> List[SignedTransaction]:
         """Pick transactions for a new block under the gas limit.
 
         Applies the ordering policy, then keeps per-sender nonce order
         (a later-nonce tx never precedes an earlier-nonce one from the
-        same sender).
+        same sender).  Same-nonce duplicates collapse to the copy the
+        ordering policy prefers — selecting both would burn block
+        budget on a transaction that must fail nonce validation.
+
+        When the miner passes its head ``state``, each sender's queue
+        is additionally anchored at the state nonce and cut at the
+        first gap: a nonce-gapped transaction cannot execute this block
+        and would otherwise be re-selected (and re-skipped) forever.
         """
         ordered = self.ordering(self.pending())
         # Stable per-sender nonce repair.
         by_sender: Dict[bytes, List[SignedTransaction]] = {}
         for stx in ordered:
             by_sender.setdefault(stx.sender, []).append(stx)
-        for txs in by_sender.values():
+        for sender, txs in by_sender.items():
             txs.sort(key=lambda stx: stx.transaction.nonce)
+            by_sender[sender] = self._executable_prefix(sender, txs, state)
         cursor = {sender: 0 for sender in by_sender}
         selected: List[SignedTransaction] = []
         budget = gas_limit
@@ -128,6 +169,29 @@ class Mempool:
             selected.append(candidate)
             budget -= candidate.transaction.gas_limit
         return selected
+
+    @staticmethod
+    def _executable_prefix(
+        sender: bytes, txs: List[SignedTransaction], state
+    ) -> List[SignedTransaction]:
+        """Dedupe same-nonce entries and (given state) stop at a gap."""
+        queue: List[SignedTransaction] = []
+        for stx in txs:
+            if queue and queue[-1].transaction.nonce == stx.transaction.nonce:
+                continue  # the ordering-preferred copy came first (stable sort)
+            queue.append(stx)
+        if state is None:
+            return queue
+        expected = state.nonce_of(sender)
+        executable: List[SignedTransaction] = []
+        for stx in queue:
+            if stx.transaction.nonce < expected:
+                continue  # stale; prune_stale will reap it
+            if stx.transaction.nonce != expected:
+                break  # nonce gap: nothing later can execute this block
+            executable.append(stx)
+            expected += 1
+        return executable
 
     def drop_included(self, transactions) -> None:
         """Remove transactions that made it into a block."""

@@ -86,7 +86,10 @@ class Network:
         self.transaction_log: List[SignedTransaction] = []
         self._partition_of: Dict[int, int] = {}  # id(node) -> group
         self._delayed: List[_Delayed] = []
-        self._needs_sync: Set[int] = set()  # id(node)
+        # Node *names*, not id()s: recovery sync must run in the stable
+        # node-list order, or two same-seed runs could heal in different
+        # orders (id() follows the allocator) and diverge their stats.
+        self._needs_sync: Set[str] = set()
         self._plan_crashed: Set[int] = set()  # nodes the plan took down
 
     def add_node(self, node: Node) -> Node:
@@ -199,11 +202,10 @@ class Network:
         best_height = self.height
         for node in self.nodes:
             if not node.crashed and node.height + 1 < best_height:
-                self._needs_sync.add(id(node))
-        for node_id in sorted(self._needs_sync):
-            for node in self.nodes:
-                if id(node) == node_id:
-                    self.sync_node(node)
+                self._needs_sync.add(node.name)
+        for node in self.nodes:
+            if node.name in self._needs_sync:
+                self.sync_node(node)
         self._needs_sync.clear()
 
     def _apply_crash_schedule(self, height: int) -> None:
@@ -218,7 +220,7 @@ class Network:
                 node.restart()
                 self._plan_crashed.discard(id(node))
                 self.stats.restarts += 1
-                self._needs_sync.add(id(node))
+                self._needs_sync.add(node.name)
 
     def _apply_partition_schedule(self, height: int) -> None:
         assert self.fault_plan is not None
@@ -298,7 +300,7 @@ class Network:
         except InvalidBlockError:
             # Unknown parent (delayed/dropped ancestor): schedule a
             # head-relative sync instead of losing the block forever.
-            self._needs_sync.add(id(node))
+            self._needs_sync.add(node.name)
 
     def pending_transactions(self) -> List[SignedTransaction]:
         """The union view of pending traffic (what an observer sees)."""
@@ -383,8 +385,6 @@ class Testnet:
             )
             for i in range(full_nodes)
         ]
-        self._faucet_nonce = 0
-
     # ----- views ----------------------------------------------------------------
 
     @property
@@ -454,22 +454,36 @@ class Testnet:
         if not predicate():
             raise ChainError(f"condition not reached within {max_blocks} blocks")
 
-    def fund(self, address: bytes, amount: int, mine: bool = True) -> None:
-        """Faucet-transfer ``amount`` to ``address`` (mining one block)."""
-        tx = Transaction(
-            nonce=self._faucet_nonce,
+    def _faucet_tx(self, address: bytes, amount: int) -> Transaction:
+        return Transaction(
+            nonce=self.tx_sender.nonces.reserve(self.faucet_key.address()),
             gas_price=1,
             gas_limit=50_000,
             to=address,
             value=amount,
             chain_id=self.genesis.chain_id,
         )
-        self._faucet_nonce += 1
+
+    def fund(self, address: bytes, amount: int, mine: bool = True) -> None:
+        """Faucet-transfer ``amount`` to ``address`` (mining one block)."""
+        tx = self._faucet_tx(address, amount)
         if mine:
             # Resilient path: confirmed even if the first broadcast drops.
             self.tx_sender.send(tx, self.faucet_key)
         else:
             self.send_transaction(tx.sign(self.faucet_key))
+
+    def fund_async(self, address: bytes, amount: int):
+        """Broadcast a faucet transfer without mining (batched funding).
+
+        Returns the :class:`~repro.chain.txsender.PendingTx`; concurrent
+        callers get consecutive faucet nonces from the shared
+        :class:`~repro.chain.txsender.NonceManager`, so a whole funding
+        wave coexists in the mempool and lands in one block.
+        """
+        return self.tx_sender.broadcast(
+            self._faucet_tx(address, amount), self.faucet_key
+        )
 
     def wait_for_receipt(self, tx_hash: bytes, max_blocks: int = 16):
         """Mine until the transaction is included; returns its receipt."""

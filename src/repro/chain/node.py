@@ -204,7 +204,9 @@ class Node:
             block_ctx = BlockContext(
                 number=parent.number + 1, timestamp=timestamp, coinbase=self.address
             )
-            selected = self.mempool.select_for_block(self.genesis.gas_limit)
+            selected = self.mempool.select_for_block(
+                self.genesis.gas_limit, state=self.head_state
+            )
             included: List[SignedTransaction] = []
             gas_used = 0
             for stx in selected:

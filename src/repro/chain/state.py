@@ -1,15 +1,25 @@
 """World state: the address → account map with snapshot support.
 
-Snapshots are cheap-enough deep copies (simulation scale); the state
-root is a content hash used by block validation to assert that every
-node executed identically — the "correct computation" property of the
-ideal public ledger.
+Two rollback mechanisms coexist:
+
+* :meth:`snapshot`/:meth:`restore` deep-copy the whole state — used
+  per *block* (miners build on a scratch copy, importers re-execute
+  against the parent state).
+* :meth:`begin_transaction`/:meth:`rollback_transaction` journal
+  copy-on-write preimages of only the accounts a single transaction
+  touches — used per *tx* by the VM, where a full clone would make
+  execution cost scale with total account count instead of touched
+  account count.
+
+The state root is a content hash used by block validation to assert
+that every node executed identically — the "correct computation"
+property of the ideal public ledger.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.crypto.hashing import sha256
 from repro.errors import ChainError
@@ -22,12 +32,20 @@ class WorldState:
 
     def __init__(self) -> None:
         self._accounts: Dict[bytes, Account] = {}
+        # Open tx journal: preimages (first-touch clones) of accounts,
+        # or None for accounts created during the journaled window.
+        self._journal: Optional[List[Tuple[bytes, Optional[Account]]]] = None
+        self._journaled: Set[bytes] = set()
 
     # ----- account access -----------------------------------------------------
 
     def account(self, address: bytes) -> Account:
         """Fetch (creating lazily) the account at ``address``."""
         account = self._accounts.get(address)
+        journal = self._journal
+        if journal is not None and address not in self._journaled:
+            self._journaled.add(address)
+            journal.append((address, account.clone() if account is not None else None))
         if account is None:
             account = Account()
             self._accounts[address] = account
@@ -82,6 +100,39 @@ class WorldState:
         self._accounts = {
             addr: acct.clone() for addr, acct in snapshot._accounts.items()
         }
+
+    # ----- tx journal --------------------------------------------------------------
+
+    def begin_transaction(self) -> None:
+        """Start journaling: record a preimage of each account on first touch.
+
+        Unlike :meth:`snapshot` this is O(accounts touched), not
+        O(accounts total); a typical contract call journals a handful
+        of accounts while the ledger holds hundreds.
+        """
+        if self._journal is not None:
+            raise ChainError("state journal already open (nested begin_transaction)")
+        self._journal = []
+        self._journaled = set()
+
+    def commit_transaction(self) -> None:
+        """Keep the journaled window's changes; discard the preimages."""
+        if self._journal is None:
+            raise ChainError("no open state journal to commit")
+        self._journal = None
+        self._journaled = set()
+
+    def rollback_transaction(self) -> None:
+        """Undo every change made since :meth:`begin_transaction`."""
+        if self._journal is None:
+            raise ChainError("no open state journal to roll back")
+        for address, preimage in reversed(self._journal):
+            if preimage is None:
+                self._accounts.pop(address, None)
+            else:
+                self._accounts[address] = preimage
+        self._journal = None
+        self._journaled = set()
 
     # ----- integrity ----------------------------------------------------------------
 

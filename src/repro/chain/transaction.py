@@ -56,19 +56,26 @@ class Transaction:
         return self.to is None
 
     def signing_hash(self) -> bytes:
-        return keccak256(
-            encode(
-                [
-                    self.nonce,
-                    self.gas_price,
-                    self.gas_limit,
-                    self.to,
-                    self.value,
-                    self.data,
-                    self.chain_id,
-                ]
+        # Cached directly in __dict__ (bypasses the frozen guard):
+        # signing, sender recovery, and tx hashing all need this keccak,
+        # and calldata can be kilobytes.
+        cached = self.__dict__.get("_signing_hash")
+        if cached is None:
+            cached = keccak256(
+                encode(
+                    [
+                        self.nonce,
+                        self.gas_price,
+                        self.gas_limit,
+                        self.to,
+                        self.value,
+                        self.data,
+                        self.chain_id,
+                    ]
+                )
             )
-        )
+            self.__dict__["_signing_hash"] = cached
+        return cached
 
     def sign(self, keypair: ecdsa.ECDSAKeyPair) -> "SignedTransaction":
         signature = keypair.sign(self.signing_hash())
@@ -111,6 +118,49 @@ class SignedTransaction:
         except InvalidTransactionError:
             return False
         return True
+
+    def to_wire(self) -> bytes:
+        """Canonical gossip encoding of the signed transaction."""
+        tx = self.transaction
+        return encode(
+            [
+                tx.nonce,
+                tx.gas_price,
+                tx.gas_limit,
+                tx.to,
+                tx.value,
+                tx.data,
+                tx.chain_id,
+                self.signature.r,
+                self.signature.s,
+                self.signature.v,
+            ]
+        )
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "SignedTransaction":
+        """Inverse of :meth:`to_wire`; rejects malformed bytes loudly."""
+        from repro.serialization import decode
+
+        try:
+            fields = decode(wire)
+        except (ValueError, TypeError) as exc:
+            raise InvalidTransactionError(f"malformed transaction wire: {exc}") from exc
+        if not isinstance(fields, list) or len(fields) != 10:
+            raise InvalidTransactionError("transaction wire must carry 10 fields")
+        nonce, gas_price, gas_limit, to, value, data, chain_id, r, s, v = fields
+        if to is not None and not isinstance(to, bytes):
+            raise InvalidTransactionError("destination must be bytes or None")
+        if not isinstance(data, bytes):
+            raise InvalidTransactionError("calldata must be bytes")
+        for field_value in (nonce, gas_price, gas_limit, value, chain_id, r, s, v):
+            if not isinstance(field_value, int):
+                raise InvalidTransactionError("numeric field has the wrong type")
+        tx = Transaction(
+            nonce=nonce, gas_price=gas_price, gas_limit=gas_limit,
+            to=to, value=value, data=data, chain_id=chain_id,
+        )
+        return cls(transaction=tx, signature=ecdsa.ECDSASignature(r=r, s=s, v=v))
 
     def decode_data(self) -> Tuple[str, str, List[Any]]:
         """Decode calldata into (kind, name, args)."""

@@ -14,7 +14,7 @@ reported rather than retried forever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro import observability as obs
 from repro.crypto import ecdsa
@@ -25,6 +25,62 @@ from repro.chain.transaction import SignedTransaction, Transaction
 
 class TxAbandonedError(ChainError):
     """No attempt of a transaction could be confirmed."""
+
+
+class NonceManager:
+    """Per-sender nonce reservation for concurrent broadcasters.
+
+    ``nonce_of`` against the head state only reflects *included*
+    transactions, so two clients that both read it before either's
+    transaction lands would sign the same nonce and supersede each
+    other — the mempool livelock the concurrent engine must avoid.
+    Reserving through one shared manager hands out consecutive nonces
+    per sender: the chain nonce when the sender has nothing in flight,
+    one past the last reservation otherwise.
+    """
+
+    def __init__(self, testnet) -> None:
+        self.testnet = testnet
+        self._reserved: Dict[bytes, int] = {}
+
+    def reserve(self, sender: bytes) -> int:
+        """Claim the next nonce for ``sender`` (marks it in-flight)."""
+        chain_nonce = self.testnet.any_node.nonce_of(sender)
+        nonce = max(chain_nonce, self._reserved.get(sender, 0))
+        self._reserved[sender] = nonce + 1
+        return nonce
+
+    def next_nonce(self, sender: bytes) -> int:
+        """Peek at the nonce :meth:`reserve` would hand out."""
+        return max(
+            self.testnet.any_node.nonce_of(sender), self._reserved.get(sender, 0)
+        )
+
+    def forget(self, sender: bytes) -> None:
+        """Drop local reservations (e.g. after an abandoned send)."""
+        self._reserved.pop(sender, None)
+
+
+@dataclass
+class PendingTx:
+    """One broadcast-but-unconfirmed transaction the sender tracks.
+
+    All retry attempts share the original nonce, so ``tx_hashes``
+    accumulates every signed variant (gas bumps change the hash) and a
+    receipt for *any* of them confirms the logical transaction.
+    """
+
+    transaction: Transaction
+    keypair: Optional[ecdsa.ECDSAKeyPair]
+    sender: bytes = b""
+    tx_hashes: List[bytes] = field(default_factory=list)
+    broadcast_height: int = 0
+    attempts: int = 1
+    receipt: Optional[Receipt] = None
+
+    @property
+    def confirmed(self) -> bool:
+        return self.receipt is not None
 
 
 @dataclass
@@ -59,9 +115,110 @@ class TxSender:
         self.timeout_blocks = timeout_blocks
         self.max_attempts = max_attempts
         self.gas_bump_percent = gas_bump_percent
+        self.nonces = NonceManager(testnet)
         #: Cumulative counters (read by the chaos bench).
         self.total_attempts = 0
         self.total_resubmissions = 0
+
+    # ----- asynchronous API (concurrent senders) -----------------------------------
+
+    def broadcast(
+        self, tx: Transaction, keypair: ecdsa.ECDSAKeyPair
+    ) -> PendingTx:
+        """Sign and gossip ``tx`` WITHOUT mining — the batched path.
+
+        The caller (typically the engine's scheduler) mines blocks on
+        its own cadence and drives :meth:`service` to confirm or retry
+        every in-flight transaction of a whole wave at once.
+        """
+        stx = tx.sign(keypair)
+        pending = PendingTx(
+            transaction=tx,
+            keypair=keypair,
+            sender=stx.sender,
+            tx_hashes=[stx.tx_hash],
+            broadcast_height=self.testnet.height,
+        )
+        self.total_attempts += 1
+        self.testnet.send_transaction(stx)
+        if obs.TRACER.enabled:
+            obs.count("txsender.broadcasts")
+        return pending
+
+    def poll(self, pending: PendingTx) -> Optional[Receipt]:
+        """Look for a receipt of any attempt; caches it on the pending."""
+        if pending.receipt is None:
+            pending.receipt = self._find_receipt(pending.tx_hashes)
+        return pending.receipt
+
+    def service(self, pendings: List[PendingTx]) -> List[PendingTx]:
+        """One maintenance pass over in-flight transactions.
+
+        Polls receipts, and for anything still unconfirmed after
+        ``timeout_blocks`` re-broadcasts with a gas bump (same nonce, so
+        at most one attempt can ever land).  Returns the still-pending
+        subset.  Raises :class:`TxAbandonedError` when a transaction
+        exhausted its attempts or its nonce was consumed by a stranger.
+        """
+        unconfirmed: List[PendingTx] = []
+        for pending in pendings:
+            if self.poll(pending) is not None:
+                continue
+            waited = self.testnet.height - pending.broadcast_height
+            if waited >= self.timeout_blocks:
+                self._retry(pending)
+                if pending.receipt is not None:
+                    continue
+            unconfirmed.append(pending)
+        return unconfirmed
+
+    def confirm_all(
+        self, pendings: List[PendingTx], max_blocks: int = 256
+    ) -> List[Receipt]:
+        """Mine until every pending transaction is confirmed."""
+        remaining = self.service(list(pendings))
+        for _ in range(max_blocks):
+            if not remaining:
+                break
+            self.testnet.mine_block()
+            remaining = self.service(remaining)
+        if remaining:
+            raise TxAbandonedError(
+                f"{len(remaining)} transactions unconfirmed after "
+                f"{max_blocks} blocks"
+            )
+        return [pending.receipt for pending in pendings]
+
+    def _retry(self, pending: PendingTx) -> None:
+        """Re-broadcast one timed-out pending (gas bump, same nonce)."""
+        nonce = pending.transaction.nonce
+        if self.testnet.any_node.nonce_of(pending.sender) > nonce:
+            # Someone's transaction with our nonce landed; ours or not?
+            if self.poll(pending) is not None:
+                return
+            raise TxAbandonedError(
+                "nonce consumed by a transaction that is not ours"
+            )
+        if pending.attempts >= self.max_attempts:
+            raise TxAbandonedError(
+                f"no receipt after {pending.attempts} attempts"
+            )
+        if pending.keypair is None:
+            raise TxAbandonedError("cannot retry without the signing key")
+        pending.transaction = replace(
+            pending.transaction,
+            gas_price=self._bumped_price(pending.transaction, pending.sender),
+        )
+        stx = pending.transaction.sign(pending.keypair)
+        if stx.tx_hash not in pending.tx_hashes:
+            pending.tx_hashes.append(stx.tx_hash)
+        pending.attempts += 1
+        pending.broadcast_height = self.testnet.height
+        self.total_attempts += 1
+        self.total_resubmissions += 1
+        self.testnet.send_transaction(stx)
+        if obs.TRACER.enabled:
+            obs.count("txsender.retries")
 
     # ----- public API ---------------------------------------------------------------
 

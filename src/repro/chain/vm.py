@@ -96,7 +96,7 @@ class VM:
         # Buy gas and bump the nonce; these survive any revert.
         state.debit(sender, tx.gas_price * tx.gas_limit)
         state.account(sender).nonce += 1
-        snapshot = state.snapshot()
+        state.begin_transaction()
 
         meter = GasMeter(tx.gas_limit, self.schedule)
         meter.consume(self.schedule.intrinsic_gas(tx.data, tx.is_create), "intrinsic")
@@ -111,12 +111,19 @@ class VM:
                 receipt.return_value = self._apply_message(ctx, stx)
             receipt.logs = list(ctx.logs)
         except (ContractError, OutOfGasError, ChainError) as exc:
-            state.restore(snapshot)
+            state.rollback_transaction()
             receipt.status = STATUS_REVERTED
             receipt.error = f"{type(exc).__name__}: {exc}"
             receipt.contract_address = None
             receipt.return_value = None
             receipt.logs = []
+        except BaseException:
+            # Unexpected failure (fault injection, bugs): leave the
+            # state consistent before propagating.
+            state.rollback_transaction()
+            raise
+        else:
+            state.commit_transaction()
 
         # Settle gas: refund the unused part, pay the miner for the used part.
         receipt.gas_used = meter.used
@@ -229,17 +236,20 @@ class VM:
         block: BlockContext,
         caller: Optional[bytes] = None,
     ) -> Any:
-        """Execute a view method for free against a state snapshot."""
-        scratch = state.snapshot()
+        """Execute a view method for free; any state change is rolled back."""
         meter = GasMeter(limit=1 << 62, schedule=self.schedule)
         ctx = ExecutionContext(
-            state=scratch, meter=meter, block=block,
+            state=state, meter=meter, block=block,
             origin=caller or b"\x00" * 20, vm=self, read_only=True,
         )
-        return self._invoke(
-            ctx, address, method, args, caller=caller or b"\x00" * 20,
-            value=0, allow_view=True,
-        )
+        state.begin_transaction()
+        try:
+            return self._invoke(
+                ctx, address, method, args, caller=caller or b"\x00" * 20,
+                value=0, allow_view=True,
+            )
+        finally:
+            state.rollback_transaction()
 
     def _instantiate(
         self,

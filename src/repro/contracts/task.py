@@ -429,3 +429,18 @@ class TaskContract(Contract):
     @view
     def is_collection_closed(self) -> bool:
         return self._collection_end() is not None
+
+    @view
+    def get_status(self) -> dict:
+        """One-call poll for schedulers: phase, progress, and deadline.
+
+        The concurrent engine polls every task every round; folding the
+        four reads it needs into one view keeps the polling cost flat
+        in the number of in-flight tasks.
+        """
+        return {
+            "phase": self.storage["phase"],
+            "answers": len(self.storage["ciphertexts"]),
+            "deadline": self._answer_deadline(),
+            "closed": self._collection_end() is not None,
+        }

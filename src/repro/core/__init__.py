@@ -14,6 +14,14 @@ High-level entry points:
   baselines for comparison experiments.
 """
 
+from repro.core.engine import (
+    EngineReport,
+    ProtocolEngine,
+    TaskSpec,
+    engine_system,
+    make_uniform_specs,
+    run_serial,
+)
 from repro.core.params import TaskParameters
 from repro.core.policy import (
     DawidSkeneEMPolicy,
@@ -37,4 +45,10 @@ __all__ = [
     "ZebraLancerSystem",
     "Requester",
     "Worker",
+    "ProtocolEngine",
+    "TaskSpec",
+    "EngineReport",
+    "engine_system",
+    "make_uniform_specs",
+    "run_serial",
 ]

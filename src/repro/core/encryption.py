@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
-from repro.errors import DecryptionError
+from repro.errors import CryptoError, DecryptionError
 from repro.serialization import decode, encode
 from repro.zksnark.field import BN128_SCALAR_FIELD
 from repro.zksnark.gadgets.mimc import MiMCParameters, mimc_encrypt_native, mimc_hash_native
@@ -121,7 +121,15 @@ def recover_answer_key(keypair: TaskKeyPair, ciphertext: AnswerCiphertext,
     Raises :class:`DecryptionError` if the blob is malformed or the key
     does not open the on-chain commitment (a cheating submission).
     """
-    plaintext = keypair.rsa.decrypt(ciphertext.key_blob)
+    try:
+        plaintext = keypair.rsa.decrypt(ciphertext.key_blob)
+    except DecryptionError:
+        raise
+    except CryptoError as exc:
+        # A wrong-key blob can fail structurally (e.g. representative
+        # out of range for a smaller modulus) before OAEP unpadding even
+        # runs; present one uniform failure either way.
+        raise DecryptionError(f"key blob does not decrypt: {exc}") from exc
     if len(plaintext) != 32:
         raise DecryptionError("key blob has the wrong length")
     key = int.from_bytes(plaintext, "big")

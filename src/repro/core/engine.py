@@ -1,0 +1,647 @@
+"""The concurrent multi-task protocol engine.
+
+The serial clients in :mod:`repro.core.requester` / ``worker`` drive
+one Algorithm-1 instance at a time, mining roughly one block per
+transaction.  Real deployments overlap: many requesters run
+TaskPublish / AnswerCollection / Reward concurrently against the same
+chain, and throughput comes from amortising each block over a whole
+wave of transactions.  :class:`ProtocolEngine` reproduces that shape
+deterministically:
+
+- a cooperative round-based scheduler steps every task's state machine
+  in a fixed order, so two runs from the same seeds produce
+  bit-identical block/receipt/reward transcripts;
+- all in-flight transactions of a round (funding waves, deployments,
+  submissions, reward instructions) coexist in the mempool — per-sender
+  nonces come from the shared
+  :class:`~repro.chain.txsender.NonceManager` — and land batched into
+  the next block;
+- the whole cohort registers at the RA under ONE on-chain commitment
+  update (:meth:`ZebraLancerSystem.register_participants`);
+- reward proofs from every task that finished collecting in the same
+  round are proved together through the backend's ``prove_many``
+  (Groth16 fans the batch out over a fork pool).
+
+The engine never consults the wall clock: block timestamps come from
+the :class:`~repro.chain.clock.SimClock` and every data structure is
+iterated in insertion order, which is what the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import os
+import random
+
+from repro import observability as obs
+from repro.crypto.hashing import sha256
+from repro.errors import ProtocolError
+from repro.chain.txsender import PendingTx
+from repro.core.encryption import TaskKeyPair
+from repro.core.policy import MajorityVotePolicy, RewardPolicy
+from repro.core.protocol import (
+    DEFAULT_GAS_ALLOWANCE,
+    TaskHandle,
+    ZebraLancerSystem,
+)
+from repro.core.requester import PreparedPublish, Requester, RewardJob
+from repro.core.worker import PreparedSubmission, Worker
+from repro.zksnark.backend import fanout_map
+
+#: Task state-machine phases, in protocol order.
+FUNDING = "funding"
+PUBLISHING = "publishing"
+FUNDING_WORKERS = "funding-workers"
+SUBMITTING = "submitting"
+COLLECTING = "collecting"
+PROVING = "proving"
+REWARDING = "rewarding"
+DONE = "done"
+
+
+class EngineStallError(ProtocolError):
+    """The scheduler ran out of rounds with tasks still in flight."""
+
+
+class _KeygenJob:
+    """Picklable fork-pool worker: one (seed, bits) → RSA task keypair."""
+
+    def __call__(self, request) -> TaskKeyPair:
+        seed, bits = request
+        return TaskKeyPair.generate(bits=bits, rng=random.Random(seed))
+
+
+@dataclass
+class TaskSpec:
+    """One complete task the engine will drive end to end.
+
+    ``answers`` holds one entry per worker; ``None`` models the
+    paper's ⊥ (an absent worker), in which case the task closes at its
+    answer deadline instead of on the n-th submission.
+    """
+
+    requester: Requester
+    workers: List[Worker]
+    answers: List[Optional[Sequence[int]]]
+    policy: RewardPolicy
+    description: str = "task"
+    budget: int = 1_000
+    answer_window: int = 32
+    instruction_window: int = 32
+    rsa_bits: int = 1024
+    audit: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.workers) != len(self.answers):
+            raise ProtocolError(
+                f"{len(self.workers)} workers but {len(self.answers)} answers"
+            )
+        if not any(answer is not None for answer in self.answers):
+            raise ProtocolError("a task needs at least one present answer")
+
+
+@dataclass
+class TaskOutcome:
+    """What one task did, in chain-derived (deterministic) terms."""
+
+    index: int
+    requester: str
+    address: bytes
+    rewards: List[int] = field(default_factory=list)
+    audit_passed: Optional[bool] = None
+    #: Phase-completion block heights, in transition order.
+    phase_blocks: Dict[str, int] = field(default_factory=dict)
+    #: Phase-completion simulated timestamps (SimClock seconds).
+    phase_times: Dict[str, int] = field(default_factory=dict)
+
+    def phase_latency_blocks(self, start: str, end: str) -> int:
+        return self.phase_blocks[end] - self.phase_blocks[start]
+
+
+@dataclass
+class EngineReport:
+    """The result of one engine run.
+
+    ``transcript()`` (and its digest) covers everything consensus
+    observed — block hashes, included transactions, receipts statuses,
+    rewards — which is exactly what two same-seed runs must agree on.
+    """
+
+    outcomes: List[TaskOutcome]
+    rounds: int
+    blocks_mined: int
+    start_height: int
+    end_height: int
+    transactions: int
+    wall_seconds: float
+    sim_seconds: int
+    blocks: List[Tuple[int, str, Tuple[str, ...]]] = field(default_factory=list)
+
+    @property
+    def tasks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def tasks_per_block(self) -> float:
+        return self.tasks / self.blocks_mined if self.blocks_mined else 0.0
+
+    def transcript(self) -> List[str]:
+        lines = [
+            f"blocks={self.blocks_mined} txs={self.transactions}",
+        ]
+        for number, block_hash, tx_hashes in self.blocks:
+            lines.append(f"block {number} {block_hash} [{','.join(tx_hashes)}]")
+        for outcome in self.outcomes:
+            phases = " ".join(
+                f"{phase}@{height}" for phase, height in outcome.phase_blocks.items()
+            )
+            lines.append(
+                f"task {outcome.index} {outcome.address.hex()} "
+                f"rewards={outcome.rewards} audit={outcome.audit_passed} {phases}"
+            )
+        return lines
+
+    def transcript_digest(self) -> bytes:
+        return sha256("\n".join(self.transcript()).encode())
+
+
+class _TaskRunner:
+    """The per-task state machine the scheduler steps each round.
+
+    Every transition only *broadcasts* transactions (never mines); the
+    engine owns the block cadence, so a whole wave of runners shares
+    each block.
+    """
+
+    def __init__(
+        self,
+        spec: TaskSpec,
+        index: int,
+        engine: "ProtocolEngine",
+        encryption_keys: Optional[TaskKeyPair] = None,
+    ) -> None:
+        self.spec = spec
+        self.index = index
+        self.engine = engine
+        self.state = FUNDING
+        self.handle: Optional[TaskHandle] = None
+        self.outcome = TaskOutcome(
+            index=index, requester=spec.requester.identity, address=b""
+        )
+        self.reward_job: Optional[RewardJob] = None
+        #: In-flight subset (``service`` drops confirmed entries) …
+        self._pending: List[PendingTx] = []
+        #: … while the wave keeps every broadcast of the current phase
+        #: in order, receipts included (PendingTx is mutated in place).
+        self._wave: List[PendingTx] = []
+        self._submissions: List[Tuple[Worker, PreparedSubmission]] = []
+
+        # Stage the announcement now (it only reads the chain) and fund
+        # α_R with gas + budget in ONE faucet transfer.
+        self.prepared: PreparedPublish = spec.requester.prepare_publish(
+            spec.policy,
+            spec.description,
+            num_answers=len(spec.workers),
+            budget=spec.budget,
+            answer_window=spec.answer_window,
+            instruction_window=spec.instruction_window,
+            rsa_bits=spec.rsa_bits,
+            encryption_keys=encryption_keys,
+        )
+        self._broadcast(
+            [
+                engine.testnet.fund_async(
+                    self.prepared.account.address,
+                    DEFAULT_GAS_ALLOWANCE + spec.budget,
+                )
+            ]
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    def _broadcast(self, pendings: List[PendingTx]) -> None:
+        self._wave = pendings
+        self._pending = list(pendings)
+
+    def _service(self) -> bool:
+        """Poll/retry in-flight transactions; True when all confirmed."""
+        self._pending = self.engine.tx_sender.service(self._pending)
+        return not self._pending
+
+    def _mark(self, phase: str) -> None:
+        self.outcome.phase_blocks[phase] = self.engine.testnet.height
+        self.outcome.phase_times[phase] = self.engine.testnet.clock.now
+
+    def step(self) -> None:
+        if self.state == FUNDING:
+            self._step_funding()
+        elif self.state == PUBLISHING:
+            self._step_publishing()
+        elif self.state == FUNDING_WORKERS:
+            self._step_funding_workers()
+        elif self.state == SUBMITTING:
+            self._step_submitting()
+        elif self.state == COLLECTING:
+            self._step_collecting()
+        elif self.state == REWARDING:
+            self._step_rewarding()
+        # PROVING waits on the engine's proving pool; DONE is terminal.
+
+    def _step_funding(self) -> None:
+        if not self._service():
+            return
+        self._mark(FUNDING)
+        self._broadcast(
+            [
+                self.engine.tx_sender.broadcast(
+                    self.prepared.transaction, self.prepared.account.keypair
+                )
+            ]
+        )
+        self.state = PUBLISHING
+
+    def _step_publishing(self) -> None:
+        if not self._service():
+            return
+        receipt = self._wave[0].receipt
+        self.handle = self.spec.requester.complete_publish(self.prepared, receipt)
+        self.outcome.address = self.handle.address
+        self._mark(PUBLISHING)
+        # Stage every present worker's submission and fund their
+        # one-task addresses as one faucet wave.
+        pendings: List[PendingTx] = []
+        for worker, answer in zip(self.spec.workers, self.spec.answers):
+            if answer is None:
+                continue
+            prepared = worker.prepare_submission(self.handle, answer)
+            self._submissions.append((worker, prepared))
+            pendings.append(
+                self.engine.testnet.fund_async(
+                    prepared.account.address, DEFAULT_GAS_ALLOWANCE
+                )
+            )
+        self._broadcast(pendings)
+        self.state = FUNDING_WORKERS
+
+    def _step_funding_workers(self) -> None:
+        if not self._service():
+            return
+        self._mark(FUNDING_WORKERS)
+        self._broadcast(
+            [
+                self.engine.tx_sender.broadcast(
+                    prepared.transaction, prepared.account.keypair
+                )
+                for _, prepared in self._submissions
+            ]
+        )
+        self.state = SUBMITTING
+
+    def _step_submitting(self) -> None:
+        if not self._service():
+            return
+        for (worker, prepared), pending in zip(self._submissions, self._wave):
+            receipt = pending.receipt
+            if not receipt.success:
+                raise ProtocolError(
+                    f"submission to task {self.index} failed: {receipt.error}"
+                )
+            worker.complete_submission(prepared, receipt)
+        self._mark(SUBMITTING)
+        self.state = COLLECTING
+
+    def _step_collecting(self) -> None:
+        status = self.engine.node.call(self.handle.address, "get_status")
+        if not status["closed"]:
+            return  # absent workers: wait for the answer deadline
+        self._mark(COLLECTING)
+        self.reward_job = self.spec.requester.prepare_reward(self.handle)
+        self.engine.enqueue_proof(self)
+        self.state = PROVING
+
+    def deliver_proof(self, proof) -> None:
+        """Proving-pool callback: broadcast the proved instruction."""
+        self._mark(PROVING)
+        tx = self.spec.requester.reward_transaction(self.reward_job, proof)
+        account = self.spec.requester.task_account(self.handle)
+        self._broadcast([self.engine.tx_sender.broadcast(tx, account.keypair)])
+        self.state = REWARDING
+
+    def _step_rewarding(self) -> None:
+        if not self._service():
+            return
+        receipt = self._wave[0].receipt
+        if not receipt.success:
+            raise ProtocolError(
+                f"reward instruction for task {self.index} failed: {receipt.error}"
+            )
+        self._mark(REWARDING)
+        self.outcome.rewards = self.handle.rewards()
+        if self.spec.audit:
+            self.outcome.audit_passed = self.handle.audit_submissions()
+        self.state = DONE
+
+
+class ProtocolEngine:
+    """Run many :class:`TaskSpec` instances against one shared chain."""
+
+    def __init__(
+        self,
+        system: ZebraLancerSystem,
+        specs: Sequence[TaskSpec],
+        max_rounds: int = 512,
+    ) -> None:
+        if not specs:
+            raise ProtocolError("nothing to run")
+        self.system = system
+        self.testnet = system.testnet
+        self.tx_sender = system.testnet.tx_sender
+        self.node = system.node
+        self.max_rounds = max_rounds
+        self.specs = list(specs)
+        self._prove_queue: List[_TaskRunner] = []
+
+    def enqueue_proof(self, runner: _TaskRunner) -> None:
+        self._prove_queue.append(runner)
+
+    def _pregenerate_encryption_keys(self) -> List[TaskKeyPair]:
+        """Generate every task's RSA keypair across a fork pool.
+
+        The seeds are exactly what each requester's ``prepare_publish``
+        would derive on its own (accounting for requesters publishing
+        several tasks), so the keys — and therefore the transcript —
+        are identical to inline generation, just ~cores times faster.
+        RSA keygen is the single largest client-side cost per task.
+        """
+        with obs.span("engine.keygen", tasks=len(self.specs)):
+            offsets: Dict[int, int] = {}
+            requests = []
+            for spec in self.specs:
+                requester = spec.requester
+                offset = offsets.get(id(requester), 0)
+                offsets[id(requester)] = offset + 1
+                requests.append(
+                    (
+                        requester.encryption_rng_seed(
+                            requester.task_counter + offset
+                        ),
+                        spec.rsa_bits,
+                    )
+                )
+            return fanout_map(
+                _KeygenJob(), requests, os.cpu_count() or 1, chunked=False
+            )
+
+    def run(self) -> EngineReport:
+        import time
+
+        with obs.span("engine.run", tasks=len(self.specs)) as run_span:
+            wall_start = time.perf_counter()
+            report = self._run()
+            report.wall_seconds = time.perf_counter() - wall_start
+            run_span.set_attrs(
+                blocks=report.blocks_mined, rounds=report.rounds
+            )
+        if obs.TRACER.enabled:
+            obs.count("engine.runs")
+            obs.count("engine.tasks", len(self.specs))
+            obs.count("engine.blocks", report.blocks_mined)
+        return report
+
+    def _run(self) -> EngineReport:
+        start_height = self.testnet.height
+        sim_start = self.testnet.clock.now
+        encryption_keys = self._pregenerate_encryption_keys()
+        runners = [
+            _TaskRunner(spec, index, self, encryption_keys=encryption_keys[index])
+            for index, spec in enumerate(self.specs)
+        ]
+        rounds = 0
+        blocks = 0
+        while True:
+            with obs.span("engine.round", round=rounds):
+                for runner in runners:
+                    runner.step()
+                self._drain_proving()
+            if all(runner.done for runner in runners):
+                break
+            if rounds >= self.max_rounds:
+                stuck = [r.index for r in runners if not r.done]
+                raise EngineStallError(
+                    f"tasks {stuck} still in flight after {rounds} rounds"
+                )
+            self.testnet.mine_block()
+            blocks += 1
+            rounds += 1
+
+        end_height = self.testnet.height
+        block_lines, transactions = _chain_segment(
+            self.node, start_height, end_height
+        )
+        return EngineReport(
+            outcomes=[runner.outcome for runner in runners],
+            rounds=rounds,
+            blocks_mined=blocks,
+            start_height=start_height,
+            end_height=end_height,
+            transactions=transactions,
+            wall_seconds=0.0,
+            sim_seconds=self.testnet.clock.now - sim_start,
+            blocks=block_lines,
+        )
+
+    def _drain_proving(self) -> None:
+        """Prove every job staged this round as ONE backend batch."""
+        if not self._prove_queue:
+            return
+        queue, self._prove_queue = self._prove_queue, []
+        requests = [
+            (r.reward_job.proving_key, r.reward_job.circuit, r.reward_job.instance)
+            for r in queue
+        ]
+        proofs = self.system.backend.prove_many(requests)
+        for runner, proof in zip(queue, proofs):
+            runner.deliver_proof(proof)
+
+
+def _chain_segment(
+    node, start_height: int, end_height: int
+) -> Tuple[List[Tuple[int, str, Tuple[str, ...]]], int]:
+    """(number, hash, tx hashes) per canonical block in (start, end]."""
+    lines: List[Tuple[int, str, Tuple[str, ...]]] = []
+    transactions = 0
+    for block in node.canonical_blocks(start_height + 1, end_height):
+        tx_hashes = tuple(stx.tx_hash.hex() for stx in block.transactions)
+        transactions += len(tx_hashes)
+        lines.append((block.number, block.block_hash.hex(), tx_hashes))
+    return lines, transactions
+
+
+# ----- spec construction and the serial baseline --------------------------------------
+
+
+def engine_system(
+    num_tasks: int,
+    workers_per_task: int,
+    backend_name: str = "mock",
+    seed: bytes = b"engine-system",
+    **system_kwargs: Any,
+) -> ZebraLancerSystem:
+    """A :class:`ZebraLancerSystem` sized for a concurrent wave.
+
+    Block selection budgets by each transaction's gas *limit*, so the
+    block gas limit must admit a whole wave of client transactions
+    (deployments, submissions, reward instructions all reserve
+    ``DEFAULT_GAS_LIMIT``) for batching to happen at all.
+    """
+    import repro.contracts  # noqa: F401  (side effect: registers contract classes)
+    from dataclasses import replace
+
+    from repro.chain.network import Testnet
+    from repro.core.protocol import DEFAULT_GAS_LIMIT
+    from repro.profiles import TEST
+
+    wave = max(1, num_tasks * (workers_per_task + 2))
+    testnet = Testnet(gas_limit=max(30_000_000, wave * DEFAULT_GAS_LIMIT))
+    # The registration tree must hold the whole cohort (N requesters +
+    # N·M workers) with headroom for extra registrations by the tests.
+    cohort = num_tasks * (workers_per_task + 1)
+    depth = TEST.merkle_depth
+    while (1 << depth) < 2 * cohort:
+        depth += 1
+    profile = replace(TEST, name=f"test-d{depth}", merkle_depth=depth)
+    return ZebraLancerSystem(
+        profile=profile,
+        backend_name=backend_name,
+        seed=seed,
+        testnet=testnet,
+        **system_kwargs,
+    )
+
+
+def make_uniform_specs(
+    system: ZebraLancerSystem,
+    num_tasks: int,
+    workers_per_task: int,
+    num_choices: int = 4,
+    budget: int = 1_200,
+    seed: int = 0,
+    accuracy: float = 0.8,
+    absent_probability: float = 0.0,
+    rsa_bits: int = 1024,
+    audit: bool = False,
+) -> List[TaskSpec]:
+    """Build N homogeneous majority-vote tasks with sampled answers.
+
+    Answers are drawn with :mod:`repro.core.simulation` semantics (a
+    uniform ground truth per task; each worker reports it with
+    ``accuracy``, is absent with ``absent_probability``), from a
+    ``random.Random(seed)`` — the same seed always yields the same
+    specs, which is what the determinism tests replay.  All
+    ``N·(M+1)`` identities register under one commitment update.
+    """
+    import random
+
+    rng = random.Random(seed)
+    requesters = [
+        Requester(system, f"requester-{i}", register=False) for i in range(num_tasks)
+    ]
+    workers = [
+        [
+            Worker(system, f"worker-{i}-{j}", register=False)
+            for j in range(workers_per_task)
+        ]
+        for i in range(num_tasks)
+    ]
+    entries = [(r.identity, r.keys.public_key) for r in requesters]
+    for cohort in workers:
+        entries.extend((w.identity, w.keys.public_key) for w in cohort)
+    certificates = system.register_participants(entries)
+    for client, certificate in zip(
+        requesters + [w for cohort in workers for w in cohort], certificates
+    ):
+        client.certificate = certificate
+
+    from repro.core.simulation import sample_answer
+
+    specs: List[TaskSpec] = []
+    for i in range(num_tasks):
+        truth = rng.randrange(num_choices)
+        answers: List[Optional[Sequence[int]]] = [
+            sample_answer(rng, truth, num_choices, accuracy, absent_probability)
+            for _ in range(workers_per_task)
+        ]
+        if not any(answer is not None for answer in answers):
+            answers[0] = [truth]  # keep the task rewardable
+        specs.append(
+            TaskSpec(
+                requester=requesters[i],
+                workers=workers[i],
+                answers=answers,
+                policy=MajorityVotePolicy(num_choices=num_choices),
+                description=f"engine-task-{i}",
+                budget=budget,
+                rsa_bits=rsa_bits,
+                audit=audit,
+            )
+        )
+    return specs
+
+
+def run_serial(system: ZebraLancerSystem, specs: Sequence[TaskSpec]) -> EngineReport:
+    """The one-task-at-a-time baseline over the same specs.
+
+    Drives each spec through the synchronous client APIs (mining
+    blocks per transaction, proving per task) — what the throughput
+    bench compares the engine against.
+    """
+    import time
+
+    start_height = system.testnet.height
+    sim_start = system.testnet.clock.now
+    wall_start = time.perf_counter()
+    outcomes: List[TaskOutcome] = []
+    for index, spec in enumerate(specs):
+        handle = spec.requester.publish_task(
+            spec.policy,
+            spec.description,
+            num_answers=len(spec.workers),
+            budget=spec.budget,
+            answer_window=spec.answer_window,
+            instruction_window=spec.instruction_window,
+            rsa_bits=spec.rsa_bits,
+        )
+        outcome = TaskOutcome(
+            index=index, requester=spec.requester.identity, address=handle.address
+        )
+        outcome.phase_blocks[PUBLISHING] = system.testnet.height
+        for worker, answer in zip(spec.workers, spec.answers):
+            if answer is not None:
+                worker.submit_answer(handle, answer)
+        system.testnet.mine_until(handle.is_collection_closed)
+        outcome.phase_blocks[COLLECTING] = system.testnet.height
+        receipt = spec.requester.evaluate_and_reward(handle)
+        if not receipt.success:
+            raise ProtocolError(f"reward for task {index} failed: {receipt.error}")
+        outcome.phase_blocks[REWARDING] = system.testnet.height
+        outcome.rewards = handle.rewards()
+        if spec.audit:
+            outcome.audit_passed = handle.audit_submissions()
+        outcomes.append(outcome)
+    end_height = system.testnet.height
+    block_lines, transactions = _chain_segment(system.node, start_height, end_height)
+    return EngineReport(
+        outcomes=outcomes,
+        rounds=0,
+        blocks_mined=end_height - start_height,
+        start_height=start_height,
+        end_height=end_height,
+        transactions=transactions,
+        wall_seconds=time.perf_counter() - wall_start,
+        sim_seconds=system.testnet.clock.now - sim_start,
+        blocks=block_lines,
+    )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import observability as obs
 from repro.crypto.hashing import sha256
@@ -53,19 +53,70 @@ class _TaskRecord:
     nonce: int  # next chain nonce for the one-task account
 
 
+@dataclass
+class PreparedPublish:
+    """A fully built (but unsent) task announcement.
+
+    Produced by :meth:`Requester.prepare_publish` so a scheduler can
+    fund the one-task account, broadcast the deploy transaction in a
+    batch with other tasks', and only then hand the receipt back to
+    :meth:`Requester.complete_publish`.
+    """
+
+    account: OneTaskAccount
+    encryption_keys: TaskKeyPair
+    params: TaskParameters
+    policy: RewardPolicy
+    predicted_address: bytes
+    transaction: Transaction
+    budget: int
+
+
+@dataclass
+class RewardJob:
+    """A reward instruction awaiting its SNARK proof.
+
+    ``proving_key``/``circuit``/``instance`` are what a proving pool
+    needs; :meth:`Requester.reward_transaction` turns the resulting
+    proof into the on-chain instruction.
+    """
+
+    handle: TaskHandle
+    instance: Any
+    circuit: Any
+    proving_key: Any
+    flags: List[int]
+
+
 class Requester:
     """A registered requester."""
 
     def __init__(
-        self, system: ZebraLancerSystem, identity: str, seed: Optional[bytes] = None
+        self,
+        system: ZebraLancerSystem,
+        identity: str,
+        seed: Optional[bytes] = None,
+        register: bool = True,
     ) -> None:
         self.system = system
         self.identity = identity
         self._seed = seed if seed is not None else sha256(b"requester", identity.encode())
         self.keys = UserKeyPair.generate(system.mimc, seed=self._seed + b"|id")
-        self.certificate = system.register_participant(identity, self.keys.public_key)
+        #: ``register=False`` defers RA onboarding to a batch
+        #: (``system.register_participants``); the engine sets
+        #: ``certificate`` afterwards.
+        self.certificate = (
+            system.register_participant(identity, self.keys.public_key)
+            if register
+            else None
+        )
         self._tasks: Dict[bytes, _TaskRecord] = {}
         self._task_counter = 0
+
+    @property
+    def task_counter(self) -> int:
+        """Index the next :meth:`prepare_publish` call will use."""
+        return self._task_counter
 
     # ----- TaskPublish ---------------------------------------------------------------
 
@@ -102,16 +153,59 @@ class Requester:
         submissions_per_worker: int,
     ) -> TaskHandle:
         system = self.system
+        prepared = self.prepare_publish(
+            policy, description, num_answers, budget, answer_window,
+            instruction_window, rsa_bits, submissions_per_worker,
+        )
+        system.fund_anonymous(prepared.account.address)
+        system.fund_anonymous(prepared.account.address, budget)
+        receipt = system.send_reliable(
+            prepared.transaction, prepared.account.keypair
+        )
+        return self.complete_publish(prepared, receipt)
+
+    def encryption_rng_seed(self, task_index: Optional[int] = None) -> int:
+        """The deterministic RNG seed for task ``task_index``'s RSA keypair.
+
+        Defaults to the next task this requester will publish.  Exposed
+        so a scheduler can pregenerate keypairs (e.g. across a fork
+        pool) and hand them to :meth:`prepare_publish` — the derivation
+        is identical, so the resulting transcript is too.
+        """
+        if task_index is None:
+            task_index = self._task_counter
+        label = f"{self.identity}/task-{task_index}"
+        return int.from_bytes(sha256(self._seed, label.encode(), b"rsa"), "big")
+
+    def prepare_publish(
+        self,
+        policy: RewardPolicy,
+        description: str,
+        num_answers: int,
+        budget: int,
+        answer_window: int = 10,
+        instruction_window: int = 10,
+        rsa_bits: int = 1024,
+        submissions_per_worker: int = 1,
+        encryption_keys: Optional[TaskKeyPair] = None,
+    ) -> PreparedPublish:
+        """Build the deploy transaction without funding or sending it.
+
+        Only reads the chain (registry commitment); the caller must
+        fund ``prepared.account.address`` with gas plus the budget
+        before broadcasting ``prepared.transaction``.
+
+        ``encryption_keys`` overrides the task's RSA keypair; it must
+        come from :meth:`encryption_rng_seed`-seeded generation (the
+        engine pregenerates keypairs in parallel this way).
+        """
+        system = self.system
         label = f"{self.identity}/task-{self._task_counter}"
+        if encryption_keys is None:
+            rng = random.Random(self.encryption_rng_seed())
+            encryption_keys = TaskKeyPair.generate(bits=rsa_bits, rng=rng)
         self._task_counter += 1
         account = derive_one_task_account(self._seed, label)
-        system.fund_anonymous(account.address)
-        system.fund_anonymous(account.address, budget)
-
-        rng = random.Random(
-            int.from_bytes(sha256(self._seed, label.encode(), b"rsa"), "big")
-        )
-        encryption_keys = TaskKeyPair.generate(bits=rsa_bits, rng=rng)
 
         # α_C is predictable before deployment (footnote 10), so the
         # requester authenticates α_C ‖ α_R ahead of time.
@@ -159,14 +253,32 @@ class Requester:
             value=budget,
             data=data,
         )
-        receipt = system.send_reliable(tx, account.keypair)
-        if not receipt.success or receipt.contract_address != predicted_address:
+        return PreparedPublish(
+            account=account,
+            encryption_keys=encryption_keys,
+            params=params,
+            policy=policy,
+            predicted_address=predicted_address,
+            transaction=tx,
+            budget=budget,
+        )
+
+    def complete_publish(
+        self, prepared: PreparedPublish, receipt: Receipt
+    ) -> TaskHandle:
+        """Adopt a confirmed deployment receipt into this requester."""
+        if not receipt.success or receipt.contract_address != prepared.predicted_address:
             raise ProtocolError(f"task deployment failed: {receipt.error}")
-        self._tasks[predicted_address] = _TaskRecord(
-            account=account, encryption_keys=encryption_keys, nonce=1
+        self._tasks[prepared.predicted_address] = _TaskRecord(
+            account=prepared.account,
+            encryption_keys=prepared.encryption_keys,
+            nonce=1,
         )
         return TaskHandle(
-            address=predicted_address, params=params, policy=policy, system=system
+            address=prepared.predicted_address,
+            params=prepared.params,
+            policy=prepared.policy,
+            system=self.system,
         )
 
     # ----- Reward -----------------------------------------------------------------------
@@ -211,7 +323,20 @@ class Requester:
 
     def _evaluate_and_reward(self, handle: TaskHandle) -> Receipt:
         system = self.system
+        job = self.prepare_reward(handle)
+        proof = system.backend.prove(job.proving_key, job.circuit, job.instance)
+        tx = self.reward_transaction(job, proof)
         record = self._record(handle)
+        return system.send_reliable(tx, record.account.keypair)
+
+    def prepare_reward(self, handle: TaskHandle) -> RewardJob:
+        """Decrypt, evaluate the policy, and stage the proving job.
+
+        Everything up to (but excluding) the SNARK proof — the
+        expensive step a shared proving pool batches across tasks.
+        """
+        system = self.system
+        self._record(handle)  # ownership check
         answers, keys, flags = self.decrypt_answers(handle)
         if not answers:
             raise ProtocolError("no answers were collected; use finalize_timeout")
@@ -239,21 +364,35 @@ class Requester:
             entries=entries,
         )
         circuit, reward_keys = system.reward_material(handle.policy, n)
-        proof = system.backend.prove(reward_keys.proving_key, circuit, instance)
+        return RewardJob(
+            handle=handle,
+            instance=instance,
+            circuit=circuit,
+            proving_key=reward_keys.proving_key,
+            flags=flags,
+        )
+
+    def reward_transaction(self, job: RewardJob, proof) -> Transaction:
+        """The proved instruction transaction for a staged reward job."""
+        record = self._record(job.handle)
         data = encode_call(
             "submit_reward_instruction",
-            [list(instance.rewards), flags, proof.backend, proof.payload],
+            [list(job.instance.rewards), job.flags, proof.backend, proof.payload],
         )
         tx = Transaction(
             nonce=record.nonce,
             gas_price=DEFAULT_GAS_PRICE,
             gas_limit=DEFAULT_GAS_LIMIT,
-            to=handle.address,
+            to=job.handle.address,
             value=0,
             data=data,
         )
         record.nonce += 1
-        return system.send_reliable(tx, record.account.keypair)
+        return tx
+
+    def task_account(self, handle: TaskHandle) -> OneTaskAccount:
+        """The one-task account behind a published task (engine use)."""
+        return self._record(handle).account
 
     def _record(self, handle: TaskHandle) -> _TaskRecord:
         record = self._tasks.get(handle.address)

@@ -66,6 +66,30 @@ class SimulationResult:
         return self.majority_correct_tasks / self.tasks if self.tasks else 0.0
 
 
+def sample_answer(
+    rng: random.Random,
+    truth: int,
+    num_choices: int,
+    accuracy: float,
+    absent_probability: float = 0.0,
+) -> Optional[List[int]]:
+    """One worker's answer under the profile semantics (``None`` = ⊥).
+
+    The worker skips with ``absent_probability``, otherwise reports the
+    true label with ``accuracy`` and a uniformly wrong one with the
+    remaining mass.  This is THE answer model: both the chain-free
+    Monte-Carlo harness here and the on-chain engine's
+    ``make_uniform_specs`` draw from it, so the two agree label for
+    label given the same rng stream.
+    """
+    if rng.random() < absent_probability:
+        return None
+    if rng.random() < accuracy:
+        return [truth]
+    wrong = rng.randrange(num_choices - 1)
+    return [wrong if wrong < truth else wrong + 1]
+
+
 def simulate_tasks(
     policy: RewardPolicy,
     profiles: Sequence[WorkerProfile],
@@ -96,13 +120,12 @@ def simulate_tasks(
         answers: List[Answer] = []
         owners: List[str] = []
         for profile in roster:
-            if rng.random() < profile.absent_probability:
-                answers.append(None)
-            elif rng.random() < profile.accuracy:
-                answers.append([truth])
-            else:
-                wrong = rng.randrange(num_choices - 1)
-                answers.append([wrong if wrong < truth else wrong + 1])
+            answers.append(
+                sample_answer(
+                    rng, truth, num_choices,
+                    profile.accuracy, profile.absent_probability,
+                )
+            )
             owners.append(profile.name)
         rewards = policy.compute_rewards(answers, budget_per_task)
         for owner, answer, reward in zip(owners, answers, rewards):

@@ -18,7 +18,7 @@ from repro.errors import ProtocolError
 from repro.anonauth.keys import UserKeyPair
 from repro.chain.receipts import Receipt
 from repro.chain.transaction import Transaction, encode_call
-from repro.core.anonymity import derive_one_task_account
+from repro.core.anonymity import OneTaskAccount, derive_one_task_account
 from repro.core.encryption import encrypt_answer
 from repro.core.params import TaskParameters
 from repro.core.protocol import (
@@ -40,17 +40,42 @@ class SubmissionRecord:
     receipt: Receipt
 
 
+@dataclass
+class PreparedSubmission:
+    """A built (but unsent) answer submission.
+
+    Produced by :meth:`Worker.prepare_submission`; the scheduler funds
+    ``account.address`` with gas, broadcasts ``transaction`` alongside
+    other tasks' traffic, and hands the receipt back to
+    :meth:`Worker.complete_submission`.
+    """
+
+    task_address: bytes
+    account: "OneTaskAccount"
+    transaction: Transaction
+
+
 class Worker:
     """A registered worker."""
 
     def __init__(
-        self, system: ZebraLancerSystem, identity: str, seed: Optional[bytes] = None
+        self,
+        system: ZebraLancerSystem,
+        identity: str,
+        seed: Optional[bytes] = None,
+        register: bool = True,
     ) -> None:
         self.system = system
         self.identity = identity
         self._seed = seed if seed is not None else sha256(b"worker", identity.encode())
         self.keys = UserKeyPair.generate(system.mimc, seed=self._seed + b"|id")
-        self.certificate = system.register_participant(identity, self.keys.public_key)
+        #: ``register=False`` defers RA onboarding to a batch
+        #: (``system.register_participants``).
+        self.certificate = (
+            system.register_participant(identity, self.keys.public_key)
+            if register
+            else None
+        )
         self.submissions: List[SubmissionRecord] = []
 
     # ----- task inspection ------------------------------------------------------------
@@ -113,6 +138,30 @@ class Worker:
         validate: bool,
     ) -> SubmissionRecord:
         system = self.system
+        prepared = self.prepare_submission(task_address, answer_fields, validate)
+        system.fund_anonymous(prepared.account.address)
+        receipt = system.send_reliable(
+            prepared.transaction, prepared.account.keypair
+        )
+        return self.complete_submission(prepared, receipt)
+
+    def prepare_submission(
+        self,
+        handle_or_address,
+        answer_fields: Sequence[int],
+        validate: bool = True,
+    ) -> PreparedSubmission:
+        """Encrypt and authenticate an answer without funding/sending.
+
+        The caller must fund ``prepared.account.address`` for gas
+        before broadcasting ``prepared.transaction``.
+        """
+        task_address = (
+            handle_or_address.address
+            if isinstance(handle_or_address, TaskHandle)
+            else handle_or_address
+        )
+        system = self.system
         params = (
             self.validate_task(task_address)
             if validate
@@ -124,7 +173,6 @@ class Worker:
                 f"got {len(answer_fields)}"
             )
         account = derive_one_task_account(self._seed, f"task:{task_address.hex()}")
-        system.fund_anonymous(account.address)
 
         epk = self.read_task_epk(task_address)
         rng = random.Random(
@@ -151,10 +199,17 @@ class Worker:
             value=0,
             data=data,
         )
-        receipt = system.send_reliable(tx, account.keypair)
+        return PreparedSubmission(
+            task_address=task_address, account=account, transaction=tx
+        )
+
+    def complete_submission(
+        self, prepared: PreparedSubmission, receipt: Receipt
+    ) -> SubmissionRecord:
+        """Adopt a confirmed submission receipt into this worker."""
         record = SubmissionRecord(
-            task_address=task_address,
-            account_address=account.address,
+            task_address=prepared.task_address,
+            account_address=prepared.account.address,
             receipt=receipt,
         )
         self.submissions.append(record)

@@ -41,32 +41,107 @@ def keccak_f1600(state: list[int]) -> list[int]:
     """Apply the 24-round Keccak-f[1600] permutation to a 5x5 lane state.
 
     ``state`` is a flat list of 25 64-bit lanes indexed as ``x + 5*y``.
+
+    The theta/rho/pi/chi steps are fully unrolled with the state held
+    in locals: this permutation is the chain's hashing workhorse
+    (every tx hash, address, block hash, and trie node), and the
+    rolled-loop version spends most of its time on list indexing and
+    call overhead.  Unrolling is a ~3x speedup in pure Python.
     """
-    lanes = list(state)
-    for round_constant in _ROUND_CONSTANTS:
+    M = _MASK
+    (L0, L1, L2, L3, L4, L5, L6, L7, L8, L9, L10, L11, L12,
+     L13, L14, L15, L16, L17, L18, L19, L20, L21, L22, L23, L24) = state
+    for rc in _ROUND_CONSTANTS:
         # theta
-        c = [lanes[x] ^ lanes[x + 5] ^ lanes[x + 10] ^ lanes[x + 15] ^ lanes[x + 20]
-             for x in range(5)]
-        d = [c[(x - 1) % 5] ^ _rotl(c[(x + 1) % 5], 1) for x in range(5)]
-        for x in range(5):
-            for y in range(5):
-                lanes[x + 5 * y] ^= d[x]
-        # rho + pi
-        b = [0] * 25
-        for x in range(5):
-            for y in range(5):
-                b[y + 5 * ((2 * x + 3 * y) % 5)] = _rotl(
-                    lanes[x + 5 * y], _ROTATIONS[x][y]
-                )
-        # chi
-        for x in range(5):
-            for y in range(5):
-                lanes[x + 5 * y] = b[x + 5 * y] ^ (
-                    (~b[(x + 1) % 5 + 5 * y] & _MASK) & b[(x + 2) % 5 + 5 * y]
-                )
-        # iota
-        lanes[0] ^= round_constant
-    return lanes
+        c0 = L0 ^ L5 ^ L10 ^ L15 ^ L20
+        c1 = L1 ^ L6 ^ L11 ^ L16 ^ L21
+        c2 = L2 ^ L7 ^ L12 ^ L17 ^ L22
+        c3 = L3 ^ L8 ^ L13 ^ L18 ^ L23
+        c4 = L4 ^ L9 ^ L14 ^ L19 ^ L24
+        d0 = c4 ^ (((c1 << 1) | (c1 >> 63)) & M)
+        d1 = c0 ^ (((c2 << 1) | (c2 >> 63)) & M)
+        d2 = c1 ^ (((c3 << 1) | (c3 >> 63)) & M)
+        d3 = c2 ^ (((c4 << 1) | (c4 >> 63)) & M)
+        d4 = c3 ^ (((c0 << 1) | (c0 >> 63)) & M)
+        # rho + pi (b[y + 5*((2x+3y)%5)] = rotl(lane[x+5y], r[x][y]))
+        t = L0 ^ d0
+        b0 = t
+        t = L5 ^ d0
+        b16 = ((t << 36) | (t >> 28)) & M
+        t = L10 ^ d0
+        b7 = ((t << 3) | (t >> 61)) & M
+        t = L15 ^ d0
+        b23 = ((t << 41) | (t >> 23)) & M
+        t = L20 ^ d0
+        b14 = ((t << 18) | (t >> 46)) & M
+        t = L1 ^ d1
+        b10 = ((t << 1) | (t >> 63)) & M
+        t = L6 ^ d1
+        b1 = ((t << 44) | (t >> 20)) & M
+        t = L11 ^ d1
+        b17 = ((t << 10) | (t >> 54)) & M
+        t = L16 ^ d1
+        b8 = ((t << 45) | (t >> 19)) & M
+        t = L21 ^ d1
+        b24 = ((t << 2) | (t >> 62)) & M
+        t = L2 ^ d2
+        b20 = ((t << 62) | (t >> 2)) & M
+        t = L7 ^ d2
+        b11 = ((t << 6) | (t >> 58)) & M
+        t = L12 ^ d2
+        b2 = ((t << 43) | (t >> 21)) & M
+        t = L17 ^ d2
+        b18 = ((t << 15) | (t >> 49)) & M
+        t = L22 ^ d2
+        b9 = ((t << 61) | (t >> 3)) & M
+        t = L3 ^ d3
+        b5 = ((t << 28) | (t >> 36)) & M
+        t = L8 ^ d3
+        b21 = ((t << 55) | (t >> 9)) & M
+        t = L13 ^ d3
+        b12 = ((t << 25) | (t >> 39)) & M
+        t = L18 ^ d3
+        b3 = ((t << 21) | (t >> 43)) & M
+        t = L23 ^ d3
+        b19 = ((t << 56) | (t >> 8)) & M
+        t = L4 ^ d4
+        b15 = ((t << 27) | (t >> 37)) & M
+        t = L9 ^ d4
+        b6 = ((t << 20) | (t >> 44)) & M
+        t = L14 ^ d4
+        b22 = ((t << 39) | (t >> 25)) & M
+        t = L19 ^ d4
+        b13 = ((t << 8) | (t >> 56)) & M
+        t = L24 ^ d4
+        b4 = ((t << 14) | (t >> 50)) & M
+        # chi ((~b) & M == b ^ M for 64-bit lanes) + iota on L0
+        L0 = b0 ^ ((b1 ^ M) & b2) ^ rc
+        L1 = b1 ^ ((b2 ^ M) & b3)
+        L2 = b2 ^ ((b3 ^ M) & b4)
+        L3 = b3 ^ ((b4 ^ M) & b0)
+        L4 = b4 ^ ((b0 ^ M) & b1)
+        L5 = b5 ^ ((b6 ^ M) & b7)
+        L6 = b6 ^ ((b7 ^ M) & b8)
+        L7 = b7 ^ ((b8 ^ M) & b9)
+        L8 = b8 ^ ((b9 ^ M) & b5)
+        L9 = b9 ^ ((b5 ^ M) & b6)
+        L10 = b10 ^ ((b11 ^ M) & b12)
+        L11 = b11 ^ ((b12 ^ M) & b13)
+        L12 = b12 ^ ((b13 ^ M) & b14)
+        L13 = b13 ^ ((b14 ^ M) & b10)
+        L14 = b14 ^ ((b10 ^ M) & b11)
+        L15 = b15 ^ ((b16 ^ M) & b17)
+        L16 = b16 ^ ((b17 ^ M) & b18)
+        L17 = b17 ^ ((b18 ^ M) & b19)
+        L18 = b18 ^ ((b19 ^ M) & b15)
+        L19 = b19 ^ ((b15 ^ M) & b16)
+        L20 = b20 ^ ((b21 ^ M) & b22)
+        L21 = b21 ^ ((b22 ^ M) & b23)
+        L22 = b22 ^ ((b23 ^ M) & b24)
+        L23 = b23 ^ ((b24 ^ M) & b20)
+        L24 = b24 ^ ((b20 ^ M) & b21)
+    return [L0, L1, L2, L3, L4, L5, L6, L7, L8, L9, L10, L11, L12,
+            L13, L14, L15, L16, L17, L18, L19, L20, L21, L22, L23, L24]
 
 
 class KeccakSponge:

@@ -10,27 +10,29 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-_SMALL_PRIMES = (
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
-    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
-    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
-)
+def _sieve_primes(limit: int) -> tuple:
+    flags = bytearray([1]) * limit
+    flags[0:2] = b"\x00\x00"
+    for n in range(2, int(limit**0.5) + 1):
+        if flags[n]:
+            flags[n * n :: n] = bytes(len(flags[n * n :: n]))
+    return tuple(n for n in range(limit) if flags[n])
 
 
-def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = None) -> bool:
-    """Miller–Rabin primality test with ``rounds`` random bases.
+# Trial division by every small prime below this bound rejects the vast
+# majority of odd candidates for the cost of cheap modular reductions,
+# so only a few survivors ever pay for a Miller–Rabin modexp.  The
+# windowed sieve in generate_prime amortizes one bigint reduction per
+# small prime over a whole window of candidates, which is what makes a
+# bound this high worthwhile.
+_SIEVE_LIMIT = 50_000
+_SMALL_PRIMES = _sieve_primes(_SIEVE_LIMIT)
+# Inverse of 2 modulo each odd small prime, for solving 2k ≡ -base (mod p).
+_HALF_MOD = tuple((p + 1) // 2 for p in _SMALL_PRIMES)
 
-    40 rounds gives a false-positive probability below 4^-40, far
-    beyond what RSA key generation needs.
-    """
-    if n < 2:
-        return False
-    for p in _SMALL_PRIMES:
-        if n == p:
-            return True
-        if n % p == 0:
-            return False
-    rng = rng or random
+
+def _miller_rabin(n: int, rounds: int, rng: random.Random) -> bool:
+    """Miller–Rabin with random bases, no trial division (callers sieve)."""
     d = n - 1
     r = 0
     while d % 2 == 0:
@@ -50,16 +52,65 @@ def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = N
     return True
 
 
-def generate_prime(bits: int, rng: Optional[random.Random] = None) -> int:
-    """Generate a random probable prime of exactly ``bits`` bits."""
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = None) -> bool:
+    """Miller–Rabin primality test with ``rounds`` random bases.
+
+    40 rounds gives a false-positive probability below 4^-40, far
+    beyond what RSA key generation needs.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    return _miller_rabin(n, rounds, rng or random)
+
+
+def generate_prime(
+    bits: int, rng: Optional[random.Random] = None, rounds: int = 7
+) -> int:
+    """Generate a random probable prime of exactly ``bits`` bits.
+
+    ``rounds`` defaults below :func:`is_probable_prime`'s 40 because the
+    worst-case 4^-k bound only matters for *adversarial* inputs; for
+    uniformly random candidates of cryptographic size the
+    Damgård–Landrock–Pomerance average-case bound applies (for k ≥ 500
+    bits, t = 7 rounds already gives error below 2^-80), and the
+    confirmation modexps dominate key-generation time.
+    """
     if bits < 8:
         raise ValueError("prime width must be at least 8 bits")
     rng = rng or random.SystemRandom()
+    if bits <= 32:
+        # Small widths can collide with the sieve primes themselves, so
+        # take the simple per-candidate path.
+        while True:
+            candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+            if is_probable_prime(candidate, rounds=rounds, rng=rng):
+                return candidate
+    # Windowed incremental sieve: one bigint reduction per small prime
+    # covers a whole window of odd candidates base, base+2, ..., after
+    # which survivors go straight to Miller–Rabin.
+    window = 512
+    limit = 1 << bits
     while True:
-        candidate = rng.getrandbits(bits)
-        candidate |= (1 << (bits - 1)) | 1  # full width, odd
-        if is_probable_prime(candidate, rng=rng):
-            return candidate
+        base = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        flags = bytearray(b"\x01") * window
+        for p, half in zip(_SMALL_PRIMES[1:], _HALF_MOD[1:]):
+            # Smallest k >= 0 with base + 2k ≡ 0 (mod p).
+            k = ((p - base % p) * half) % p
+            if k < window:
+                flags[k::p] = bytes((window - k + p - 1) // p)
+        for idx in range(window):
+            if not flags[idx]:
+                continue
+            candidate = base + 2 * idx
+            if candidate >= limit:
+                break  # ran off the top of the width; resample
+            if _miller_rabin(candidate, rounds, rng):
+                return candidate
 
 
 def generate_safe_rsa_primes(bits: int, rng: Optional[random.Random] = None) -> tuple[int, int]:

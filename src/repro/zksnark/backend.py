@@ -26,6 +26,47 @@ from repro.zksnark.circuit import ConstraintSystem
 from repro.zksnark.field import FR, PrimeField
 
 
+def fanout_map(worker, items: list, jobs: int, chunked: bool):
+    """Map ``worker`` over ``items``, forking when ``jobs > 1``.
+
+    ``chunked=True`` splits one long scalar list into per-process
+    slices; ``chunked=False`` maps the worker over heterogeneous tasks.
+    Results always come back in item order (``pool.map`` semantics), so
+    callers that need determinism can rely on it.  Falls back to serial
+    execution wherever fork is unavailable.
+    """
+    if jobs > 1 and len(items) > 1:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:
+            ctx = None
+        if ctx is not None:
+            if chunked:
+                size = (len(items) + jobs - 1) // jobs
+                chunks = [items[i : i + size] for i in range(0, len(items), size)]
+                with ctx.Pool(min(jobs, len(chunks))) as pool:
+                    parts = pool.map(worker, chunks)
+                return [point for part in parts for point in part]
+            with ctx.Pool(min(jobs, len(items))) as pool:
+                return pool.map(worker, items)
+    if chunked:
+        return worker(items)
+    return [worker(item) for item in items]
+
+
+class BatchProveJob:
+    """Picklable worker mapping one (pk, circuit, instance) to a proof."""
+
+    def __init__(self, backend: "ProvingBackend") -> None:
+        self.backend = backend
+
+    def __call__(self, request) -> "Proof":
+        proving_key, circuit, instance = request
+        return self.backend.prove(proving_key, circuit, instance)
+
+
 class CircuitDefinition(abc.ABC):
     """A reusable circuit template.
 
@@ -85,10 +126,20 @@ class CircuitDefinition(abc.ABC):
 
 
 def full_circuit_digest(circuit: CircuitDefinition, r1cs) -> bytes:
-    """The digest key material binds to: R1CS structure + extra semantics."""
+    """The digest key material binds to: R1CS structure + extra semantics.
+
+    The structure digest is cached on the circuit object: synthesis is
+    instance-independent by the :class:`CircuitDefinition` contract, so
+    every prove against the same circuit hashes the same structure —
+    recomputing it per proof dominated batched proving runs.
+    """
     from repro.crypto.hashing import sha256
 
-    return sha256(b"circuit-digest", r1cs.structure_digest(), circuit.extra_digest())
+    structure = circuit.__dict__.get("_structure_digest_cache")
+    if structure is None:
+        structure = r1cs.structure_digest()
+        circuit.__dict__["_structure_digest_cache"] = structure
+    return sha256(b"circuit-digest", structure, circuit.extra_digest())
 
 
 @dataclass
@@ -139,6 +190,26 @@ class ProvingBackend(abc.ABC):
     @abc.abstractmethod
     def verify(self, verifying_key: Any, public_inputs: List[int], proof: Proof) -> bool:
         """Check a proof against the statement vector."""
+
+    def prove_many(
+        self, requests: Sequence[tuple]
+    ) -> List[Proof]:
+        """Prove a batch of ``(proving_key, circuit, instance)`` jobs.
+
+        Returns proofs in request order.  The default loops over
+        :meth:`prove`; backends with a process pool (Groth16's fork
+        fan-out) override this so a shared proving pool can run many
+        tasks' reward proofs concurrently.
+        """
+        with obs.span("snark.prove_many", backend=self.name, jobs=len(requests)):
+            proofs = [
+                self.prove(proving_key, circuit, instance)
+                for proving_key, circuit, instance in requests
+            ]
+        if obs.TRACER.enabled:
+            obs.count("snark.prove_many.calls")
+            obs.count("snark.prove_many.jobs", len(requests))
+        return proofs
 
     def batch_verify(
         self,

@@ -68,7 +68,13 @@ class LinearCombination:
 
     def __init__(self, cs: "ConstraintSystem", terms: Dict[int, int]) -> None:
         self._cs = cs
-        self.terms = {i: c % cs.field.modulus for i, c in terms.items() if c % cs.field.modulus}
+        p = cs.field.modulus
+        reduced: Dict[int, int] = {}
+        for i, c in terms.items():
+            c %= p
+            if c:
+                reduced[i] = c
+        self.terms = reduced
 
     @property
     def value(self) -> int:
@@ -170,8 +176,11 @@ class ConstraintSystem:
         lc_a = self.coerce(a)
         lc_b = self.coerce(b)
         lc_c = self.coerce(c)
+        # LinearCombination term dicts are persistent (every operation
+        # builds a fresh dict), so the constraint can share them without
+        # the defensive copy sparse() makes for external callers.
         self.constraints.append(
-            R1CSConstraint(lc_a.sparse(), lc_b.sparse(), lc_c.sparse(), annotation)
+            R1CSConstraint(lc_a.terms, lc_b.terms, lc_c.terms, annotation)
         )
 
     def enforce_equal(self, a: LCLike, b: LCLike, annotation: str = "") -> None:
@@ -193,7 +202,12 @@ class ConstraintSystem:
         lc_a = self.coerce(a)
         lc_b = self.coerce(b)
         product = self.alloc(lc_a.value * lc_b.value % self.field.modulus)
-        self.enforce(lc_a, lc_b, product, annotation or "mul")
+        # Build the constraint directly instead of round-tripping the
+        # product wire through enforce()'s coercion — this is the single
+        # hottest call in gadget synthesis (4 per MiMC round).
+        self.constraints.append(
+            R1CSConstraint(lc_a.terms, lc_b.terms, {product.index: 1}, annotation or "mul")
+        )
         return product
 
     def square(self, a: LCLike, annotation: str = "") -> Variable:

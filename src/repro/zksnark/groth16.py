@@ -35,10 +35,12 @@ from repro import observability as obs
 from repro.crypto.hashing import sha256
 from repro.errors import ProofError
 from repro.zksnark.backend import (
+    BatchProveJob,
     CircuitDefinition,
     KeyPair,
     Proof,
     ProvingBackend,
+    fanout_map,
     full_circuit_digest,
 )
 from repro.zksnark.bn128.curve import (
@@ -186,32 +188,9 @@ def _msm_task(task):
     return g1_msm(points, scalars)
 
 
-def _fanout_map(worker, items: list, jobs: int, chunked: bool):
-    """Map ``worker`` over ``items``, forking when ``jobs > 1``.
-
-    ``chunked=True`` splits one long scalar list into per-process
-    slices; ``chunked=False`` maps the worker over heterogeneous tasks.
-    Falls back to serial execution wherever fork is unavailable.
-    """
-    if jobs > 1 and len(items) > 1:
-        import multiprocessing as mp
-
-        try:
-            ctx = mp.get_context("fork")
-        except ValueError:
-            ctx = None
-        if ctx is not None:
-            if chunked:
-                size = (len(items) + jobs - 1) // jobs
-                chunks = [items[i : i + size] for i in range(0, len(items), size)]
-                with ctx.Pool(min(jobs, len(chunks))) as pool:
-                    parts = pool.map(worker, chunks)
-                return [point for part in parts for point in part]
-            with ctx.Pool(min(jobs, len(items))) as pool:
-                return pool.map(worker, items)
-    if chunked:
-        return worker(items)
-    return [worker(item) for item in items]
+# Shared with the mock backend; re-exported here for back-compat.
+_ProveJob = BatchProveJob
+_fanout_map = fanout_map
 
 
 class Groth16Backend(ProvingBackend):
@@ -367,6 +346,26 @@ class Groth16Backend(ProvingBackend):
             proof = self._prove(proving_key, circuit, instance, rng)
         obs.count("snark.prove.calls")
         return proof
+
+    def prove_many(self, requests) -> List[Proof]:
+        """Prove independent jobs across the fork pool (``jobs > 1``).
+
+        Each child proves serially (``jobs=1``) so the per-proof MSM
+        fan-out and the per-job fan-out never nest pools.  Falls back
+        to the serial base implementation wherever fork is unavailable.
+        """
+        if self._jobs <= 1 or len(requests) < 2:
+            return super().prove_many(requests)
+        with obs.span(
+            "snark.prove_many", backend=self.name, jobs=len(requests)
+        ):
+            child = Groth16Backend(optimized=self._optimized, jobs=1)
+            proofs = _fanout_map(
+                _ProveJob(child), list(requests), self._jobs, chunked=False
+            )
+        obs.count("snark.prove_many.calls")
+        obs.count("snark.prove_many.jobs", len(requests))
+        return proofs
 
     def _prove(
         self,

@@ -20,6 +20,7 @@ on-chain size accounting stays faithful.
 from __future__ import annotations
 
 import hmac
+import os
 import secrets
 from dataclasses import dataclass
 from typing import Any, List, Optional
@@ -29,10 +30,12 @@ from repro.crypto.hashing import sha256
 from repro.errors import ProofError
 from repro.serialization import encode
 from repro.zksnark.backend import (
+    BatchProveJob,
     CircuitDefinition,
     KeyPair,
     Proof,
     ProvingBackend,
+    fanout_map,
     full_circuit_digest,
 )
 
@@ -60,9 +63,42 @@ class MockVerifyingKey:
 
 
 class MockBackend(ProvingBackend):
-    """Ideal SNARK functionality with Groth16-shaped accounting."""
+    """Ideal SNARK functionality with Groth16-shaped accounting.
+
+    ``jobs`` controls the fork fan-out used by :meth:`prove_many` only
+    (single proofs are too cheap to ship to a pool); it defaults to the
+    ``REPRO_SNARK_JOBS`` env var, else the CPU count, so the engine's
+    shared proving pool parallelizes out of the box.
+    """
 
     name = "mock"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_SNARK_JOBS", "0") or 0)
+        self._jobs = max(1, jobs or (os.cpu_count() or 1))
+
+    def prove_many(self, requests) -> List[Proof]:
+        """Prove independent jobs across a fork pool, in request order.
+
+        Proofs are deterministic MACs, so the fan-out is transcript-
+        equivalent to the serial loop — only faster.  Falls back to the
+        serial base implementation for tiny batches or where fork is
+        unavailable.
+        """
+        requests = list(requests)
+        if self._jobs <= 1 or len(requests) < 2:
+            return super().prove_many(requests)
+        with obs.span(
+            "snark.prove_many", backend=self.name, jobs=len(requests)
+        ):
+            proofs = fanout_map(
+                BatchProveJob(self), requests, self._jobs, chunked=False
+            )
+        if obs.TRACER.enabled:
+            obs.count("snark.prove_many.calls")
+            obs.count("snark.prove_many.jobs", len(requests))
+        return proofs
 
     def setup(self, circuit: CircuitDefinition, seed: Optional[bytes] = None) -> KeyPair:
         with obs.span("snark.setup", backend=self.name, circuit=circuit.name):

@@ -137,3 +137,71 @@ def test_prune_stale_drops_passed_nonces() -> None:
     assert pool.prune_stale(state) == 1
     assert not pool.contains(stale.tx_hash)
     assert pool.contains(live.tx_hash)
+
+
+# ----- replace-by-fee slots and nonce-gap anchoring (engine regressions) -------------
+
+
+def test_same_nonce_slot_replaced_only_by_higher_gas_price() -> None:
+    """(sender, nonce) is one slot: equal-or-lower price is rejected,
+    a strictly higher price evicts the incumbent (the gas-bumped retry)."""
+    pool = Mempool()
+    original = _tx(ALICE, 0, gas_price=5)
+    assert pool.add(original)
+    assert not pool.add(_tx(ALICE, 0, gas_price=5))  # same price: rejected
+    assert not pool.add(_tx(ALICE, 0, gas_price=4))  # lower: rejected
+    assert pool.contains(original.tx_hash)
+    bumped = _tx(ALICE, 0, gas_price=6)
+    assert pool.add(bumped)
+    assert not pool.contains(original.tx_hash)  # incumbent evicted
+    assert pool.contains(bumped.tx_hash)
+    assert len(pool) == 1
+    # Selection never returns two txs for one slot.
+    selected = pool.select_for_block(gas_limit=10**6)
+    assert [stx.tx_hash for stx in selected] == [bumped.tx_hash]
+
+
+def test_remove_frees_the_slot() -> None:
+    pool = Mempool()
+    first = _tx(ALICE, 0, gas_price=5)
+    pool.add(first)
+    pool.remove(first.tx_hash)
+    # Same nonce, same price: admissible again — the slot is free.
+    assert pool.add(_tx(ALICE, 0, gas_price=5))
+
+
+def test_select_with_state_stops_at_nonce_gap() -> None:
+    """Given the head state, selection anchors each sender's queue at
+    the state nonce and cuts at the first gap: nonces 1 and 3 while the
+    account sits at 0 yield an empty block instead of doomed picks."""
+    from repro.chain.state import WorldState
+
+    pool = Mempool()
+    pool.add(_tx(ALICE, 1))
+    pool.add(_tx(ALICE, 3))
+    state = WorldState()
+    state.credit(ALICE.address(), 10**9)
+    assert pool.select_for_block(gas_limit=10**6, state=state) == []
+    # Filling the gap unlocks the contiguous prefix (0, 1) but not 3.
+    pool.add(_tx(ALICE, 0))
+    nonces = [
+        stx.transaction.nonce
+        for stx in pool.select_for_block(gas_limit=10**6, state=state)
+    ]
+    assert nonces == [0, 1]
+
+
+def test_select_with_state_skips_stale_nonces() -> None:
+    from repro.chain.state import WorldState
+
+    pool = Mempool()
+    pool.add(_tx(ALICE, 0))
+    pool.add(_tx(ALICE, 1))
+    state = WorldState()
+    state.credit(ALICE.address(), 10**9)
+    state.account(ALICE.address()).nonce = 1  # nonce 0 already included
+    nonces = [
+        stx.transaction.nonce
+        for stx in pool.select_for_block(gas_limit=10**6, state=state)
+    ]
+    assert nonces == [1]

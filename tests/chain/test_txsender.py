@@ -151,3 +151,76 @@ def test_gas_bump_clamped_to_sender_balance() -> None:
     assert report.receipt.success
     # (30_000 - 100) // 21_000 == 1: no affordable bump, same price resent.
     assert report.final_gas_price == 1
+
+
+# ----- concurrent-sender additions: NonceManager + the async broadcast path ----------
+
+
+def test_nonce_manager_reserves_consecutively() -> None:
+    """Two reservations before anything lands must not collide."""
+    net = _funded_net()
+    sender = TxSender(net)
+    a = sender.nonces.reserve(USER.address())
+    b = sender.nonces.reserve(USER.address())
+    assert (a, b) == (0, 1)
+    assert sender.nonces.next_nonce(USER.address()) == 2
+
+
+def test_nonce_manager_follows_chain_after_inclusion() -> None:
+    net = _funded_net()
+    sender = TxSender(net)
+    nonce = sender.nonces.reserve(USER.address())
+    tx = Transaction(nonce=nonce, gas_price=1, gas_limit=21_000, to=SINK, value=1)
+    assert sender.send(tx, USER).success
+    # Chain nonce (1) now dominates the local reservation.
+    assert sender.nonces.reserve(USER.address()) == 1
+    sender.nonces.forget(USER.address())
+    assert sender.nonces.next_nonce(USER.address()) == 1
+
+
+def test_broadcast_batch_lands_in_one_block() -> None:
+    """The engine's path: sign + gossip a wave without mining, then one
+    block confirms every pending transaction."""
+    net = _funded_net()
+    sender = TxSender(net)
+    pendings = [
+        sender.broadcast(
+            Transaction(
+                nonce=sender.nonces.reserve(USER.address()),
+                gas_price=1, gas_limit=21_000, to=SINK, value=1,
+            ),
+            USER,
+        )
+        for _ in range(3)
+    ]
+    assert all(p.receipt is None for p in pendings)
+    net.mine_block()
+    remaining = sender.service(pendings)
+    assert remaining == []
+    blocks = {p.receipt.block_number for p in pendings}
+    assert len(blocks) == 1
+    assert all(p.receipt.success for p in pendings)
+    assert net.any_node.balance_of(SINK) == 3
+
+
+def test_service_retries_dropped_broadcast() -> None:
+    """A censored broadcast is rebroadcast with a gas bump by service()
+    once the timeout passes, reusing the reserved nonce (no gap)."""
+    net = _funded_net()
+    adversary = _DropFirstN(1)
+    net.network.adversary = adversary
+    sender = TxSender(net, timeout_blocks=1, max_attempts=4)
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000, to=SINK, value=2)
+    pending = sender.broadcast(tx, USER)
+    assert len(adversary.dropped) == 1
+    remaining = [pending]
+    for _ in range(4):
+        net.mine_block()
+        remaining = sender.service(remaining)
+        if not remaining:
+            break
+    assert remaining == []
+    assert pending.receipt is not None and pending.receipt.success
+    assert pending.attempts >= 2
+    assert pending.transaction.nonce == 0
+    assert net.any_node.balance_of(SINK) == 2

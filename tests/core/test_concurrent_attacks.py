@@ -1,0 +1,176 @@
+"""Cross-task attacks while several tasks are in flight at once.
+
+The engine runs many Algorithm-1 instances concurrently against one
+chain, which opens attack surface the serial tests never see: a
+credential/attestation minted for task A replayed into concurrently
+open task B, and mempool-level front-running of a submission from one
+task into another.  The defenses under test are the ones DESIGN.md
+derives from the paper: every attestation message starts with the
+task's *common prefix* (α_C ‖ task address), so tags link double
+submissions within a task but verification fails for any other task.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anonauth.scheme import task_prefix
+from repro.chain.transaction import Transaction, encode_call
+from repro.core import MajorityVotePolicy, Requester, Worker
+from repro.core.anonymity import derive_one_task_account
+from repro.serialization import decode
+
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def _publish_pair(zebra_system):
+    """Two tasks from different requesters, both open at once."""
+    task_a = Requester(zebra_system, "req-a").publish_task(
+        POLICY, "task-a", num_answers=2, budget=200, answer_window=60
+    )
+    task_b = Requester(zebra_system, "req-b").publish_task(
+        POLICY, "task-b", num_answers=2, budget=200, answer_window=60
+    )
+    return task_a, task_b
+
+
+def _submission_calldata(zebra_system, task_address):
+    """The (ciphertext, attestation) wires of a mined submission."""
+    for stx in zebra_system.testnet.network.transaction_log:
+        if stx.transaction.to == task_address and stx.transaction.data:
+            _, method, args = decode(stx.transaction.data)
+            if method == "submit_answer":
+                return args
+    raise AssertionError("no submission found in the ledger")
+
+
+def test_attestation_replay_across_concurrent_tasks_rejected(zebra_system) -> None:
+    """A (ciphertext, attestation) pair minted for task A fails on task B.
+
+    The attestation's message is prefixed with task A's common prefix,
+    so task B's Verify recomputes a different statement and the proof
+    cannot check out — even though both tasks are live, share the
+    registry commitment, and accept the same answer format.
+    """
+    task_a, task_b = _publish_pair(zebra_system)
+    victim = Worker(zebra_system, "victim")
+    assert victim.submit_answer(task_a, [1]).receipt.success
+
+    ciphertext_wire, attestation_wire = _submission_calldata(
+        zebra_system, task_a.address
+    )
+    attacker = derive_one_task_account(b"replayer", f"task:{task_b.address.hex()}")
+    zebra_system.fund_anonymous(attacker.address)
+    tx = Transaction(
+        nonce=0, gas_price=1, gas_limit=10_000_000, to=task_b.address, value=0,
+        data=encode_call("submit_answer", [ciphertext_wire, attestation_wire]),
+    )
+    receipt = zebra_system.send_and_confirm(tx.sign(attacker.keypair))
+    assert not receipt.success
+    assert "not authenticated" in receipt.error
+    assert task_b.answer_count() == 0
+    # Task A's original stands untouched.
+    assert task_a.answer_count() == 1
+
+
+def test_double_submission_linked_even_with_other_tasks_open(zebra_system) -> None:
+    """Common-prefix linkability is per task and survives concurrency.
+
+    The same worker may serve two concurrent tasks (different prefixes
+    → unlinkable tags, by design), but a second submission to the SAME
+    task links via t1 no matter how much unrelated traffic interleaves.
+    """
+    task_a, task_b = _publish_pair(zebra_system)
+    worker = Worker(zebra_system, "moonlighter")
+    assert worker.submit_answer(task_a, [2]).receipt.success
+    # Serving the concurrent task B with the same credential is fine …
+    assert worker.submit_answer(task_b, [3]).receipt.success
+
+    # … but a second answer to task A (fresh address, fresh ciphertext,
+    # fresh proof — everything a rational cheater would randomize) still
+    # carries the same t1 = H(prefix_A, sk) and is rejected.
+    prepared = worker.prepare_submission(task_a, [1])
+    fresh = derive_one_task_account(b"second-try", f"task:{task_a.address.hex()}")
+    zebra_system.fund_anonymous(fresh.address)
+    _, _, args = decode(prepared.transaction.data)
+    tx = Transaction(
+        nonce=0, gas_price=1, gas_limit=10_000_000, to=task_a.address, value=0,
+        data=encode_call("submit_answer", args),
+    )
+    receipt = zebra_system.send_and_confirm(tx.sign(fresh.keypair))
+    assert not receipt.success
+    assert "double submission" in receipt.error
+    assert task_a.answer_count() == 1
+    assert task_b.answer_count() == 1
+
+
+def test_submission_cannot_be_front_run_into_other_task(zebra_system) -> None:
+    """A mempool observer cannot divert a pending submission to task B.
+
+    The victim's transaction is broadcast but NOT yet mined; the
+    attacker lifts its calldata from the open mempool, outbids it on
+    gas price, and targets concurrently open task B.  When the block is
+    mined the attacker's copy executes first and fails Verify (wrong
+    prefix), while the victim's original lands in task A untouched.
+    """
+    task_a, task_b = _publish_pair(zebra_system)
+    worker = Worker(zebra_system, "victim")
+    prepared = worker.prepare_submission(task_a, [1])
+    # Fund both parties BEFORE anything is broadcast: funding mines a
+    # block, which would otherwise consume the victim's pending tx.
+    attacker = derive_one_task_account(b"front", f"task:{task_b.address.hex()}")
+    zebra_system.fund_anonymous(prepared.account.address)
+    zebra_system.fund_anonymous(
+        attacker.address, amount=10 * 10_000_000 * 10  # 10x gas price upfront
+    )
+
+    sender = zebra_system.testnet.tx_sender
+    pending = sender.broadcast(prepared.transaction, prepared.account.keypair)
+
+    # The attacker watches the mempool of any node.
+    observed = None
+    for stx in zebra_system.node.mempool.pending():
+        if stx.transaction.to == task_a.address and stx.transaction.data:
+            _, method, args = decode(stx.transaction.data)
+            if method == "submit_answer":
+                observed = args
+    assert observed is not None, "victim's submission should be pending"
+
+    front_run = Transaction(
+        nonce=0, gas_price=prepared.transaction.gas_price * 10,
+        gas_limit=10_000_000, to=task_b.address, value=0,
+        data=encode_call("submit_answer", observed),
+    )
+    front_pending = sender.broadcast(front_run, attacker.keypair)
+
+    zebra_system.mine(2)
+    victim_receipt = sender.poll(pending)
+    attacker_receipt = sender.poll(front_pending)
+    assert victim_receipt is not None and victim_receipt.success
+    assert attacker_receipt is not None and not attacker_receipt.success
+    assert task_a.answer_count() == 1
+    assert task_b.answer_count() == 0
+
+
+def test_engine_tasks_stay_isolated(zebra_system) -> None:
+    """Belt and braces: the same cohort run through the engine yields
+    one reward vector per task with no cross-task leakage of answers."""
+    from repro.core.engine import ProtocolEngine, TaskSpec
+
+    requesters = [Requester(zebra_system, f"eng-r{i}") for i in range(2)]
+    workers = [[Worker(zebra_system, f"eng-w{i}{j}") for j in range(2)] for i in range(2)]
+    specs = [
+        TaskSpec(
+            requester=requesters[i],
+            workers=workers[i],
+            answers=[[i], [i]],  # task i's workers all answer i
+            policy=POLICY,
+            description=f"iso-{i}",
+            budget=200,
+        )
+        for i in range(2)
+    ]
+    report = ProtocolEngine(zebra_system, specs).run()
+    assert [o.rewards for o in report.outcomes] == [[100, 100], [100, 100]]
+    addresses = {o.address for o in report.outcomes}
+    assert len(addresses) == 2

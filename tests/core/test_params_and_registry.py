@@ -79,12 +79,14 @@ def test_duplicate_commitment_update_is_noop(zebra_system) -> None:
     node = zebra_system.node
     registry = zebra_system.registry_address
     current = node.call(registry, "get_commitment")
+    ra_nonce = zebra_system.testnet.tx_sender.nonces.reserve(
+        zebra_system._ra_key.address()
+    )
     tx = Transaction(
-        nonce=zebra_system._ra_nonce, gas_price=1, gas_limit=1_000_000,
+        nonce=ra_nonce, gas_price=1, gas_limit=1_000_000,
         to=registry, value=0,
         data=encode_call("update_commitment", [current]),
     )
-    zebra_system._ra_nonce += 1
     receipt = zebra_system.send_and_confirm(tx.sign(zebra_system._ra_key))
     assert receipt.success
     state = node.head_state.account(registry).storage
