@@ -28,6 +28,7 @@ class BlockHeader:
     gas_limit: int
     extra: bytes = b""
     seal: bytes = b""  # consensus-engine data (PoW nonce / PoA tag)
+    receipts_root: bytes = b""  # Merkle root over receipt encodings
 
     def hash_without_seal(self) -> bytes:
         return keccak256(
@@ -39,6 +40,7 @@ class BlockHeader:
                     self.miner,
                     self.state_root,
                     self.tx_root,
+                    self.receipts_root,
                     self.gas_used,
                     self.gas_limit,
                     self.extra,
@@ -59,6 +61,7 @@ class BlockHeader:
                 self.miner,
                 self.state_root,
                 self.tx_root,
+                self.receipts_root,
                 self.gas_used,
                 self.gas_limit,
                 self.extra,
@@ -73,14 +76,15 @@ class BlockHeader:
             fields = decode(wire)
         except (ValueError, TypeError) as exc:
             raise InvalidBlockError(f"malformed header wire: {exc}") from exc
-        if not isinstance(fields, list) or len(fields) != 10:
-            raise InvalidBlockError("header wire must carry 10 fields")
-        (number, parent_hash, timestamp, miner, state_root,
-         tx_root, gas_used, gas_limit, extra, seal) = fields
+        if not isinstance(fields, list) or len(fields) != 11:
+            raise InvalidBlockError("header wire must carry 11 fields")
+        (number, parent_hash, timestamp, miner, state_root, tx_root,
+         receipts_root, gas_used, gas_limit, extra, seal) = fields
         for name, value, kind in (
             ("number", number, int), ("parent_hash", parent_hash, bytes),
             ("timestamp", timestamp, int), ("miner", miner, bytes),
             ("state_root", state_root, bytes), ("tx_root", tx_root, bytes),
+            ("receipts_root", receipts_root, bytes),
             ("gas_used", gas_used, int), ("gas_limit", gas_limit, int),
             ("extra", extra, bytes), ("seal", seal, bytes),
         ):
@@ -89,7 +93,8 @@ class BlockHeader:
         return cls(
             number=number, parent_hash=parent_hash, timestamp=timestamp,
             miner=miner, state_root=state_root, tx_root=tx_root,
-            gas_used=gas_used, gas_limit=gas_limit, extra=extra, seal=seal,
+            receipts_root=receipts_root, gas_used=gas_used,
+            gas_limit=gas_limit, extra=extra, seal=seal,
         )
 
 

@@ -14,6 +14,11 @@ from repro.errors import InvalidBlockError
 from repro.chain.block import Block, BlockHeader, GENESIS_PARENT
 from repro.chain.consensus import ConsensusEngine
 from repro.chain.node import Node
+from repro.chain.receipts import (
+    ReceiptProof,
+    prove_receipt_inclusion,
+    verify_receipt_proof,
+)
 from repro.chain.txtrie import InclusionProof, prove_inclusion, verify_inclusion
 
 
@@ -87,6 +92,21 @@ class LightClient:
             return False
         return verify_inclusion(header.tx_root, proof)
 
+    def verify_receipt_inclusion(
+        self, proof: ReceiptProof, block_number: int
+    ) -> bool:
+        """Check a receipt proof against a tracked header's receipts root.
+
+        This is how a worker confirms a payout *outcome* (status, gas,
+        reward logs) landed on the canonical chain without replaying
+        state: a proof anchored in a reorged-away header fails because
+        :meth:`header_by_number` only walks the current head's ancestry.
+        """
+        header = self.header_by_number(block_number)
+        if header is None:
+            return False
+        return verify_receipt_proof(header.receipts_root, proof)
+
 
 def serve_inclusion_proof(node: Node, tx_hash: bytes) -> Optional[tuple]:
     """Full-node side: produce (proof, block_number) for a mined tx."""
@@ -102,3 +122,24 @@ def serve_inclusion_proof(node: Node, tx_hash: bytes) -> Optional[tuple]:
     except ValueError:
         return None
     return prove_inclusion(hashes, index), block.number
+
+
+def serve_receipt_proof(node: Node, tx_hash: bytes) -> Optional[tuple]:
+    """Full-node side: produce (receipt proof, block_number) for a tx.
+
+    Returns ``None`` if the transaction's receipt is unknown or no
+    longer on the node's canonical chain (e.g. after a reorg).
+    """
+    receipt = node.get_receipt(tx_hash)
+    if receipt is None or receipt.block_number is None:
+        return None
+    block = node.block_by_number(receipt.block_number)
+    if block is None:
+        return None
+    receipts = node.receipts_for_block(block.block_hash)
+    if receipts is None:
+        return None
+    for index, candidate in enumerate(receipts):
+        if candidate.tx_hash == tx_hash:
+            return prove_receipt_inclusion(list(receipts), index), block.number
+    return None

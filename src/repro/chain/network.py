@@ -349,6 +349,8 @@ class Testnet:
         initial_faucet_balance: int = 10**30,
         engine: Optional[ConsensusEngine] = None,
         fault_plan: Optional[FaultPlan] = None,
+        execution_lanes: int = 1,
+        execution_workers: int = 1,
     ) -> None:
         if miners < 1:
             raise ValueError("need at least one miner")
@@ -375,13 +377,21 @@ class Testnet:
                     engine=self.engine,
                     keypair=key,
                     is_miner=True,
+                    execution_lanes=execution_lanes,
+                    execution_workers=execution_workers,
                 )
             )
             for i, key in enumerate(miner_keys)
         ]
         self.full_nodes: List[Node] = [
             self.network.add_node(
-                Node(name=f"full-{i}", genesis=genesis, engine=self.engine)
+                Node(
+                    name=f"full-{i}",
+                    genesis=genesis,
+                    engine=self.engine,
+                    execution_lanes=execution_lanes,
+                    execution_workers=execution_workers,
+                )
             )
             for i in range(full_nodes)
         ]

@@ -28,7 +28,8 @@ from repro.chain.contract import BlockContext
 from repro.chain.gas import DEFAULT_SCHEDULE, GasSchedule
 from repro.chain.journal import ChainJournal
 from repro.chain.mempool import Mempool
-from repro.chain.receipts import Receipt
+from repro.chain.parallel import execute_block
+from repro.chain.receipts import EMPTY_RECEIPTS_ROOT, Receipt, receipts_root
 from repro.chain.state import WorldState
 from repro.chain.transaction import SignedTransaction
 from repro.chain.vm import VM
@@ -60,6 +61,7 @@ class GenesisConfig:
             miner=b"\x00" * 20,
             state_root=state.state_root(),
             tx_root=transactions_root([]),
+            receipts_root=EMPTY_RECEIPTS_ROOT,
             gas_used=0,
             gas_limit=self.gas_limit,
             extra=b"zebralancer-genesis",
@@ -78,11 +80,17 @@ class Node:
         keypair: Optional[ecdsa.ECDSAKeyPair] = None,
         is_miner: bool = False,
         schedule: GasSchedule = DEFAULT_SCHEDULE,
+        execution_lanes: int = 1,
+        execution_workers: int = 1,
     ) -> None:
         self.name = name
         self.genesis = genesis
         self.keypair = keypair or ecdsa.ECDSAKeyPair.from_seed(name.encode())
         self.is_miner = is_miner
+        #: Optimistic-concurrency knobs: speculative lanes per block and
+        #: forked worker processes driving them (1/1 = serial).
+        self.execution_lanes = max(1, execution_lanes)
+        self.execution_workers = max(1, execution_workers)
         self.engine = engine or PoAEngine([self.keypair.address()])
         self.vm = VM(schedule=schedule, chain_id=genesis.chain_id)
         self.mempool = Mempool()
@@ -100,6 +108,10 @@ class Node:
             genesis_block.block_hash: self.genesis.build_state()
         }
         self._receipts: Dict[bytes, Receipt] = {}
+        # block hash -> ordered receipts (source of receipt proofs).
+        self._block_receipts: Dict[bytes, Tuple[Receipt, ...]] = {
+            genesis_block.block_hash: ()
+        }
         self._head = genesis_block.block_hash
         # number -> hash of the canonical (head-ancestor) chain.
         self._canonical: Dict[int, bytes] = {0: genesis_block.block_hash}
@@ -145,6 +157,10 @@ class Node:
 
     def get_receipt(self, tx_hash: bytes) -> Optional[Receipt]:
         return self._receipts.get(tx_hash)
+
+    def receipts_for_block(self, block_hash: bytes) -> Optional[Tuple[Receipt, ...]]:
+        """The ordered receipts of a locally executed block."""
+        return self._block_receipts.get(block_hash)
 
     def balance_of(self, address: bytes) -> int:
         return self.head_state.balance_of(address)
@@ -207,16 +223,13 @@ class Node:
             selected = self.mempool.select_for_block(
                 self.genesis.gas_limit, state=self.head_state
             )
-            included: List[SignedTransaction] = []
-            gas_used = 0
-            for stx in selected:
-                try:
-                    self.vm.validate_transaction(state, stx)
-                except InvalidTransactionError:
-                    continue  # leave it out (it may become valid later)
-                receipt = self.vm.execute_transaction(state, stx, block_ctx)
-                gas_used += receipt.gas_used
-                included.append(stx)
+            execution = execute_block(
+                self.vm, state, selected, block_ctx,
+                lanes=self.execution_lanes, workers=self.execution_workers,
+                mode="build",
+            )
+            included = execution.included
+            gas_used = execution.gas_used
             header = BlockHeader(
                 number=parent.number + 1,
                 parent_hash=parent.block_hash,
@@ -224,13 +237,18 @@ class Node:
                 miner=self.address,
                 state_root=state.state_root(),
                 tx_root=transactions_root(included),
+                receipts_root=receipts_root(execution.receipts),
                 gas_used=gas_used,
                 gas_limit=self.genesis.gas_limit,
             )
             seal = self.engine.seal(header, self.keypair)
             sealed = BlockHeader(**{**header.__dict__, "seal": seal})
             block = Block(header=sealed, transactions=tuple(included))
-            mine_span.set_attrs(txs=len(included), gas_used=gas_used)
+            mine_span.set_attrs(
+                txs=len(included), gas_used=gas_used,
+                lanes=execution.stats.lanes,
+                reexecutions=execution.stats.reexecutions,
+            )
             self.import_block(block)
         return block
 
@@ -269,22 +287,25 @@ class Node:
             timestamp=block.header.timestamp,
             coinbase=block.header.miner,
         )
-        receipts: List[Receipt] = []
-        gas_used = 0
-        for stx in block.transactions:
-            try:
-                receipt = self.vm.execute_transaction(state, stx, block_ctx)
-            except InvalidTransactionError as exc:
-                raise InvalidBlockError(f"invalid transaction in block: {exc}") from exc
-            receipts.append(receipt)
-            gas_used += receipt.gas_used
-        if gas_used != block.header.gas_used:
+        try:
+            execution = execute_block(
+                self.vm, state, list(block.transactions), block_ctx,
+                lanes=self.execution_lanes, workers=self.execution_workers,
+                mode="verify",
+            )
+        except InvalidTransactionError as exc:
+            raise InvalidBlockError(f"invalid transaction in block: {exc}") from exc
+        receipts = execution.receipts
+        if execution.gas_used != block.header.gas_used:
             raise InvalidBlockError("gas-used mismatch after re-execution")
         if state.state_root() != block.header.state_root:
             raise InvalidBlockError("state root mismatch after re-execution")
+        if receipts_root(receipts) != block.header.receipts_root:
+            raise InvalidBlockError("receipts root mismatch after re-execution")
 
         self._blocks[block.block_hash] = block
         self._states[block.block_hash] = state
+        self._block_receipts[block.block_hash] = tuple(receipts)
         for receipt in receipts:
             self._receipts[receipt.tx_hash] = receipt
         self.blocks_imported += 1
@@ -375,6 +396,7 @@ class Node:
         self._blocks = {}
         self._states = {}
         self._receipts = {}
+        self._block_receipts = {}
         self._canonical = {}
 
     def restart(self) -> int:

@@ -96,7 +96,7 @@ class VM:
         # Buy gas and bump the nonce; these survive any revert.
         state.debit(sender, tx.gas_price * tx.gas_limit)
         state.account(sender).nonce += 1
-        state.begin_transaction()
+        frame = state.begin_transaction()
 
         meter = GasMeter(tx.gas_limit, self.schedule)
         meter.consume(self.schedule.intrinsic_gas(tx.data, tx.is_create), "intrinsic")
@@ -111,7 +111,7 @@ class VM:
                 receipt.return_value = self._apply_message(ctx, stx)
             receipt.logs = list(ctx.logs)
         except (ContractError, OutOfGasError, ChainError) as exc:
-            state.rollback_transaction()
+            state.rollback_transaction(frame)
             receipt.status = STATUS_REVERTED
             receipt.error = f"{type(exc).__name__}: {exc}"
             receipt.contract_address = None
@@ -120,10 +120,10 @@ class VM:
         except BaseException:
             # Unexpected failure (fault injection, bugs): leave the
             # state consistent before propagating.
-            state.rollback_transaction()
+            state.rollback_transaction(frame)
             raise
         else:
-            state.commit_transaction()
+            state.commit_transaction(frame)
 
         # Settle gas: refund the unused part, pay the miner for the used part.
         receipt.gas_used = meter.used
@@ -242,14 +242,14 @@ class VM:
             state=state, meter=meter, block=block,
             origin=caller or b"\x00" * 20, vm=self, read_only=True,
         )
-        state.begin_transaction()
+        frame = state.begin_transaction()
         try:
             return self._invoke(
                 ctx, address, method, args, caller=caller or b"\x00" * 20,
                 value=0, allow_view=True,
             )
         finally:
-            state.rollback_transaction()
+            state.rollback_transaction(frame)
 
     def _instantiate(
         self,

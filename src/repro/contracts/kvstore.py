@@ -1,0 +1,50 @@
+"""A minimal keyed store contract.
+
+Used by the parallel-execution tests and benchmarks as a controllable
+source of contract-state contention: `put`/`bump` write slots,
+`copy_from` reads *another* KVStore instance (a cross-contract read
+that can span execution lanes), and `fail` reverts on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.chain.contract import Contract, ContractRegistry, external, view
+
+
+@ContractRegistry.register
+class KVStore(Contract):
+    """Slot storage with deliberate conflict hooks."""
+
+    def init(self) -> None:
+        self.storage["writes"] = 0
+
+    @external
+    def put(self, key: str, value: Any) -> None:
+        self.storage[key] = value
+        self.storage["writes"] = self.storage.get("writes", 0) + 1
+
+    @external
+    def bump(self, key: str, amount: int = 1) -> int:
+        current = self.storage.get(key, 0)
+        if not isinstance(current, int):
+            current = 0  # slot may hold a copied non-counter value
+        total = current + amount
+        self.storage[key] = total
+        self.emit("Bumped", key=key, total=total)
+        return total
+
+    @external
+    def copy_from(self, other: bytes, key: str) -> Any:
+        value = self.static_read(other, "get", [key])
+        self.storage[key] = value
+        return value
+
+    @external
+    def fail(self, message: str = "kvstore: deliberate revert") -> None:
+        self.require(False, message)
+
+    @view
+    def get(self, key: str) -> Optional[Any]:
+        return self.storage.get(key)

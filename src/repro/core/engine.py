@@ -489,6 +489,8 @@ def engine_system(
     workers_per_task: int,
     backend_name: str = "mock",
     seed: bytes = b"engine-system",
+    execution_lanes: int = 1,
+    execution_workers: int = 1,
     **system_kwargs: Any,
 ) -> ZebraLancerSystem:
     """A :class:`ZebraLancerSystem` sized for a concurrent wave.
@@ -506,7 +508,11 @@ def engine_system(
     from repro.profiles import TEST
 
     wave = max(1, num_tasks * (workers_per_task + 2))
-    testnet = Testnet(gas_limit=max(30_000_000, wave * DEFAULT_GAS_LIMIT))
+    testnet = Testnet(
+        gas_limit=max(30_000_000, wave * DEFAULT_GAS_LIMIT),
+        execution_lanes=execution_lanes,
+        execution_workers=execution_workers,
+    )
     # The registration tree must hold the whole cohort (N requesters +
     # N·M workers) with headroom for extra registrations by the tests.
     cohort = num_tasks * (workers_per_task + 1)

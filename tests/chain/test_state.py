@@ -95,3 +95,85 @@ def test_nonce_tracking() -> None:
     assert state.nonce_of(A) == 0
     state.account(A).nonce += 1
     assert state.nonce_of(A) == 1
+
+
+# ----- journal frames -----------------------------------------------------------
+
+
+def test_journal_rollback_restores_preimages() -> None:
+    state = WorldState()
+    state.credit(A, 100)
+    frame = state.begin_transaction()
+    state.transfer(A, B, 60)
+    state.rollback_transaction(frame)
+    assert state.balance_of(A) == 100
+    assert not state.has_account(B)
+
+
+def test_nested_journal_frames_are_legal() -> None:
+    """Regression: ``begin_transaction`` used to raise ChainError
+    ("state journal already open") on nesting; frames now stack."""
+    state = WorldState()
+    state.credit(A, 100)
+    outer = state.begin_transaction()
+    state.debit(A, 10)
+    inner = state.begin_transaction()  # must NOT raise
+    state.debit(A, 5)
+    state.rollback_transaction(inner)
+    assert state.balance_of(A) == 90  # inner undone, outer kept
+    state.debit(A, 20)
+    state.commit_transaction(outer)
+    assert state.balance_of(A) == 70
+    assert state.journal_depth() == 0
+
+
+def test_nested_commit_then_outer_rollback_undoes_everything() -> None:
+    state = WorldState()
+    state.credit(A, 100)
+    outer = state.begin_transaction()
+    inner = state.begin_transaction()
+    state.transfer(A, B, 30)
+    state.commit_transaction(inner)
+    state.debit(A, 10)
+    state.rollback_transaction(outer)
+    assert state.balance_of(A) == 100
+    assert not state.has_account(B)
+
+
+def test_non_innermost_handle_rejected() -> None:
+    state = WorldState()
+    outer = state.begin_transaction()
+    state.begin_transaction()
+    with pytest.raises(ChainError, match="LIFO"):
+        state.commit_transaction(outer)
+    with pytest.raises(ChainError, match="LIFO"):
+        state.rollback_transaction(outer)
+
+
+def test_close_without_open_frame_rejected() -> None:
+    state = WorldState()
+    with pytest.raises(ChainError):
+        state.commit_transaction()
+    with pytest.raises(ChainError):
+        state.rollback_transaction()
+
+
+def test_frame_access_sets_track_reads_and_writes() -> None:
+    state = WorldState()
+    state.credit(A, 5)
+    frame = state.begin_transaction()
+    state.balance_of(A)
+    state.credit(B, 1)
+    assert A in frame.access.reads
+    assert A not in frame.access.writes
+    assert B in frame.access.writes
+    state.commit_transaction(frame)
+
+
+def test_committed_inner_frame_access_merges_into_outer() -> None:
+    state = WorldState()
+    outer = state.begin_transaction()
+    inner = state.begin_transaction()
+    state.credit(A, 1)
+    state.commit_transaction(inner)
+    assert A in outer.access.writes

@@ -121,6 +121,7 @@ def _random_header(rng: random.Random) -> BlockHeader:
         miner=rng.randbytes(20),
         state_root=rng.randbytes(32),
         tx_root=rng.randbytes(32),
+        receipts_root=rng.randbytes(32),
         gas_used=rng.randrange(1 << 40),
         gas_limit=rng.randrange(1 << 40),
         extra=rng.randbytes(rng.randrange(16)),
