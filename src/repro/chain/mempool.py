@@ -28,14 +28,31 @@ def default_ordering(pending: List[SignedTransaction]) -> List[SignedTransaction
 
 
 class Mempool:
-    """A per-node pending-transaction pool."""
+    """A per-node pending-transaction pool.
 
-    def __init__(self, ordering: Optional[OrderingPolicy] = None) -> None:
+    ``capacity`` bounds the pool (None = unbounded, the historical
+    behaviour).  A full pool admits a new transaction only by evicting
+    a cheaper one — fee-aware back-pressure at the admission boundary,
+    so a saturated node sheds the lowest-value traffic deterministically
+    instead of growing without bound or dropping arbitrarily.
+    """
+
+    def __init__(
+        self,
+        ordering: Optional[OrderingPolicy] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("mempool capacity must be >= 1")
         self._pool: Dict[bytes, SignedTransaction] = {}
         self._arrival: List[bytes] = []
         # (sender, nonce) -> tx_hash: the replace-by-fee slot index.
         self._by_slot: Dict[Tuple[bytes, int], bytes] = {}
         self.ordering: OrderingPolicy = ordering or default_ordering
+        self.capacity = capacity
+        #: Admission-control counters (read by the backpressure tests).
+        self.admission_rejections = 0
+        self.fee_evictions = 0
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -68,6 +85,8 @@ class Mempool:
             self._pool.pop(incumbent_hash, None)
             if obs.TRACER.enabled:
                 obs.count("mempool.rbf_evictions")
+        if not self._admit_under_capacity(stx):
+            return False
         self._pool[stx.tx_hash] = stx
         self._by_slot[slot] = stx.tx_hash
         self._arrival.append(stx.tx_hash)
@@ -78,6 +97,38 @@ class Mempool:
                 "mempool.depth", len(self._pool),
                 buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000),
             )
+        return True
+
+    def _admit_under_capacity(self, stx: SignedTransaction) -> bool:
+        """Make room for ``stx`` in a bounded pool, or reject it.
+
+        A full pool evicts its lowest-priced transaction (latest
+        arrival as tiebreak, so the older copy of equal-priced traffic
+        survives) — but only when the newcomer pays strictly more than
+        the victim.  Otherwise the newcomer is the marginal traffic and
+        is rejected at the door; the sender sees the False and backs
+        off, which is the backpressure signal the engine's admission
+        gate listens for.
+        """
+        if self.capacity is None or len(self._pool) < self.capacity:
+            return True
+        victim_hash = min(
+            self._pool,
+            key=lambda h: (
+                self._pool[h].transaction.gas_price,
+                -self._arrival.index(h) if h in self._arrival else 0,
+            ),
+        )
+        victim = self._pool[victim_hash]
+        if stx.transaction.gas_price <= victim.transaction.gas_price:
+            self.admission_rejections += 1
+            if obs.TRACER.enabled:
+                obs.count("mempool.admission_rejected")
+            return False
+        self._forget(victim_hash)
+        self.fee_evictions += 1
+        if obs.TRACER.enabled:
+            obs.count("mempool.fee_evictions")
         return True
 
     def remove(self, tx_hash: bytes) -> None:

@@ -351,6 +351,7 @@ class Testnet:
         fault_plan: Optional[FaultPlan] = None,
         execution_lanes: int = 1,
         execution_workers: int = 1,
+        mempool_capacity: Optional[int] = None,
     ) -> None:
         if miners < 1:
             raise ValueError("need at least one miner")
@@ -379,6 +380,7 @@ class Testnet:
                     is_miner=True,
                     execution_lanes=execution_lanes,
                     execution_workers=execution_workers,
+                    mempool_capacity=mempool_capacity,
                 )
             )
             for i, key in enumerate(miner_keys)
@@ -391,6 +393,7 @@ class Testnet:
                     engine=self.engine,
                     execution_lanes=execution_lanes,
                     execution_workers=execution_workers,
+                    mempool_capacity=mempool_capacity,
                 )
             )
             for i in range(full_nodes)

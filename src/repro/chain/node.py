@@ -82,6 +82,7 @@ class Node:
         schedule: GasSchedule = DEFAULT_SCHEDULE,
         execution_lanes: int = 1,
         execution_workers: int = 1,
+        mempool_capacity: Optional[int] = None,
     ) -> None:
         self.name = name
         self.genesis = genesis
@@ -93,7 +94,7 @@ class Node:
         self.execution_workers = max(1, execution_workers)
         self.engine = engine or PoAEngine([self.keypair.address()])
         self.vm = VM(schedule=schedule, chain_id=genesis.chain_id)
-        self.mempool = Mempool()
+        self.mempool = Mempool(capacity=mempool_capacity)
         self.journal = ChainJournal()
         self.crashed = False
         #: Counters for recovery tests: accepted imports / import calls.
@@ -392,7 +393,9 @@ class Node:
     def crash(self) -> None:
         """Lose every in-memory structure; only the journal survives."""
         self.crashed = True
-        self.mempool = Mempool(ordering=self.mempool.ordering)
+        self.mempool = Mempool(
+            ordering=self.mempool.ordering, capacity=self.mempool.capacity
+        )
         self._blocks = {}
         self._states = {}
         self._receipts = {}

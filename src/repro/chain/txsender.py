@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro import observability as obs
 from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
 from repro.errors import ChainError
 from repro.chain.receipts import Receipt
 from repro.chain.transaction import SignedTransaction, Transaction
@@ -60,6 +61,14 @@ class NonceManager:
         """Drop local reservations (e.g. after an abandoned send)."""
         self._reserved.pop(sender, None)
 
+    def snapshot(self) -> Dict[bytes, int]:
+        """The reservation table, for engine checkpoints."""
+        return dict(self._reserved)
+
+    def restore(self, reservations: Dict[bytes, int]) -> None:
+        """Adopt a checkpointed reservation table (chain nonce still wins)."""
+        self._reserved = dict(reservations)
+
 
 @dataclass
 class PendingTx:
@@ -97,9 +106,15 @@ class SendReport:
 class TxSender:
     """Reliable at-most-once submission against a :class:`Testnet`.
 
-    ``timeout_blocks`` is how many blocks one attempt waits for its
-    receipt; ``gas_bump_percent`` raises the fee on each retry (clamped
-    so the sender can still afford ``value + gas_price * gas_limit``).
+    ``timeout_blocks`` is how many blocks the *first* attempt waits for
+    its receipt; each further attempt doubles the wait (capped at
+    ``max_retry_interval``) and adds a deterministic jitter of up to
+    ``jitter_blocks`` drawn from a hash of (sender, nonce, attempt) —
+    exponential backoff keeps a congested chain from being hammered by
+    retries, the seeded jitter de-synchronizes concurrent senders
+    without sacrificing replay determinism.  ``gas_bump_percent`` raises
+    the fee on each retry (clamped so the sender can still afford
+    ``value + gas_price * gas_limit``).
     """
 
     def __init__(
@@ -108,17 +123,49 @@ class TxSender:
         timeout_blocks: int = 8,
         max_attempts: int = 4,
         gas_bump_percent: int = 25,
+        max_retry_interval: Optional[int] = None,
+        jitter_blocks: int = 1,
     ) -> None:
         if timeout_blocks < 1 or max_attempts < 1:
             raise ValueError("need at least one block and one attempt")
+        if jitter_blocks < 0:
+            raise ValueError("jitter must be non-negative")
         self.testnet = testnet
         self.timeout_blocks = timeout_blocks
         self.max_attempts = max_attempts
         self.gas_bump_percent = gas_bump_percent
+        self.max_retry_interval = (
+            max_retry_interval
+            if max_retry_interval is not None
+            else timeout_blocks * 8
+        )
+        if self.max_retry_interval < timeout_blocks:
+            raise ValueError("max_retry_interval must cover timeout_blocks")
+        self.jitter_blocks = jitter_blocks
         self.nonces = NonceManager(testnet)
         #: Cumulative counters (read by the chaos bench).
         self.total_attempts = 0
         self.total_resubmissions = 0
+
+    def retry_interval(self, sender: bytes, nonce: int, attempt: int) -> int:
+        """Blocks attempt number ``attempt`` waits before the next retry.
+
+        Attempt 1 waits exactly ``timeout_blocks`` (the historical fixed
+        interval, so a clean send is never slower than before); later
+        attempts back off exponentially with the seeded jitter.
+        """
+        attempt = max(1, attempt)
+        base = min(self.max_retry_interval, self.timeout_blocks << (attempt - 1))
+        if attempt == 1 or self.jitter_blocks == 0:
+            return base
+        draw = int.from_bytes(
+            sha256(
+                b"txsender-backoff", sender,
+                nonce.to_bytes(8, "big"), attempt.to_bytes(4, "big"),
+            ),
+            "big",
+        )
+        return base + draw % (self.jitter_blocks + 1)
 
     # ----- asynchronous API (concurrent senders) -----------------------------------
 
@@ -154,18 +201,22 @@ class TxSender:
     def service(self, pendings: List[PendingTx]) -> List[PendingTx]:
         """One maintenance pass over in-flight transactions.
 
-        Polls receipts, and for anything still unconfirmed after
-        ``timeout_blocks`` re-broadcasts with a gas bump (same nonce, so
-        at most one attempt can ever land).  Returns the still-pending
-        subset.  Raises :class:`TxAbandonedError` when a transaction
-        exhausted its attempts or its nonce was consumed by a stranger.
+        Polls receipts, and for anything still unconfirmed after its
+        backoff interval (see :meth:`retry_interval`) re-broadcasts with
+        a gas bump (same nonce, so at most one attempt can ever land).
+        Returns the still-pending subset.  Raises
+        :class:`TxAbandonedError` when a transaction exhausted its
+        attempts or its nonce was consumed by a stranger.
         """
         unconfirmed: List[PendingTx] = []
         for pending in pendings:
             if self.poll(pending) is not None:
                 continue
             waited = self.testnet.height - pending.broadcast_height
-            if waited >= self.timeout_blocks:
+            interval = self.retry_interval(
+                pending.sender, pending.transaction.nonce, pending.attempts
+            )
+            if waited >= interval:
                 self._retry(pending)
                 if pending.receipt is not None:
                     continue
@@ -219,6 +270,13 @@ class TxSender:
         self.testnet.send_transaction(stx)
         if obs.TRACER.enabled:
             obs.count("txsender.retries")
+            obs.observe(
+                "txsender.retry_backoff_blocks",
+                self.retry_interval(
+                    pending.sender, pending.transaction.nonce, pending.attempts
+                ),
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            )
 
     # ----- public API ---------------------------------------------------------------
 
@@ -252,7 +310,10 @@ class TxSender:
             if stx.tx_hash not in report.tx_hashes:
                 report.tx_hashes.append(stx.tx_hash)
             self.testnet.send_transaction(stx)
-            receipt = self._await_receipt(report)
+            receipt = self._await_receipt(
+                report,
+                self.retry_interval(sender, current.nonce, report.attempts),
+            )
             if receipt is not None:
                 report.receipt = receipt
                 report.final_gas_price = current.gas_price
@@ -300,7 +361,12 @@ class TxSender:
             if report.attempts > 1:
                 self.total_resubmissions += 1
             self.testnet.send_transaction(stx)
-            receipt = self._await_receipt(report)
+            receipt = self._await_receipt(
+                report,
+                self.retry_interval(
+                    stx.sender, stx.transaction.nonce, report.attempts
+                ),
+            )
             if receipt is not None:
                 return report, receipt
             if self.testnet.any_node.nonce_of(stx.sender) > stx.transaction.nonce:
@@ -329,11 +395,13 @@ class TxSender:
             buckets=(0, 1, 2, 4, 8, 16, 32, 64),
         )
 
-    def _await_receipt(self, report: SendReport) -> Optional[Receipt]:
+    def _await_receipt(
+        self, report: SendReport, interval: Optional[int] = None
+    ) -> Optional[Receipt]:
         receipt = self._find_receipt(report.tx_hashes)
         if receipt is not None:
             return receipt
-        for _ in range(self.timeout_blocks):
+        for _ in range(interval if interval is not None else self.timeout_blocks):
             self.testnet.mine_block()
             report.blocks_waited += 1
             receipt = self._find_receipt(report.tx_hashes)

@@ -438,9 +438,17 @@ class TaskContract(Contract):
         four reads it needs into one view keeps the polling cost flat
         in the number of in-flight tasks.
         """
+        end = self._collection_end()
         return {
             "phase": self.storage["phase"],
             "answers": len(self.storage["ciphertexts"]),
             "deadline": self._answer_deadline(),
-            "closed": self._collection_end() is not None,
+            "closed": end is not None,
+            # When a quarantined task can invoke finalize_timeout's
+            # even-split branch (None while collection is still open).
+            "instruction_deadline": (
+                end + self.storage["params"]["instruction_window"]
+                if end is not None
+                else None
+            ),
         }

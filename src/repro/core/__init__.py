@@ -14,11 +14,20 @@ High-level entry points:
   baselines for comparison experiments.
 """
 
+from repro.core.checkpoint import (
+    CheckpointStore,
+    EngineCheckpoint,
+    FileCheckpointStore,
+    decode_checkpoint,
+    encode_checkpoint,
+)
 from repro.core.engine import (
     EngineReport,
     ProtocolEngine,
+    SimulatedEngineCrash,
     TaskSpec,
     engine_system,
+    make_chaos_specs,
     make_uniform_specs,
     run_serial,
 )
@@ -32,6 +41,7 @@ from repro.core.policy import (
 )
 from repro.core.protocol import TaskHandle, ZebraLancerSystem
 from repro.core.requester import Requester
+from repro.core.supervisor import CircuitBreaker, RetryPolicy, TaskSupervisor
 from repro.core.worker import Worker
 
 __all__ = [
@@ -50,5 +60,15 @@ __all__ = [
     "EngineReport",
     "engine_system",
     "make_uniform_specs",
+    "make_chaos_specs",
     "run_serial",
+    "SimulatedEngineCrash",
+    "EngineCheckpoint",
+    "CheckpointStore",
+    "FileCheckpointStore",
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "TaskSupervisor",
 ]

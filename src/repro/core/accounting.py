@@ -1,0 +1,108 @@
+"""Exactly-once payout verification by balance conservation.
+
+Contract payouts are state-level balance credits (no external
+transaction carries them), so "paid exactly once" cannot be read off
+any single receipt.  Instead it is checked by conservation: for an
+address that only ever receives faucet funding and task payouts,
+
+    contract_payment = balance - external_credits + external_debits
+
+where the external flows come from scanning every canonical block's
+transactions and receipts.  A double payment (e.g. a replayed reward
+instruction after a crash/restart) shows up as twice the expected
+reward; a lost payment as zero — either way
+:func:`assert_exactly_once_payouts` fails loudly.  The engine's
+crash-sweep and chaos tests gate on this, and the chaos benchmark
+reports it as its refund-correctness bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ProtocolError
+from repro.core.anonymity import derive_one_task_account
+
+SETTLED_STATUSES = ("completed", "defaulted", "aborted")
+
+
+def external_flows(node, address: bytes) -> Tuple[int, int]:
+    """(credits, debits) of an address from external transactions only.
+
+    Credits are transfer values sent *to* the address; debits are gas
+    plus values of transactions it signed.  Anything else on its
+    balance was put there by contract execution.
+    """
+    credits = 0
+    debits = 0
+    for block in node.canonical_blocks(1, node.height):
+        receipts = node.receipts_for_block(block.block_hash) or ()
+        for stx, receipt in zip(block.transactions, receipts):
+            tx = stx.transaction
+            if stx.sender == address:
+                debits += receipt.gas_used * tx.gas_price + tx.value
+            if tx.to == address:
+                credits += tx.value
+    return credits, debits
+
+
+def contract_payment(node, address: bytes) -> int:
+    """Net amount the address has received from contract executions."""
+    credits, debits = external_flows(node, address)
+    return node.balance_of(address) - credits + debits
+
+
+def worker_task_address(worker, task_address: bytes) -> bytes:
+    """The worker's one-task address for a given task contract."""
+    account = derive_one_task_account(
+        worker._seed, f"task:{task_address.hex()}"
+    )
+    return account.address
+
+
+def assert_exactly_once_payouts(system, specs, outcomes) -> None:
+    """Every honest worker's payout equals its task's recorded reward.
+
+    Covers all three settlement shapes: completed (policy rewards),
+    defaulted (even split over submitters), aborted (no payouts, full
+    refund to the requester).  Raises :class:`ProtocolError` on the
+    first violation.
+    """
+    node = system.node
+    for spec, outcome in zip(specs, outcomes):
+        if not outcome.address:
+            continue
+        submitters = [
+            (worker, answer)
+            for worker, answer in zip(spec.workers, spec.answers)
+            if answer is not None
+        ]
+        if outcome.status == "aborted":
+            if outcome.rewards or submitters:
+                raise ProtocolError(
+                    f"task {outcome.index}: aborted with submissions"
+                )
+            continue
+        if outcome.status not in ("completed", "defaulted"):
+            raise ProtocolError(
+                f"task {outcome.index}: unsettled status {outcome.status!r}"
+            )
+        if len(outcome.rewards) != len(submitters):
+            raise ProtocolError(
+                f"task {outcome.index}: {len(outcome.rewards)} rewards for "
+                f"{len(submitters)} submitters"
+            )
+        for (worker, _), reward in zip(submitters, outcome.rewards):
+            address = worker_task_address(worker, outcome.address)
+            paid = contract_payment(node, address)
+            if paid != reward:
+                raise ProtocolError(
+                    f"task {outcome.index}: worker {worker.identity} "
+                    f"received {paid}, expected exactly {reward}"
+                )
+        # The contract keeps nothing: budget = payouts + requester change.
+        if node.balance_of(outcome.address) != 0:
+            raise ProtocolError(
+                f"task {outcome.index}: contract retains "
+                f"{node.balance_of(outcome.address)}"
+            )

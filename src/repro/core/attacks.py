@@ -134,6 +134,56 @@ class MultiSubmissionWorker(Worker):
         return receipts
 
 
+def prepare_equivocation(
+    worker: Worker,
+    handle: TaskHandle,
+    answer_fields: Sequence[int],
+    attempt: int = 1,
+):
+    """Build (but do not send) an equivocating second submission.
+
+    The engine-scale variant of :class:`MultiSubmissionWorker`: a
+    worker who already submitted honestly signs a *conflicting* answer
+    from a fresh sybil one-task address.  Returns ``(account, tx)`` so
+    a scheduler can fund the sybil address in its normal worker wave
+    and broadcast the transaction asynchronously — the contract's Link
+    check must revert it while the honest sibling submission lands.
+    """
+    system = worker.system
+    task_address = handle.address
+    account = derive_one_task_account(
+        worker._seed, f"task:{task_address.hex()}:equivocate-{attempt}"
+    )
+    epk = worker.read_task_epk(task_address)
+    rng = random.Random(
+        int.from_bytes(
+            sha256(b"equivocate", task_address, attempt.to_bytes(4, "big")), "big"
+        )
+    )
+    from repro.core.encryption import encrypt_answer
+
+    ciphertext = encrypt_answer(epk, list(answer_fields), system.mimc, rng)
+    wire = ciphertext.to_wire()
+    certificate = system.current_certificate(worker.keys.public_key)
+    commitment = system.registry_commitment()
+    attestation = system.scheme.auth(
+        task_prefix(task_address) + account.address + wire,
+        worker.keys,
+        certificate,
+        commitment,
+    )
+    data = encode_call("submit_answer", [wire, attestation.to_wire()])
+    tx = Transaction(
+        nonce=0,  # fresh one-task account: first and only transaction
+        gas_price=DEFAULT_GAS_PRICE,
+        gas_limit=DEFAULT_GAS_LIMIT,
+        to=task_address,
+        value=0,
+        data=data,
+    )
+    return account, tx
+
+
 class FalseReportingRequester(Requester):
     """A requester who tries every way to not pay what the policy owes."""
 

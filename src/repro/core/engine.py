@@ -1,4 +1,4 @@
-"""The concurrent multi-task protocol engine.
+"""The concurrent multi-task protocol engine, with resilience built in.
 
 The serial clients in :mod:`repro.core.requester` / ``worker`` drive
 one Algorithm-1 instance at a time, mining roughly one block per
@@ -22,31 +22,70 @@ deterministically:
   round are proved together through the backend's ``prove_many``
   (Groth16 fans the batch out over a fork pool).
 
+On top of the scheduler sits the resilience layer:
+
+- every runner is wrapped in a
+  :class:`~repro.core.supervisor.TaskSupervisor` — recoverable
+  failures get one chain-reconciliation pass (:meth:`_TaskRunner
+  .recover`), then capped-exponential retries, and a circuit breaker
+  that *quarantines* a persistently failing task into the contract's
+  timeout-refund path (Algorithm 1 lines 18-21) without stalling its
+  siblings;
+- the engine can :meth:`~ProtocolEngine.checkpoint` its entire
+  client-side state (per-task state machines, in-flight transactions,
+  nonce reservations) into a versioned snapshot; a crashed engine
+  :meth:`~ProtocolEngine.resume`\\ d from the latest checkpoint
+  re-polls receipts and re-derives every secret, converging to the
+  same outcomes with exactly-once payment;
+- an admission gate (:meth:`~ProtocolEngine.admitting`) pauses new
+  broadcast waves while the mempool sits above a high watermark, so
+  oversized cohorts degrade into longer runs instead of dropped
+  transactions.
+
 The engine never consults the wall clock: block timestamps come from
 the :class:`~repro.chain.clock.SimClock` and every data structure is
 iterated in insertion order, which is what the determinism tests pin.
+Even retry timing is deterministic (seeded-jitter backoff), so chaos
+runs replay exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import os
 import random
 
 from repro import observability as obs
+from repro.crypto import ecdsa
 from repro.crypto.hashing import sha256
-from repro.errors import ProtocolError
+from repro.errors import ChainError, CheckpointError, ProtocolError
+from repro.chain.transaction import Transaction, encode_call
 from repro.chain.txsender import PendingTx
+from repro.core.checkpoint import (
+    CheckpointStore,
+    EngineCheckpoint,
+    PendingTxSnapshot,
+    TaskSnapshot,
+    decode_checkpoint,
+    encode_checkpoint,
+)
 from repro.core.encryption import TaskKeyPair
-from repro.core.policy import MajorityVotePolicy, RewardPolicy
+from repro.core.policy import (
+    MajorityVotePolicy,
+    RewardPolicy,
+    policy_from_descriptor,
+)
 from repro.core.protocol import (
     DEFAULT_GAS_ALLOWANCE,
+    DEFAULT_GAS_LIMIT,
+    DEFAULT_GAS_PRICE,
     TaskHandle,
     ZebraLancerSystem,
 )
 from repro.core.requester import PreparedPublish, Requester, RewardJob
+from repro.core.supervisor import RECOVERABLE, RetryPolicy, TaskSupervisor
 from repro.core.worker import PreparedSubmission, Worker
 from repro.zksnark.backend import fanout_map
 
@@ -58,11 +97,35 @@ SUBMITTING = "submitting"
 COLLECTING = "collecting"
 PROVING = "proving"
 REWARDING = "rewarding"
+#: Resilience phases (never entered on the healthy path).
+SETTLING = "settling"
+QUARANTINED = "quarantined"
 DONE = "done"
+
+#: Terminal task statuses (chain-derived where a contract exists).
+STATUS_COMPLETED = "completed"
+STATUS_DEFAULTED = "defaulted"
+STATUS_ABORTED = "aborted"
+STATUS_FAILED = "failed"
+SETTLED_PHASES = (STATUS_COMPLETED, STATUS_DEFAULTED, STATUS_ABORTED)
+
+#: Requester behaviour modes a :class:`TaskSpec` can model.
+REQUESTER_HONEST = "honest"
+REQUESTER_STONEWALL = "stonewall"  # collects answers, never instructs
+REQUESTER_VANISH = "vanish"  # disappears right after publishing
 
 
 class EngineStallError(ProtocolError):
     """The scheduler ran out of rounds with tasks still in flight."""
+
+
+class SimulatedEngineCrash(RuntimeError):
+    """Raised by a crash hook to kill the engine mid-run.
+
+    Deliberately NOT a :class:`~repro.errors.ProtocolError`: the
+    supervisors must never catch a simulated process death — it has to
+    unwind the whole scheduler, exactly like a real crash would.
+    """
 
 
 class _KeygenJob:
@@ -79,7 +142,17 @@ class TaskSpec:
 
     ``answers`` holds one entry per worker; ``None`` models the
     paper's ⊥ (an absent worker), in which case the task closes at its
-    answer deadline instead of on the n-th submission.
+    answer deadline instead of on the n-th submission.  A task whose
+    answers are ALL absent is legal: the engine routes it through the
+    contract's ``finalize_timeout`` abort for a full refund.
+
+    ``requester_mode`` selects a byzantine requester ("stonewall"
+    collects answers but never instructs; "vanish" disappears right
+    after publishing) — either way the supervisor quarantines the task
+    and the timeout path even-splits the budget over the submitters.
+    ``equivocators`` lists worker indices that additionally submit a
+    *conflicting* answer from a sybil address; the contract's Link
+    check must reject those while the honest sibling lands.
     """
 
     requester: Requester
@@ -92,14 +165,24 @@ class TaskSpec:
     instruction_window: int = 32
     rsa_bits: int = 1024
     audit: bool = False
+    requester_mode: str = REQUESTER_HONEST
+    equivocators: List[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if len(self.workers) != len(self.answers):
             raise ProtocolError(
                 f"{len(self.workers)} workers but {len(self.answers)} answers"
             )
-        if not any(answer is not None for answer in self.answers):
-            raise ProtocolError("a task needs at least one present answer")
+        modes = (REQUESTER_HONEST, REQUESTER_STONEWALL, REQUESTER_VANISH)
+        if self.requester_mode not in modes:
+            raise ProtocolError(f"unknown requester mode {self.requester_mode!r}")
+        for index in self.equivocators:
+            if not 0 <= index < len(self.workers):
+                raise ProtocolError(f"equivocator index {index} out of range")
+            if self.answers[index] is None:
+                raise ProtocolError(
+                    "an equivocator needs a present honest answer to conflict with"
+                )
 
 
 @dataclass
@@ -111,6 +194,10 @@ class TaskOutcome:
     address: bytes
     rewards: List[int] = field(default_factory=list)
     audit_passed: Optional[bool] = None
+    #: Terminal status: completed / defaulted / aborted / failed.
+    status: str = ""
+    #: True when the circuit breaker routed this task to the timeout path.
+    quarantined: bool = False
     #: Phase-completion block heights, in transition order.
     phase_blocks: Dict[str, int] = field(default_factory=dict)
     #: Phase-completion simulated timestamps (SimClock seconds).
@@ -127,6 +214,9 @@ class EngineReport:
     ``transcript()`` (and its digest) covers everything consensus
     observed — block hashes, included transactions, receipts statuses,
     rewards — which is exactly what two same-seed runs must agree on.
+    ``outcome_lines()`` is the weaker, crash-tolerant comparison: two
+    runs that crashed and recovered differently still agree on each
+    task's (address, status, rewards), even though block heights moved.
     """
 
     outcomes: List[TaskOutcome]
@@ -138,6 +228,8 @@ class EngineReport:
     wall_seconds: float
     sim_seconds: int
     blocks: List[Tuple[int, str, Tuple[str, ...]]] = field(default_factory=list)
+    #: Resilience counters: retries, recoveries, quarantined, pauses, …
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def tasks(self) -> int:
@@ -159,12 +251,21 @@ class EngineReport:
             )
             lines.append(
                 f"task {outcome.index} {outcome.address.hex()} "
-                f"rewards={outcome.rewards} audit={outcome.audit_passed} {phases}"
+                f"rewards={outcome.rewards} audit={outcome.audit_passed} "
+                f"status={outcome.status} {phases}"
             )
         return lines
 
     def transcript_digest(self) -> bytes:
         return sha256("\n".join(self.transcript()).encode())
+
+    def outcome_lines(self) -> List[str]:
+        """Crash-invariant per-task results (address, status, rewards)."""
+        return [
+            f"task {o.index} {o.address.hex()} status={o.status} "
+            f"rewards={o.rewards}"
+            for o in self.outcomes
+        ]
 
 
 class _TaskRunner:
@@ -172,7 +273,11 @@ class _TaskRunner:
 
     Every transition only *broadcasts* transactions (never mines); the
     engine owns the block cadence, so a whole wave of runners shares
-    each block.
+    each block.  A runner can also be rebuilt from a
+    :class:`~repro.core.checkpoint.TaskSnapshot`: the recorded
+    transaction hashes are re-polled against the surviving chain, so a
+    broadcast that landed before the crash is adopted instead of
+    re-sent (exactly-once under restart).
     """
 
     def __init__(
@@ -181,6 +286,7 @@ class _TaskRunner:
         index: int,
         engine: "ProtocolEngine",
         encryption_keys: Optional[TaskKeyPair] = None,
+        snapshot: Optional[TaskSnapshot] = None,
     ) -> None:
         self.spec = spec
         self.index = index
@@ -191,15 +297,32 @@ class _TaskRunner:
             index=index, requester=spec.requester.identity, address=b""
         )
         self.reward_job: Optional[RewardJob] = None
+        self.quarantine_reason = ""
         #: In-flight subset (``service`` drops confirmed entries) …
         self._pending: List[PendingTx] = []
         #: … while the wave keeps every broadcast of the current phase
         #: in order, receipts included (PendingTx is mutated in place).
         self._wave: List[PendingTx] = []
-        self._submissions: List[Tuple[Worker, PreparedSubmission]] = []
+        self._submissions: List[Tuple[Worker, Sequence[int], PreparedSubmission]] = []
+        #: Staged/broadcast equivocating submissions (expected to revert).
+        self._byzantine_staged: List[Tuple[Any, Transaction]] = []
+        self._byzantine_wave: List[PendingTx] = []
+        self._byzantine_pending: List[PendingTx] = []
+        #: True once the initial funding wave went out (backpressure gate).
+        self._started = False
+        #: True while ``_wave`` holds a finalize_timeout settlement.
+        self._settling = False
+        #: One re-prove allowance per task (see ``recover``).
+        self._reproved = False
 
-        # Stage the announcement now (it only reads the chain) and fund
-        # α_R with gas + budget in ONE faucet transfer.
+        # Stage the announcement now (it only reads the chain).  A
+        # restored runner pins the derivation index recorded in its
+        # snapshot, landing on the same one-task account, RSA keypair
+        # and predicted contract address the crashed run used.
+        self.task_index = (
+            snapshot.task_index if snapshot is not None
+            else spec.requester.task_counter
+        )
         self.prepared: PreparedPublish = spec.requester.prepare_publish(
             spec.policy,
             spec.description,
@@ -209,19 +332,16 @@ class _TaskRunner:
             instruction_window=spec.instruction_window,
             rsa_bits=spec.rsa_bits,
             encryption_keys=encryption_keys,
+            task_index=self.task_index,
         )
-        self._broadcast(
-            [
-                engine.testnet.fund_async(
-                    self.prepared.account.address,
-                    DEFAULT_GAS_ALLOWANCE + spec.budget,
-                )
-            ]
-        )
+        if snapshot is not None:
+            self._restore(snapshot)
 
     @property
     def done(self) -> bool:
         return self.state == DONE
+
+    # ----- wave plumbing --------------------------------------------------------------
 
     def _broadcast(self, pendings: List[PendingTx]) -> None:
         self._wave = pendings
@@ -236,6 +356,18 @@ class _TaskRunner:
         self.outcome.phase_blocks[phase] = self.engine.testnet.height
         self.outcome.phase_times[phase] = self.engine.testnet.clock.now
 
+    def _status(self) -> Dict[str, Any]:
+        return self.engine.node.call(self.handle.address, "get_status")
+
+    def _contract_deployed(self) -> bool:
+        try:
+            self.engine.node.call(self.prepared.predicted_address, "get_phase")
+        except ChainError:
+            return False
+        return True
+
+    # ----- the state machine ----------------------------------------------------------
+
     def step(self) -> None:
         if self.state == FUNDING:
             self._step_funding()
@@ -249,9 +381,28 @@ class _TaskRunner:
             self._step_collecting()
         elif self.state == REWARDING:
             self._step_rewarding()
+        elif self.state == SETTLING:
+            self._step_settling()
+        elif self.state == QUARANTINED:
+            self._step_quarantined()
         # PROVING waits on the engine's proving pool; DONE is terminal.
 
     def _step_funding(self) -> None:
+        if not self._started:
+            # The admission gate: while the mempool sits above its high
+            # watermark, new tasks wait instead of piling more load on.
+            if not self.engine.admitting():
+                return
+            self._started = True
+            self._broadcast(
+                [
+                    self.engine.testnet.fund_async(
+                        self.prepared.account.address,
+                        DEFAULT_GAS_ALLOWANCE + self.spec.budget,
+                    )
+                ]
+            )
+            return
         if not self._service():
             return
         self._mark(FUNDING)
@@ -269,23 +420,56 @@ class _TaskRunner:
             return
         receipt = self._wave[0].receipt
         self.handle = self.spec.requester.complete_publish(self.prepared, receipt)
+        self._after_publish()
+
+    def _after_publish(self) -> None:
+        """Adopt the deployed contract and stage the worker wave.
+
+        Shared by the happy path and publish-recovery (a deployment
+        that landed under a receipt the crashed engine never saw).
+        """
         self.outcome.address = self.handle.address
         self._mark(PUBLISHING)
         # Stage every present worker's submission and fund their
-        # one-task addresses as one faucet wave.
+        # one-task addresses (plus any equivocating sybil addresses)
+        # as one faucet wave.
         pendings: List[PendingTx] = []
+        self._submissions = []
         for worker, answer in zip(self.spec.workers, self.spec.answers):
             if answer is None:
                 continue
             prepared = worker.prepare_submission(self.handle, answer)
-            self._submissions.append((worker, prepared))
+            self._submissions.append((worker, answer, prepared))
             pendings.append(
                 self.engine.testnet.fund_async(
                     prepared.account.address, DEFAULT_GAS_ALLOWANCE
                 )
             )
+        self._stage_equivocations()
+        for account, _ in self._byzantine_staged:
+            pendings.append(
+                self.engine.testnet.fund_async(
+                    account.address, DEFAULT_GAS_ALLOWANCE
+                )
+            )
         self._broadcast(pendings)
         self.state = FUNDING_WORKERS
+
+    def _stage_equivocations(self) -> None:
+        if not self.spec.equivocators:
+            self._byzantine_staged = []
+            return
+        from repro.core.attacks import prepare_equivocation
+
+        self._byzantine_staged = []
+        for attempt, worker_index in enumerate(self.spec.equivocators, start=1):
+            worker = self.spec.workers[worker_index]
+            answer = self.spec.answers[worker_index]
+            conflicting = [value + 1 for value in answer]
+            account, tx = prepare_equivocation(
+                worker, self.handle, conflicting, attempt=attempt
+            )
+            self._byzantine_staged.append((account, tx))
 
     def _step_funding_workers(self) -> None:
         if not self._service():
@@ -296,28 +480,65 @@ class _TaskRunner:
                 self.engine.tx_sender.broadcast(
                     prepared.transaction, prepared.account.keypair
                 )
-                for _, prepared in self._submissions
+                for _, _, prepared in self._submissions
             ]
         )
+        self._byzantine_wave = [
+            self.engine.tx_sender.broadcast(tx, account.keypair)
+            for account, tx in self._byzantine_staged
+        ]
+        self._byzantine_pending = list(self._byzantine_wave)
         self.state = SUBMITTING
 
     def _step_submitting(self) -> None:
-        if not self._service():
+        confirmed = self._service()
+        if self._byzantine_pending:
+            # Byzantine traffic is best-effort: its *rejection* is the
+            # interesting outcome, so abandonment just drops it.
+            try:
+                self._byzantine_pending = self.engine.tx_sender.service(
+                    self._byzantine_pending
+                )
+            except RECOVERABLE:
+                self._byzantine_pending = []
+        if not confirmed or self._byzantine_pending:
             return
-        for (worker, prepared), pending in zip(self._submissions, self._wave):
+        for (worker, _, prepared), pending in zip(self._submissions, self._wave):
             receipt = pending.receipt
             if not receipt.success:
                 raise ProtocolError(
                     f"submission to task {self.index} failed: {receipt.error}"
                 )
             worker.complete_submission(prepared, receipt)
+        for pending in self._byzantine_wave:
+            if pending.receipt is None:
+                continue
+            if pending.receipt.success:
+                self.engine.byzantine_accepted += 1
+            else:
+                self.engine.byzantine_rejections += 1
         self._mark(SUBMITTING)
         self.state = COLLECTING
 
     def _step_collecting(self) -> None:
-        status = self.engine.node.call(self.handle.address, "get_status")
+        if self.spec.requester_mode == REQUESTER_VANISH:
+            raise ProtocolError(
+                f"task {self.index}: requester vanished after publishing"
+            )
+        status = self._status()
         if not status["closed"]:
             return  # absent workers: wait for the answer deadline
+        if status["answers"] == 0:
+            # Algorithm 1's abort: nothing was submitted, so there is no
+            # instruction to prove — settle through the contract's
+            # timeout path for a full refund.
+            self._mark(COLLECTING)
+            self._settle_from_requester()
+            return
+        if self.spec.requester_mode == REQUESTER_STONEWALL:
+            raise ProtocolError(
+                f"task {self.index}: requester withheld the reward instruction"
+            )
         self._mark(COLLECTING)
         self.reward_job = self.spec.requester.prepare_reward(self.handle)
         self.engine.enqueue_proof(self)
@@ -341,9 +562,291 @@ class _TaskRunner:
             )
         self._mark(REWARDING)
         self.outcome.rewards = self.handle.rewards()
+        self.outcome.status = STATUS_COMPLETED
         if self.spec.audit:
             self.outcome.audit_passed = self.handle.audit_submissions()
         self.state = DONE
+
+    # ----- settlement (Algorithm 1 lines 18-21) ---------------------------------------
+
+    def _settle_from_requester(self) -> None:
+        """Broadcast ``finalize_timeout`` from the task's own account."""
+        tx = self.spec.requester.finalize_timeout_transaction(self.handle)
+        account = self.spec.requester.task_account(self.handle)
+        self._settling = True
+        self._broadcast([self.engine.tx_sender.broadcast(tx, account.keypair)])
+        self.state = SETTLING
+
+    def _step_settling(self) -> None:
+        if not self._service():
+            return
+        receipt = self._wave[0].receipt
+        if not receipt.success and "already settled" not in (receipt.error or ""):
+            raise ProtocolError(
+                f"settlement for task {self.index} failed: {receipt.error}"
+            )
+        self._finish_from_chain()
+
+    def _finish_from_chain(self) -> None:
+        """Adopt the contract's terminal phase as this task's outcome."""
+        phase = self.handle.phase()
+        self.outcome.status = phase
+        self.outcome.rewards = self.handle.rewards()
+        self._settling = False
+        self._mark("settled")
+        if obs.TRACER.enabled:
+            obs.count("engine.settlements")
+        self.state = DONE
+
+    def quarantine(self, reason: str) -> None:
+        """Route this task to the timeout-refund path (breaker open)."""
+        if self.state == DONE:
+            return
+        self.quarantine_reason = reason
+        self.outcome.quarantined = True
+        self._mark(QUARANTINED)
+        self.engine.quarantines += 1
+        if obs.TRACER.enabled:
+            obs.count("engine.quarantines")
+            with obs.span(
+                "engine.quarantine", task=self.index, state=self.state
+            ) as span:
+                span.set_attrs(reason=reason)
+        self.state = QUARANTINED
+
+    def _step_quarantined(self) -> None:
+        if self.handle is None:
+            self._quarantined_without_contract()
+            return
+        if self._pending:
+            try:
+                if not self._service():
+                    return
+            except RECOVERABLE:
+                self._pending = []
+                self._settling = False
+                self._wave = []
+            if self._settling:
+                receipt = self._wave[0].receipt if self._wave else None
+                if receipt is not None and (
+                    receipt.success
+                    or "already settled" in (receipt.error or "")
+                ):
+                    self._finish_from_chain()
+                    return
+                # Reverted for a timing reason; re-evaluate below.
+                self._settling = False
+            self._wave = []
+        status = self._status()
+        if status["phase"] in SETTLED_PHASES:
+            self._finish_from_chain()
+            return
+        if not status["closed"]:
+            return  # collection still open — deadlines drive the refund
+        if (
+            status["answers"] > 0
+            and self.engine.testnet.height <= status["instruction_deadline"]
+        ):
+            return  # the (absent) requester keeps its full window
+        # "Anyone may settle": the engine's janitor account invokes the
+        # even-split/abort refund on behalf of the stranded workers.
+        janitor = self.engine.janitor_ready()
+        if janitor is None:
+            return  # janitor funding still confirming
+        tx = Transaction(
+            nonce=self.engine.tx_sender.nonces.reserve(janitor.address()),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=self.handle.address,
+            value=0,
+            data=encode_call("finalize_timeout", []),
+        )
+        self._settling = True
+        self._broadcast([self.engine.tx_sender.broadcast(tx, janitor)])
+
+    def _quarantined_without_contract(self) -> None:
+        """Quarantined before the deploy confirmed: adopt or write off."""
+        if self._contract_deployed():
+            self.handle = self.spec.requester.adopt_task(
+                self.prepared,
+                nonce=self.engine.node.nonce_of(self.prepared.account.address),
+            )
+            self.outcome.address = self.handle.address
+            return  # settle via the normal quarantine flow next round
+        if self._pending:
+            try:
+                if not self._service():
+                    return  # the deploy may still land
+            except RECOVERABLE:
+                pass
+            self._pending = []
+            if self._contract_deployed():
+                return  # adopt on the next round
+        self.outcome.status = STATUS_FAILED
+        self.outcome.rewards = []
+        self.state = DONE
+
+    # ----- recovery -------------------------------------------------------------------
+
+    def recover(self, exc: Exception) -> bool:
+        """One reconciliation pass against the chain after a failure.
+
+        The chain may already hold the outcome the failed step was
+        driving toward (a transaction that landed under a receipt we
+        lost, a contract another party settled).  Returns True when the
+        runner made progress — which resets the circuit breaker.
+        """
+        if self.handle is not None:
+            try:
+                phase = self.handle.phase()
+            except ChainError:
+                phase = None
+            if phase in SETTLED_PHASES:
+                self._finish_from_chain()
+                return True
+        if self.state == PUBLISHING and self.handle is None:
+            if self._contract_deployed():
+                self.handle = self.spec.requester.adopt_task(
+                    self.prepared,
+                    nonce=self.engine.node.nonce_of(
+                        self.prepared.account.address
+                    ),
+                )
+                self._after_publish()
+                return True
+        from repro.chain.txsender import TxAbandonedError
+
+        if isinstance(exc, TxAbandonedError) and self._wave:
+            return self._rearm_pending()
+        if (
+            self.state == REWARDING
+            and self.handle is not None
+            and not self._reproved
+        ):
+            # The instruction transaction is unrecoverable: resync the
+            # account nonce from the chain and re-derive the whole
+            # reward job (decrypt → evaluate → prove) once.
+            self._reproved = True
+            self.spec.requester.resync_nonce(self.handle)
+            self._wave = []
+            self._pending = []
+            self.reward_job = self.spec.requester.prepare_reward(self.handle)
+            self.engine.enqueue_proof(self)
+            self.state = PROVING
+            return True
+        return False
+
+    def _rearm_pending(self) -> bool:
+        """Give abandoned in-flight transactions a fresh retry lease.
+
+        Re-gossips each unconfirmed transaction under its original
+        nonce (same-slot, so at most one attempt can ever land) and
+        resets the attempt budget — the recovery for waves starved by
+        network faults rather than superseded on-chain.
+        """
+        rearmed = False
+        for pending in self._wave:
+            if self.engine.tx_sender.poll(pending) is not None:
+                continue
+            if pending.keypair is None:
+                continue
+            pending.attempts = 1
+            pending.broadcast_height = self.engine.testnet.height
+            stx = pending.transaction.sign(pending.keypair)
+            if stx.tx_hash not in pending.tx_hashes:
+                pending.tx_hashes.append(stx.tx_hash)
+            try:
+                self.engine.testnet.send_transaction(stx)
+            except ChainError:
+                continue
+            rearmed = True
+        self._pending = [p for p in self._wave if p.receipt is None]
+        if rearmed and obs.TRACER.enabled:
+            obs.count("engine.rearmed_waves")
+        return rearmed
+
+    # ----- checkpointing --------------------------------------------------------------
+
+    def snapshot(self) -> TaskSnapshot:
+        """This runner's complete client-side state, as plain data."""
+        spec = self.spec
+        account_nonce = 0
+        if self.handle is not None:
+            account_nonce = spec.requester.task_nonce(self.handle)
+        # A PROVING runner's reward job is live backend state; snapshot
+        # it as COLLECTING so the restart re-derives and re-proves.
+        state = COLLECTING if self.state == PROVING else self.state
+        return TaskSnapshot(
+            index=self.index,
+            state=state,
+            requester_identity=spec.requester.identity,
+            worker_identities=[w.identity for w in spec.workers],
+            answers=[list(a) if a is not None else None for a in spec.answers],
+            policy_descriptor=dict(spec.policy.describe()),
+            description=spec.description,
+            budget=spec.budget,
+            answer_window=spec.answer_window,
+            instruction_window=spec.instruction_window,
+            rsa_bits=spec.rsa_bits,
+            audit=spec.audit,
+            requester_mode=spec.requester_mode,
+            equivocators=list(spec.equivocators),
+            task_index=self.task_index,
+            address=self.handle.address if self.handle is not None else b"",
+            account_nonce=account_nonce,
+            phase_blocks=dict(self.outcome.phase_blocks),
+            phase_times=dict(self.outcome.phase_times),
+            rewards=list(self.outcome.rewards),
+            status=self.outcome.status,
+            quarantined=self.outcome.quarantined,
+            quarantine_reason=self.quarantine_reason,
+            wave=[PendingTxSnapshot.from_pending(p) for p in self._wave],
+            byzantine_wave=[
+                PendingTxSnapshot.from_pending(p) for p in self._byzantine_wave
+            ],
+            settling=self._settling,
+        )
+
+    def _restore(self, snap: TaskSnapshot) -> None:
+        """Rebuild the runner from a snapshot against the live chain."""
+        self.state = snap.state
+        self._started = True
+        self.quarantine_reason = snap.quarantine_reason
+        self.outcome.address = snap.address
+        self.outcome.rewards = list(snap.rewards)
+        self.outcome.status = snap.status
+        self.outcome.quarantined = snap.quarantined
+        self.outcome.phase_blocks = dict(snap.phase_blocks)
+        self.outcome.phase_times = dict(snap.phase_times)
+        self._wave = [p.to_pending() for p in snap.wave]
+        self._pending = list(self._wave)
+        self._byzantine_wave = [p.to_pending() for p in snap.byzantine_wave]
+        self._byzantine_pending = list(self._byzantine_wave)
+        self._settling = snap.settling
+        if snap.state == FUNDING and not snap.wave:
+            self._started = False  # crashed before the first broadcast
+        if not snap.address:
+            return
+        # The contract was deployed before the crash: re-adopt it under
+        # the checkpointed account nonce (the chain stays the ground
+        # truth — ``recover`` resyncs if a broadcast landed after the
+        # snapshot was taken).
+        self.handle = self.spec.requester.adopt_task(
+            self.prepared, nonce=snap.account_nonce
+        )
+        if snap.state in (FUNDING_WORKERS, SUBMITTING):
+            # Rebuild the submission bookkeeping deterministically; the
+            # broadcast wave itself comes from the snapshot, so nonces
+            # and ciphertexts match what the crashed run signed.
+            self._submissions = []
+            for worker, answer in zip(self.spec.workers, self.spec.answers):
+                if answer is None:
+                    continue
+                prepared = worker.prepare_submission(
+                    self.handle, answer, validate=False
+                )
+                self._submissions.append((worker, answer, prepared))
+            self._stage_equivocations()
 
 
 class ProtocolEngine:
@@ -354,19 +857,203 @@ class ProtocolEngine:
         system: ZebraLancerSystem,
         specs: Sequence[TaskSpec],
         max_rounds: int = 512,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 3,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_every: int = 0,
+        crash_hook: Optional[Callable[["ProtocolEngine", int], None]] = None,
+        pause_above: Optional[int] = None,
+        resume_below: Optional[int] = None,
     ) -> None:
         if not specs:
             raise ProtocolError("nothing to run")
         self.system = system
         self.testnet = system.testnet
         self.tx_sender = system.testnet.tx_sender
-        self.node = system.node
         self.max_rounds = max_rounds
         self.specs = list(specs)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_every = checkpoint_every
+        self.crash_hook = crash_hook
+        if pause_above is not None and resume_below is None:
+            resume_below = max(1, pause_above // 2)
+        self.pause_above = pause_above
+        self.resume_below = resume_below
+        self._paused = False
+        self.pauses = 0
+        self.quarantines = 0
+        self.byzantine_rejections = 0
+        self.byzantine_accepted = 0
+        self.round = 0
+        self.runners: List[_TaskRunner] = []
+        self.supervisors: List[TaskSupervisor] = []
         self._prove_queue: List[_TaskRunner] = []
+        self._janitor: Optional[ecdsa.ECDSAKeyPair] = None
+        self._janitor_funding: Optional[PendingTx] = None
+        self._restore_checkpoint: Optional[EngineCheckpoint] = None
+
+    @property
+    def node(self):
+        """The freshest live node, re-picked per access.
+
+        Chaos plans crash nodes mid-run; pinning one node at
+        construction would turn every read after its crash window into
+        a hard failure instead of a failover.
+        """
+        return self.system.node
+
+    # ----- resilience services --------------------------------------------------------
+
+    def admitting(self) -> bool:
+        """The backpressure gate new broadcast waves consult.
+
+        Hysteresis on the attached node's mempool depth: pause above
+        ``pause_above``, resume below ``resume_below`` — so a saturated
+        run oscillates gently instead of thrashing at one threshold.
+        """
+        if self.pause_above is None:
+            return True
+        depth = len(self.node.mempool)
+        if self._paused:
+            if depth > self.resume_below:
+                return False
+            self._paused = False
+            return True
+        if depth >= self.pause_above:
+            self._paused = True
+            self.pauses += 1
+            if obs.TRACER.enabled:
+                obs.count("engine.backpressure_pauses")
+            return False
+        return True
+
+    def janitor_key(self) -> ecdsa.ECDSAKeyPair:
+        """The engine's settlement identity ("anyone may settle")."""
+        if self._janitor is None:
+            self._janitor = ecdsa.ECDSAKeyPair.from_seed(
+                sha256(b"engine-janitor", self.system.seed)
+            )
+        return self._janitor
+
+    def janitor_ready(self) -> Optional[ecdsa.ECDSAKeyPair]:
+        """The funded janitor keypair, or None while funding confirms.
+
+        Admission control rejects transactions whose sender cannot
+        cover max gas cost, so the janitor must hold funds *before* its
+        ``finalize_timeout`` broadcast — funding is lazy (only chaos
+        runs ever need a janitor) and shared by every quarantined task.
+        """
+        key = self.janitor_key()
+        if self.node.balance_of(key.address()) > 0:
+            return key
+        if self._janitor_funding is None:
+            self._janitor_funding = self.testnet.fund_async(
+                key.address(), DEFAULT_GAS_ALLOWANCE
+            )
+        else:
+            try:
+                self.tx_sender.service([self._janitor_funding])
+            except RECOVERABLE:
+                self._janitor_funding = None
+        return None
 
     def enqueue_proof(self, runner: _TaskRunner) -> None:
         self._prove_queue.append(runner)
+
+    # ----- checkpointing --------------------------------------------------------------
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot all client-side state the chain does not hold."""
+        tasks: List[TaskSnapshot] = []
+        for runner, supervisor in zip(self.runners, self.supervisors):
+            snap = runner.snapshot()
+            snap.failures = supervisor.failures
+            tasks.append(snap)
+        head = self.node.head_block
+        return EngineCheckpoint(
+            round=self.round,
+            head_height=self.testnet.height,
+            head_hash=head.block_hash,
+            nonce_reservations=self.tx_sender.nonces.snapshot(),
+            janitor_key=self._janitor.private_key if self._janitor else 0,
+            tasks=tasks,
+            counters={
+                "byzantine_rejections": self.byzantine_rejections,
+                "byzantine_accepted": self.byzantine_accepted,
+                "pauses": self.pauses,
+            },
+        )
+
+    def checkpoint_bytes(self) -> bytes:
+        return encode_checkpoint(self.checkpoint())
+
+    @classmethod
+    def resume(
+        cls,
+        system: ZebraLancerSystem,
+        checkpoint,
+        **kwargs: Any,
+    ) -> "ProtocolEngine":
+        """Rebuild an engine from a checkpoint against the live chain.
+
+        ``checkpoint`` is an :class:`EngineCheckpoint` or its encoded
+        bytes.  The snapshot is self-contained: specs, clients and
+        policies are reconstructed from the recorded identities (keys
+        re-derive deterministically; certificates come from the RA,
+        which — like the chain — survives an engine crash).
+        """
+        if isinstance(checkpoint, (bytes, bytearray)):
+            checkpoint = decode_checkpoint(checkpoint)
+        if checkpoint.head_height > system.testnet.height:
+            raise CheckpointError(
+                "checkpoint is ahead of the chain: "
+                f"height {checkpoint.head_height} > {system.testnet.height}"
+            )
+        specs: List[TaskSpec] = []
+        for snap in checkpoint.tasks:
+            requester = Requester(system, snap.requester_identity, register=False)
+            workers = [
+                Worker(system, identity, register=False)
+                for identity in snap.worker_identities
+            ]
+            specs.append(
+                TaskSpec(
+                    requester=requester,
+                    workers=workers,
+                    answers=[
+                        list(a) if a is not None else None for a in snap.answers
+                    ],
+                    policy=policy_from_descriptor(snap.policy_descriptor),
+                    description=snap.description,
+                    budget=snap.budget,
+                    answer_window=snap.answer_window,
+                    instruction_window=snap.instruction_window,
+                    rsa_bits=snap.rsa_bits,
+                    audit=snap.audit,
+                    requester_mode=snap.requester_mode,
+                    equivocators=list(snap.equivocators),
+                )
+            )
+        engine = cls(system, specs, **kwargs)
+        engine._restore_checkpoint = checkpoint
+        engine.byzantine_rejections = checkpoint.counters.get(
+            "byzantine_rejections", 0
+        )
+        engine.byzantine_accepted = checkpoint.counters.get(
+            "byzantine_accepted", 0
+        )
+        engine.pauses = checkpoint.counters.get("pauses", 0)
+        if checkpoint.janitor_key:
+            engine._janitor = ecdsa.ECDSAKeyPair(checkpoint.janitor_key)
+        engine.tx_sender.nonces.restore(checkpoint.nonce_reservations)
+        if obs.TRACER.enabled:
+            obs.count("engine.resumes")
+        return engine
+
+    # ----- the scheduler --------------------------------------------------------------
 
     def _pregenerate_encryption_keys(self) -> List[TaskKeyPair]:
         """Generate every task's RSA keypair across a fork pool.
@@ -378,20 +1065,30 @@ class ProtocolEngine:
         RSA keygen is the single largest client-side cost per task.
         """
         with obs.span("engine.keygen", tasks=len(self.specs)):
-            offsets: Dict[int, int] = {}
+            restore = self._restore_checkpoint
             requests = []
-            for spec in self.specs:
-                requester = spec.requester
-                offset = offsets.get(id(requester), 0)
-                offsets[id(requester)] = offset + 1
-                requests.append(
-                    (
-                        requester.encryption_rng_seed(
-                            requester.task_counter + offset
-                        ),
-                        spec.rsa_bits,
+            if restore is not None:
+                for spec, snap in zip(self.specs, restore.tasks):
+                    requests.append(
+                        (
+                            spec.requester.encryption_rng_seed(snap.task_index),
+                            spec.rsa_bits,
+                        )
                     )
-                )
+            else:
+                offsets: Dict[int, int] = {}
+                for spec in self.specs:
+                    requester = spec.requester
+                    offset = offsets.get(id(requester), 0)
+                    offsets[id(requester)] = offset + 1
+                    requests.append(
+                        (
+                            requester.encryption_rng_seed(
+                                requester.task_counter + offset
+                            ),
+                            spec.rsa_bits,
+                        )
+                    )
             return fanout_map(
                 _KeygenJob(), requests, os.cpu_count() or 1, chunked=False
             )
@@ -415,35 +1112,64 @@ class ProtocolEngine:
     def _run(self) -> EngineReport:
         start_height = self.testnet.height
         sim_start = self.testnet.clock.now
+        restore = self._restore_checkpoint
         encryption_keys = self._pregenerate_encryption_keys()
-        runners = [
-            _TaskRunner(spec, index, self, encryption_keys=encryption_keys[index])
+        self.runners = [
+            _TaskRunner(
+                spec,
+                index,
+                self,
+                encryption_keys=encryption_keys[index],
+                snapshot=restore.tasks[index] if restore is not None else None,
+            )
             for index, spec in enumerate(self.specs)
         ]
+        self.supervisors = [
+            TaskSupervisor(
+                runner,
+                policy=self.retry_policy,
+                breaker_threshold=self.breaker_threshold,
+            )
+            for runner in self.runners
+        ]
+        if restore is not None:
+            for supervisor, snap in zip(self.supervisors, restore.tasks):
+                supervisor.restore_failures(snap.failures)
         rounds = 0
         blocks = 0
         while True:
+            if self.crash_hook is not None:
+                self.crash_hook(self, rounds)
             with obs.span("engine.round", round=rounds):
-                for runner in runners:
-                    runner.step()
+                for supervisor in self.supervisors:
+                    supervisor.step(rounds)
                 self._drain_proving()
-            if all(runner.done for runner in runners):
+            if (
+                self.checkpoint_store is not None
+                and self.checkpoint_every
+                and rounds % self.checkpoint_every == 0
+            ):
+                self.checkpoint_store.save(self.checkpoint_bytes())
+                if obs.TRACER.enabled:
+                    obs.count("engine.checkpoints")
+            if all(runner.done for runner in self.runners):
                 break
             if rounds >= self.max_rounds:
-                stuck = [r.index for r in runners if not r.done]
+                stuck = [r.index for r in self.runners if not r.done]
                 raise EngineStallError(
                     f"tasks {stuck} still in flight after {rounds} rounds"
                 )
             self.testnet.mine_block()
             blocks += 1
             rounds += 1
+            self.round = rounds
 
         end_height = self.testnet.height
         block_lines, transactions = _chain_segment(
             self.node, start_height, end_height
         )
         return EngineReport(
-            outcomes=[runner.outcome for runner in runners],
+            outcomes=[runner.outcome for runner in self.runners],
             rounds=rounds,
             blocks_mined=blocks,
             start_height=start_height,
@@ -452,6 +1178,19 @@ class ProtocolEngine:
             wall_seconds=0.0,
             sim_seconds=self.testnet.clock.now - sim_start,
             blocks=block_lines,
+            resilience={
+                "retries": sum(s.retries for s in self.supervisors),
+                "recoveries": sum(s.recoveries for s in self.supervisors),
+                "quarantined": sum(
+                    1 for r in self.runners if r.outcome.quarantined
+                ),
+                "pauses": self.pauses,
+                "byzantine_rejections": self.byzantine_rejections,
+                "byzantine_accepted": self.byzantine_accepted,
+                "checkpoints": (
+                    self.checkpoint_store.saves if self.checkpoint_store else 0
+                ),
+            },
         )
 
     def _drain_proving(self) -> None:
@@ -491,6 +1230,8 @@ def engine_system(
     seed: bytes = b"engine-system",
     execution_lanes: int = 1,
     execution_workers: int = 1,
+    fault_plan=None,
+    mempool_capacity: Optional[int] = None,
     **system_kwargs: Any,
 ) -> ZebraLancerSystem:
     """A :class:`ZebraLancerSystem` sized for a concurrent wave.
@@ -499,6 +1240,11 @@ def engine_system(
     block gas limit must admit a whole wave of client transactions
     (deployments, submissions, reward instructions all reserve
     ``DEFAULT_GAS_LIMIT``) for batching to happen at all.
+
+    ``fault_plan`` wires a seeded :class:`~repro.chain.faults.FaultPlan`
+    into the testnet (chaos runs); ``mempool_capacity`` bounds each
+    node's pool, which is what the engine's backpressure gate pushes
+    against.
     """
     import repro.contracts  # noqa: F401  (side effect: registers contract classes)
     from dataclasses import replace
@@ -512,6 +1258,8 @@ def engine_system(
         gas_limit=max(30_000_000, wave * DEFAULT_GAS_LIMIT),
         execution_lanes=execution_lanes,
         execution_workers=execution_workers,
+        fault_plan=fault_plan,
+        mempool_capacity=mempool_capacity,
     )
     # The registration tree must hold the whole cohort (N requesters +
     # N·M workers) with headroom for extra registrations by the tests.
@@ -527,6 +1275,21 @@ def engine_system(
         testnet=testnet,
         **system_kwargs,
     )
+
+
+def _register_cohort(
+    system: ZebraLancerSystem,
+    requesters: List[Requester],
+    workers: List[List[Worker]],
+) -> None:
+    entries = [(r.identity, r.keys.public_key) for r in requesters]
+    for cohort in workers:
+        entries.extend((w.identity, w.keys.public_key) for w in cohort)
+    certificates = system.register_participants(entries)
+    for client, certificate in zip(
+        requesters + [w for cohort in workers for w in cohort], certificates
+    ):
+        client.certificate = certificate
 
 
 def make_uniform_specs(
@@ -563,14 +1326,7 @@ def make_uniform_specs(
         ]
         for i in range(num_tasks)
     ]
-    entries = [(r.identity, r.keys.public_key) for r in requesters]
-    for cohort in workers:
-        entries.extend((w.identity, w.keys.public_key) for w in cohort)
-    certificates = system.register_participants(entries)
-    for client, certificate in zip(
-        requesters + [w for cohort in workers for w in cohort], certificates
-    ):
-        client.certificate = certificate
+    _register_cohort(system, requesters, workers)
 
     from repro.core.simulation import sample_answer
 
@@ -593,6 +1349,89 @@ def make_uniform_specs(
                 budget=budget,
                 rsa_bits=rsa_bits,
                 audit=audit,
+            )
+        )
+    return specs
+
+
+def make_chaos_specs(
+    system: ZebraLancerSystem,
+    num_tasks: int,
+    workers_per_task: int,
+    num_choices: int = 4,
+    budget: int = 1_200,
+    seed: int = 0,
+    accuracy: float = 0.8,
+    stonewall: Sequence[int] = (),
+    vanish: Sequence[int] = (),
+    equivocate: Sequence[int] = (),
+    empty: Sequence[int] = (),
+    answer_window: int = 32,
+    instruction_window: int = 8,
+    rsa_bits: int = 1024,
+) -> List[TaskSpec]:
+    """Specs with byzantine actors mixed in, for engine-scale chaos.
+
+    ``stonewall``/``vanish`` name task indices whose requester goes
+    byzantine; ``equivocate`` names tasks whose first present worker
+    also submits a conflicting sybil answer; ``empty`` names tasks in
+    which every worker is absent (the zero-answer abort path).  The
+    instruction window defaults short so quarantined tasks reach the
+    even-split refund within a reasonable round budget.
+    """
+    import random
+
+    rng = random.Random(seed)
+    requesters = [
+        Requester(system, f"chaos-requester-{i}", register=False)
+        for i in range(num_tasks)
+    ]
+    workers = [
+        [
+            Worker(system, f"chaos-worker-{i}-{j}", register=False)
+            for j in range(workers_per_task)
+        ]
+        for i in range(num_tasks)
+    ]
+    _register_cohort(system, requesters, workers)
+
+    from repro.core.simulation import sample_answer
+
+    specs: List[TaskSpec] = []
+    for i in range(num_tasks):
+        truth = rng.randrange(num_choices)
+        if i in empty:
+            answers: List[Optional[Sequence[int]]] = [None] * workers_per_task
+        else:
+            answers = [
+                sample_answer(rng, truth, num_choices, accuracy, 0.0)
+                for _ in range(workers_per_task)
+            ]
+            if not any(answer is not None for answer in answers):
+                answers[0] = [truth]
+        mode = REQUESTER_HONEST
+        if i in stonewall:
+            mode = REQUESTER_STONEWALL
+        elif i in vanish:
+            mode = REQUESTER_VANISH
+        equivocators: List[int] = []
+        if i in equivocate and i not in empty:
+            equivocators = [
+                next(j for j, a in enumerate(answers) if a is not None)
+            ]
+        specs.append(
+            TaskSpec(
+                requester=requesters[i],
+                workers=workers[i],
+                answers=answers,
+                policy=MajorityVotePolicy(num_choices=num_choices),
+                description=f"chaos-task-{i}",
+                budget=budget,
+                answer_window=answer_window,
+                instruction_window=instruction_window,
+                rsa_bits=rsa_bits,
+                requester_mode=mode,
+                equivocators=equivocators,
             )
         )
     return specs
@@ -635,6 +1474,7 @@ def run_serial(system: ZebraLancerSystem, specs: Sequence[TaskSpec]) -> EngineRe
             raise ProtocolError(f"reward for task {index} failed: {receipt.error}")
         outcome.phase_blocks[REWARDING] = system.testnet.height
         outcome.rewards = handle.rewards()
+        outcome.status = STATUS_COMPLETED
         if spec.audit:
             outcome.audit_passed = handle.audit_submissions()
         outcomes.append(outcome)

@@ -270,3 +270,27 @@ class ReverseAuctionPolicy(RewardPolicy):
             if bid <= clearing_price:
                 rewards[index] = clearing_price
         return self._check_budget(rewards, budget)
+
+
+def policy_from_descriptor(descriptor: Dict) -> RewardPolicy:
+    """Rebuild a policy instance from its :meth:`~RewardPolicy.describe`.
+
+    The inverse of ``describe()``: what engine checkpoints persist, so
+    a restarted engine can reconstruct each task's policy without any
+    Python object state surviving the crash.
+    """
+    params = {str(k): v for k, v in dict(descriptor).items()}
+    name = params.pop("name", None)
+    constructors = {
+        MajorityVotePolicy.name: MajorityVotePolicy,
+        ProportionalAgreementPolicy.name: ProportionalAgreementPolicy,
+        DawidSkeneEMPolicy.name: DawidSkeneEMPolicy,
+        ReverseAuctionPolicy.name: ReverseAuctionPolicy,
+    }
+    constructor = constructors.get(name)
+    if constructor is None:
+        raise PolicyError(f"unknown policy descriptor {name!r}")
+    try:
+        return constructor(**params)
+    except TypeError as exc:
+        raise PolicyError(f"bad descriptor for policy {name!r}: {exc}") from exc

@@ -188,6 +188,7 @@ class Requester:
         rsa_bits: int = 1024,
         submissions_per_worker: int = 1,
         encryption_keys: Optional[TaskKeyPair] = None,
+        task_index: Optional[int] = None,
     ) -> PreparedPublish:
         """Build the deploy transaction without funding or sending it.
 
@@ -198,13 +199,20 @@ class Requester:
         ``encryption_keys`` overrides the task's RSA keypair; it must
         come from :meth:`encryption_rng_seed`-seeded generation (the
         engine pregenerates keypairs in parallel this way).
+
+        ``task_index`` pins the derivation index instead of consuming
+        the next counter value — a restarted engine re-prepares task k
+        and lands on the same one-task account, RSA keypair and
+        predicted contract address the crashed run used.
         """
         system = self.system
-        label = f"{self.identity}/task-{self._task_counter}"
+        if task_index is None:
+            task_index = self._task_counter
+        label = f"{self.identity}/task-{task_index}"
         if encryption_keys is None:
-            rng = random.Random(self.encryption_rng_seed())
+            rng = random.Random(self.encryption_rng_seed(task_index))
             encryption_keys = TaskKeyPair.generate(bits=rsa_bits, rng=rng)
-        self._task_counter += 1
+        self._task_counter = max(self._task_counter, task_index + 1)
         account = derive_one_task_account(self._seed, label)
 
         # α_C is predictable before deployment (footnote 10), so the
@@ -280,6 +288,39 @@ class Requester:
             policy=prepared.policy,
             system=self.system,
         )
+
+    def adopt_task(self, prepared: PreparedPublish, nonce: int) -> TaskHandle:
+        """Re-adopt an already-deployed task without a receipt.
+
+        The checkpoint-restore path: the contract exists on-chain (the
+        crashed run deployed it), so there is no deployment receipt to
+        hand to :meth:`complete_publish` — the restarted requester
+        rebuilds its private record from the re-prepared material and
+        the checkpointed account nonce.
+        """
+        self._tasks[prepared.predicted_address] = _TaskRecord(
+            account=prepared.account,
+            encryption_keys=prepared.encryption_keys,
+            nonce=nonce,
+        )
+        return TaskHandle(
+            address=prepared.predicted_address,
+            params=prepared.params,
+            policy=prepared.policy,
+            system=self.system,
+        )
+
+    def resync_nonce(self, handle: TaskHandle) -> int:
+        """Reset the task account's local nonce from the chain.
+
+        After a crash the checkpointed nonce may run ahead of (a
+        broadcast that never landed) or behind (a broadcast that landed
+        after the snapshot) the chain; the chain's account nonce is the
+        ground truth for the *next* transaction.
+        """
+        record = self._record(handle)
+        record.nonce = self.system.node.nonce_of(record.account.address)
+        return record.nonce
 
     # ----- Reward -----------------------------------------------------------------------
 
@@ -390,9 +431,39 @@ class Requester:
         record.nonce += 1
         return tx
 
+    def finalize_timeout_transaction(self, handle: TaskHandle) -> Transaction:
+        """A ``finalize_timeout`` call from the task's own account.
+
+        The honest zero-answer exit (Algorithm 1's abort): when the
+        collection window closed with nothing submitted there is no
+        instruction to prove, and the contract refunds the full budget
+        to the requester's one-task address.
+        """
+        record = self._record(handle)
+        tx = Transaction(
+            nonce=record.nonce,
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=handle.address,
+            value=0,
+            data=encode_call("finalize_timeout", []),
+        )
+        record.nonce += 1
+        return tx
+
+    def finalize_timeout(self, handle: TaskHandle) -> Receipt:
+        """Send :meth:`finalize_timeout_transaction` reliably (serial path)."""
+        record = self._record(handle)
+        tx = self.finalize_timeout_transaction(handle)
+        return self.system.send_reliable(tx, record.account.keypair)
+
     def task_account(self, handle: TaskHandle) -> OneTaskAccount:
         """The one-task account behind a published task (engine use)."""
         return self._record(handle).account
+
+    def task_nonce(self, handle: TaskHandle) -> int:
+        """The next unreserved nonce of a task's account (checkpoints)."""
+        return self._record(handle).nonce
 
     def _record(self, handle: TaskHandle) -> _TaskRecord:
         record = self._tasks.get(handle.address)

@@ -71,5 +71,9 @@ class ProtocolError(ReproError):
     """The crowdsourcing protocol was driven into an invalid state."""
 
 
+class CheckpointError(ProtocolError):
+    """An engine checkpoint could not be encoded, decoded, or applied."""
+
+
 class PolicyError(ProtocolError):
     """A reward policy was configured or evaluated incorrectly."""

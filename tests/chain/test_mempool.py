@@ -205,3 +205,62 @@ def test_select_with_state_skips_stale_nonces() -> None:
         for stx in pool.select_for_block(gas_limit=10**6, state=state)
     ]
     assert nonces == [1]
+
+
+# ----- bounded capacity / fee-aware admission ---------------------------------
+
+
+def test_capacity_rejects_cheap_newcomer_when_full() -> None:
+    pool = Mempool(capacity=2)
+    assert pool.add(_tx(ALICE, 0, gas_price=5))
+    assert pool.add(_tx(ALICE, 1, gas_price=5))
+    # Equal price does not displace an incumbent: the newcomer is the
+    # marginal traffic and is turned away at the door.
+    assert not pool.add(_tx(BOB, 0, gas_price=5))
+    assert len(pool) == 2
+    assert pool.admission_rejections == 1
+    assert pool.fee_evictions == 0
+
+
+def test_capacity_evicts_cheapest_for_a_better_payer() -> None:
+    pool = Mempool(capacity=2)
+    cheap = _tx(ALICE, 0, gas_price=1)
+    mid = _tx(ALICE, 1, gas_price=5)
+    pool.add(cheap)
+    pool.add(mid)
+    rich = _tx(BOB, 0, gas_price=9)
+    assert pool.add(rich)
+    assert len(pool) == 2
+    assert not pool.contains(cheap.tx_hash)
+    assert pool.contains(rich.tx_hash)
+    assert pool.fee_evictions == 1
+
+
+def test_capacity_eviction_prefers_newest_of_equal_price() -> None:
+    pool = Mempool(capacity=2)
+    older = _tx(ALICE, 0, gas_price=1)
+    newer = _tx(BOB, 0, gas_price=1)
+    pool.add(older)
+    pool.add(newer)
+    assert pool.add(_tx(ALICE, 1, gas_price=3))
+    # The older copy of equal-priced traffic survives the squeeze.
+    assert pool.contains(older.tx_hash)
+    assert not pool.contains(newer.tx_hash)
+
+
+def test_capacity_does_not_break_rbf_replacement() -> None:
+    pool = Mempool(capacity=1)
+    first = _tx(ALICE, 0, gas_price=2)
+    pool.add(first)
+    # Same slot, higher fee: replace-by-fee frees the slot before the
+    # capacity check, so a full pool still accepts the bump.
+    bumped = _tx(ALICE, 0, gas_price=4)
+    assert pool.add(bumped)
+    assert len(pool) == 1
+    assert pool.contains(bumped.tx_hash)
+    assert pool.fee_evictions == 0
+
+
+def test_capacity_must_be_positive() -> None:
+    with pytest.raises(ValueError):
+        Mempool(capacity=0)

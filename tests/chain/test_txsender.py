@@ -224,3 +224,70 @@ def test_service_retries_dropped_broadcast() -> None:
     assert pending.attempts >= 2
     assert pending.transaction.nonce == 0
     assert net.any_node.balance_of(SINK) == 2
+
+
+# ----- capped exponential backoff with seeded jitter --------------------------
+
+
+def test_retry_interval_first_attempt_is_the_plain_timeout() -> None:
+    net = _funded_net()
+    sender = TxSender(net, timeout_blocks=2)
+    assert sender.retry_interval(USER.address(), 0, 1) == 2
+
+
+def test_retry_interval_backs_off_exponentially_with_cap() -> None:
+    net = _funded_net()
+    sender = TxSender(
+        net, timeout_blocks=2, max_retry_interval=16, jitter_blocks=0
+    )
+    intervals = [
+        sender.retry_interval(USER.address(), 0, attempt)
+        for attempt in range(1, 7)
+    ]
+    assert intervals == [2, 4, 8, 16, 16, 16]
+
+
+def test_retry_interval_jitter_is_deterministic_and_bounded() -> None:
+    net = _funded_net()
+    sender = TxSender(net, timeout_blocks=2, jitter_blocks=3)
+    for attempt in range(2, 6):
+        first = sender.retry_interval(USER.address(), 7, attempt)
+        again = sender.retry_interval(USER.address(), 7, attempt)
+        assert first == again  # replayable chaos runs
+        base = min(sender.max_retry_interval, 2 << (attempt - 1))
+        assert base <= first <= base + 3
+
+
+def test_retry_interval_jitter_varies_across_senders() -> None:
+    net = _funded_net()
+    sender = TxSender(net, timeout_blocks=1, jitter_blocks=7)
+    draws = {
+        sender.retry_interval(bytes([i]) * 20, 0, 3) for i in range(16)
+    }
+    assert len(draws) > 1  # concurrent senders do not retry in lockstep
+
+
+def test_backoff_slows_later_resubmissions() -> None:
+    """Under total censorship the gaps between attempts must widen."""
+    net = _funded_net()
+    adversary = _DropFirstN(100)
+    net.network.adversary = adversary
+    sender = TxSender(
+        net, timeout_blocks=1, max_attempts=4, jitter_blocks=0
+    )
+    tx = Transaction(nonce=0, gas_price=1, gas_limit=21_000, to=SINK, value=1)
+    pending = sender.broadcast(tx, USER)
+    attempt_heights = [net.height]
+    remaining = [pending]
+    for _ in range(12):
+        net.mine_block()
+        before = pending.attempts
+        try:
+            remaining = sender.service(remaining)
+        except TxAbandonedError:
+            break
+        if pending.attempts > before:
+            attempt_heights.append(net.height)
+    gaps = [b - a for a, b in zip(attempt_heights, attempt_heights[1:])]
+    # Attempt 1 -> 2 after 1 block, 2 -> 3 after 2, 3 -> 4 after 4.
+    assert gaps == [1, 2, 4]

@@ -412,3 +412,143 @@ def test_groth16_vk_bytes_mutation_fuzz(groth16_material) -> None:
                 continue
             assert parsed != g1_from_bytes(wire[start : start + 64])
     assert rejected > 0
+
+
+# ----- engine checkpoint codec ------------------------------------------------
+
+from repro.errors import CheckpointError
+from repro.core.checkpoint import (
+    EngineCheckpoint,
+    PendingTxSnapshot,
+    TaskSnapshot,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+
+#: Every state a runner can be snapshotted in (PROVING maps to
+#: collecting at snapshot time, so it is not a wire state).
+_CHECKPOINT_STATES = (
+    "funding", "publishing", "funding-workers", "submitting",
+    "collecting", "rewarding", "settling", "quarantined", "done",
+)
+_CHECKPOINT_MODES = ("honest", "stonewall", "vanish")
+_CHECKPOINT_STATUSES = ("", "completed", "defaulted", "aborted", "failed")
+
+
+def _random_pending_snapshot(rng: random.Random) -> PendingTxSnapshot:
+    return PendingTxSnapshot(
+        nonce=rng.randrange(32),
+        gas_price=rng.randrange(1, 200),
+        gas_limit=rng.randrange(21_000, 30_000_000),
+        to=rng.randbytes(20) if rng.random() < 0.8 else None,
+        value=rng.randrange(10**9),
+        data=rng.randbytes(rng.randrange(64)),
+        chain_id=rng.randrange(1, 4),
+        private_key=rng.randrange(1, 2**250) if rng.random() < 0.9 else 0,
+        sender=rng.randbytes(20),
+        tx_hashes=[rng.randbytes(32) for _ in range(rng.randrange(4))],
+        broadcast_height=rng.randrange(64),
+        attempts=rng.randrange(1, 6),
+    )
+
+
+def _random_task_snapshot(rng: random.Random, state: str) -> TaskSnapshot:
+    workers = rng.randrange(1, 5)
+    answers = [
+        [rng.randrange(4)] if rng.random() < 0.8 else None
+        for _ in range(workers)
+    ]
+    present = [i for i, a in enumerate(answers) if a is not None]
+    return TaskSnapshot(
+        index=rng.randrange(64),
+        state=state,
+        requester_identity=f"requester-{rng.randrange(16)}",
+        worker_identities=[f"worker-{i}" for i in range(workers)],
+        answers=answers,
+        policy_descriptor={"name": "majority-vote",
+                           "num_choices": rng.randrange(2, 8)},
+        description=f"fuzz-task-{rng.randrange(100)}",
+        budget=rng.randrange(100, 10_000),
+        answer_window=rng.randrange(4, 64),
+        instruction_window=rng.randrange(4, 64),
+        rsa_bits=rng.choice((512, 1024)),
+        audit=rng.random() < 0.3,
+        requester_mode=rng.choice(_CHECKPOINT_MODES),
+        equivocators=[rng.choice(present)] if present and rng.random() < 0.3
+        else [],
+        task_index=rng.randrange(8),
+        address=rng.randbytes(20) if state != "funding" else b"",
+        account_nonce=rng.randrange(8),
+        phase_blocks={s: rng.randrange(64) for s in
+                      _CHECKPOINT_STATES[: rng.randrange(5)]},
+        phase_times={s: rng.randrange(10**6) for s in
+                     _CHECKPOINT_STATES[: rng.randrange(5)]},
+        rewards=[rng.randrange(1_000) for _ in range(rng.randrange(4))],
+        status=rng.choice(_CHECKPOINT_STATUSES),
+        quarantined=state == "quarantined",
+        quarantine_reason="circuit breaker open" if state == "quarantined"
+        else "",
+        wave=[_random_pending_snapshot(rng) for _ in range(rng.randrange(3))],
+        byzantine_wave=[_random_pending_snapshot(rng)
+                        for _ in range(rng.randrange(2))],
+        failures=rng.randrange(5),
+        settling=state in ("settling", "quarantined") and rng.random() < 0.5,
+    )
+
+
+def _random_checkpoint(rng: random.Random) -> EngineCheckpoint:
+    # Cycle through the state list so every phase appears across the
+    # sweep regardless of task-count draws.
+    base = rng.randrange(len(_CHECKPOINT_STATES))
+    tasks = [
+        _random_task_snapshot(
+            rng, _CHECKPOINT_STATES[(base + i) % len(_CHECKPOINT_STATES)]
+        )
+        for i in range(rng.randrange(1, 6))
+    ]
+    return EngineCheckpoint(
+        round=rng.randrange(512),
+        head_height=rng.randrange(512),
+        head_hash=rng.randbytes(32),
+        nonce_reservations={rng.randbytes(20): rng.randrange(16)
+                            for _ in range(rng.randrange(6))},
+        janitor_key=rng.randrange(1, 2**250) if rng.random() < 0.5 else 0,
+        tasks=tasks,
+    )
+
+
+def test_checkpoint_roundtrip_fuzz() -> None:
+    rng = random.Random(0xC4E7)
+    states_seen = set()
+    for _ in range(50):
+        checkpoint = _random_checkpoint(rng)
+        states_seen.update(t.state for t in checkpoint.tasks)
+        assert decode_checkpoint(encode_checkpoint(checkpoint)) == checkpoint
+    # The sweep must have covered every snapshottable task state.
+    assert states_seen == set(_CHECKPOINT_STATES)
+
+
+def test_checkpoint_mutation_fuzz() -> None:
+    """Any damage — flip, truncation, insertion — is rejected loudly.
+
+    Unlike the structural codecs above, a checkpoint is checksummed
+    end to end, so there is no 'decodes to a different value' branch:
+    every mutation must raise CheckpointError, never a stray exception
+    and never a silent wrong restore.
+    """
+    rng = random.Random(0xF00D)
+    wire = encode_checkpoint(_random_checkpoint(rng))
+    for _ in range(50):
+        mutated = _mutate(rng, wire)
+        if mutated == wire:
+            continue
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(mutated)
+
+
+def test_checkpoint_truncation_fuzz() -> None:
+    rng = random.Random(0xCAFE)
+    wire = encode_checkpoint(_random_checkpoint(rng))
+    for cut in sorted(rng.sample(range(len(wire)), 50)):
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(wire[:cut])
