@@ -97,15 +97,50 @@ def test_fig4_verification_is_cheap_relative_to_proving(
     )
 
 
+#: The "after" column of the previous BENCH_snark.json (pre-GLV, pre-raw-G2,
+#: pre-service): setup 0.8563 s + prove 1.4128 s.  The amortized per-task
+#: cost through the persistent proving service must beat this by >= 2x,
+#: asserted below so the raw-speed floor cannot silently regress.
+_PREVIOUS_AFTER_SETUP_PLUS_PROVE_S = 2.2691
+
+
+def _time_toggle_axes():
+    """Time a representative 64-point G1 MSM under every toggle combo."""
+    import random as _random
+
+    from repro.zksnark.bn128.curve import G1, g1_msm, g1_mul, set_fast_opts
+    from repro.zksnark.bn128.fq import CURVE_ORDER
+
+    rng = _random.Random(0xF16)
+    points = [g1_mul(G1, rng.randrange(1, CURVE_ORDER)) for _ in range(64)]
+    scalars = [rng.randrange(CURVE_ORDER) for _ in range(64)]
+    axes = {}
+    prior = set_fast_opts()
+    try:
+        for montgomery in (False, True):
+            for glv in (False, True):
+                set_fast_opts(montgomery=montgomery, glv=glv)
+                seconds = min(
+                    time_call(lambda: g1_msm(points, scalars), repeats=3)
+                )
+                axes[f"montgomery={montgomery},glv={glv}"] = round(seconds, 4)
+    finally:
+        set_fast_opts(*prior)
+    return axes
+
+
 def test_snark_before_after(benchmark, bench_profile, auth_material) -> None:
     """Naive vs optimized Groth16 on the largest circuit (the auth SNARK).
 
     Writes ``BENCH_snark.json`` at the repo root: setup/prove/verify in
-    both modes, plus batch_verify(n=10) against 10 sequential verifies.
-    The optimized hot path (Pippenger MSM, fixed-base tables, prepared
-    pairings, decomposed final exponentiation) must beat the naive
-    reference by ≥3× on setup+prove, and the batched verifier must beat
-    sequential — both asserted here so the speedup cannot silently rot.
+    both modes, batch_verify(n=10) against 10 sequential verifies,
+    per-toggle-combo MSM timings (Montgomery x GLV axes), and the
+    persistent proving service's amortized per-task cost (one warm
+    setup + a prove_many batch).  The optimized hot path must beat the
+    naive reference by >= 4x on setup+prove, and the service's
+    amortized per-task cost must beat the previous generation's
+    optimized path by ~2x (asserted at 1.8x for timer headroom) — both
+    asserted here so the speedups cannot silently rot.
     """
     from repro.anonauth.scheme import AuthCircuit, attestation_statement
     from repro.zksnark.groth16 import Groth16Backend
@@ -175,11 +210,42 @@ def test_snark_before_after(benchmark, bench_profile, auth_material) -> None:
         )
     )
 
+    # Persistent proving service: one warm setup amortized over a batch.
+    from repro.zksnark.service import ProvingService
+
+    service = ProvingService(Groth16Backend(jobs=1), jobs=1)
+    warm_seconds = min(
+        time_call(lambda: service.warm(circuit, seed=b"svc"), repeats=1)
+    )
+    service_keys = service.warm(circuit, seed=b"svc")
+    n_tasks = 8
+    requests = [
+        (service_keys.proving_key, circuit, instance) for _ in range(n_tasks)
+    ]
+    batch_prove_seconds = min(
+        time_call(lambda: service.prove_many(requests), repeats=1)
+    )
+    service.close()
+    amortized_task_seconds = (warm_seconds + batch_prove_seconds) / n_tasks
+    service_speedup = _PREVIOUS_AFTER_SETUP_PLUS_PROVE_S / max(
+        amortized_task_seconds, 1e-9
+    )
+
+    toggle_axes = _time_toggle_axes()
+
     setup_prove_speedup = (naive_setup + naive_prove) / max(
         fast_setup + fast_prove, 1e-9
     )
-    assert setup_prove_speedup >= 3.0, (
+    # Ratcheted from 3.0: the GLV split, raw int-pair G2 core, and
+    # Karatsuba FQ12 moved the measured ratio well past the old floor.
+    assert setup_prove_speedup >= 4.0, (
         f"optimized setup+prove only {setup_prove_speedup:.2f}x faster"
+    )
+    # Measured ~2.1x; asserted at 1.8x to leave CI timer-jitter headroom.
+    assert service_speedup >= 1.8, (
+        f"service amortized task cost {amortized_task_seconds:.3f}s is only "
+        f"{service_speedup:.2f}x faster than the previous optimized path "
+        f"({_PREVIOUS_AFTER_SETUP_PLUS_PROVE_S}s)"
     )
     assert batch_seconds < sequential_seconds, (
         f"batch_verify(n={n_batch}) took {batch_seconds:.3f}s vs "
@@ -210,6 +276,23 @@ def test_snark_before_after(benchmark, bench_profile, auth_material) -> None:
             "batched_s": round(batch_seconds, 4),
             "sequential_s": round(sequential_seconds, 4),
             "speedup": round(sequential_seconds / max(batch_seconds, 1e-9), 2),
+        },
+        # 64-point G1 MSM under each representation toggle combination.
+        # Montgomery is OFF by default: REDC's three half-width multiplies
+        # lose to CPython's single native ``%`` on big ints (kept as a
+        # differential-tested representation toggle).  GLV is the win.
+        "toggle_axes_msm64_s": toggle_axes,
+        # Persistent proving service: warm the CRS once, then amortize it
+        # over a prove_many batch.  ``speedup_vs_previous_after`` compares
+        # the amortized per-task cost against the previous generation's
+        # optimized setup+prove (the ratcheted >= 2x floor).
+        "service": {
+            "n_tasks": n_tasks,
+            "warm_setup_s": round(warm_seconds, 4),
+            "batch_prove_s": round(batch_prove_seconds, 4),
+            "amortized_task_s": round(amortized_task_seconds, 4),
+            "previous_after_setup_plus_prove_s": _PREVIOUS_AFTER_SETUP_PLUS_PROVE_S,
+            "speedup_vs_previous_after": round(service_speedup, 2),
         },
     }
     _BENCH_SNARK_PATH.write_text(json.dumps(record, indent=2) + "\n")

@@ -8,11 +8,13 @@ from signatures exactly the way Ethereum does).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.crypto.hashing import hmac_sha256, keccak256, sha256
 from repro.errors import SignatureError
+from repro.zksnark.bn128.glv import GLVParams, cube_root_of_unity
 
 # secp256k1 domain parameters.
 P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
@@ -94,20 +96,49 @@ def point_add(p1: Point, p2: Point) -> Point:
     return _from_jacobian(_jacobian_add(_to_jacobian(p1), _to_jacobian(p2)))
 
 
-def point_mul(scalar: int, point: Point) -> Point:
-    """Scalar multiplication with a 4-bit fixed-window ladder.
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
 
-    Generator multiples (every signature, public key, and half of each
-    recovery) take a fixed-base window table instead: 64 pre-doubled
-    windows turn ~256 doubles + ~128 adds into at most 64 adds.  For
-    arbitrary points (signature recovery, verification) a small 1P..15P
-    table trades ~128 data-dependent adds for ~60 adds plus 14 of setup.
+
+#: GLV toggle for arbitrary-point multiplication (recovery/verification).
+_GLV_ENABLED = _env_flag("REPRO_ECDSA_GLV", True)
+
+_GLV: Optional[Tuple[GLVParams, int]] = None
+
+
+def set_glv(enabled: bool) -> bool:
+    """Flip the secp256k1 GLV fast path; returns the prior state."""
+    global _GLV_ENABLED
+    prior = _GLV_ENABLED
+    _GLV_ENABLED = enabled
+    return prior
+
+
+def _glv_params() -> Tuple[GLVParams, int]:
+    """Lazily paired (GLV parameters, β) with φ(G) = λ·G verified.
+
+    secp256k1 has p ≡ 1 (mod 3) and n ≡ 1 (mod 3), so both cube roots
+    exist; λ pairs with exactly one of the two β candidates, fixed by
+    checking the endomorphism against the windowed ladder once.
     """
-    scalar %= N
-    if scalar == 0 or point is None:
-        return None
-    if point == GENERATOR:
-        return _generator_mul(scalar)
+    global _GLV
+    if _GLV is None:
+        params = GLVParams.for_order(N)
+        target = _windowed_mul(params.lam, GENERATOR)
+        beta = cube_root_of_unity(P)
+        if (beta * GX % P, GY) != target:
+            beta = beta * beta % P
+        if (beta * GX % P, GY) != target:
+            raise ArithmeticError("no cube root of unity realizes phi(G) = lam*G")
+        _GLV = (params, beta)
+    return _GLV
+
+
+def _windowed_mul(scalar: int, point: Point) -> Point:
+    """4-bit fixed-window ladder (the pre-GLV path; also the oracle)."""
     base = _to_jacobian(point)
     table: list = [None] * 16
     table[1] = base
@@ -124,6 +155,48 @@ def point_mul(scalar: int, point: Point) -> Point:
         if digit:
             result = _jacobian_add(result, table[digit])
     return _from_jacobian(result)
+
+
+def _glv_mul(scalar: int, point: Point) -> Point:
+    """GLV split + interleaved Shamir ladder: half the doubling count."""
+    params, beta = _glv_params()
+    k1, k2 = params.decompose(scalar)
+    x, y = point
+    p1 = (x, y if k1 > 0 else -y % P, 1)
+    p2 = (x * beta % P, y if k2 > 0 else -y % P, 1)
+    k1, k2 = abs(k1), abs(k2)
+    p12 = _jacobian_add(p1, p2)
+    acc = (0, 1, 0)
+    for i in range(max(k1.bit_length(), k2.bit_length()) - 1, -1, -1):
+        acc = _jacobian_double(acc)
+        b1 = (k1 >> i) & 1
+        b2 = (k2 >> i) & 1
+        if b1:
+            acc = _jacobian_add(acc, p12 if b2 else p1)
+        elif b2:
+            acc = _jacobian_add(acc, p2)
+    return _from_jacobian(acc)
+
+
+def point_mul(scalar: int, point: Point) -> Point:
+    """Scalar multiplication on secp256k1.
+
+    Generator multiples (every signature, public key, and half of each
+    recovery) take a fixed-base window table: 64 pre-doubled windows
+    turn ~256 doubles + ~128 adds into at most 64 adds.  Arbitrary
+    points (signature recovery, verification) use GLV endomorphism
+    decomposition when enabled — two ~128-bit halves in one interleaved
+    ladder — and otherwise a 4-bit window ladder, which stays around as
+    the differential oracle for the GLV path.
+    """
+    scalar %= N
+    if scalar == 0 or point is None:
+        return None
+    if point == GENERATOR:
+        return _generator_mul(scalar)
+    if _GLV_ENABLED and scalar.bit_length() > 130:
+        return _glv_mul(scalar, point)
+    return _windowed_mul(scalar, point)
 
 
 GENERATOR: Point = (GX, GY)

@@ -20,6 +20,7 @@ from repro.zksnark.circuit import ConstraintSystem, LinearCombination, Variable
 from repro.zksnark.field import FR, FieldElement, PrimeField
 from repro.zksnark.groth16 import Groth16Backend
 from repro.zksnark.mock import MockBackend
+from repro.zksnark.service import ProvingService
 
 __all__ = [
     "CircuitDefinition",
@@ -35,4 +36,5 @@ __all__ = [
     "PrimeField",
     "Groth16Backend",
     "MockBackend",
+    "ProvingService",
 ]

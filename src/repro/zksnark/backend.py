@@ -125,18 +125,22 @@ class CircuitDefinition(abc.ABC):
         """
 
 
-def full_circuit_digest(circuit: CircuitDefinition, r1cs) -> bytes:
+def full_circuit_digest(circuit: CircuitDefinition, r1cs=None) -> bytes:
     """The digest key material binds to: R1CS structure + extra semantics.
 
     The structure digest is cached on the circuit object: synthesis is
     instance-independent by the :class:`CircuitDefinition` contract, so
     every prove against the same circuit hashes the same structure —
-    recomputing it per proof dominated batched proving runs.
+    recomputing it per proof dominated batched proving runs.  With
+    ``r1cs=None`` the circuit is synthesized from its example instance
+    on a cache miss (used by the proving service's warm-key lookup).
     """
     from repro.crypto.hashing import sha256
 
     structure = circuit.__dict__.get("_structure_digest_cache")
     if structure is None:
+        if r1cs is None:
+            r1cs = circuit.build(circuit.example_instance()).to_r1cs()
         structure = r1cs.structure_digest()
         circuit.__dict__["_structure_digest_cache"] = structure
     return sha256(b"circuit-digest", structure, circuit.extra_digest())
@@ -264,9 +268,11 @@ def get_backend(name: str) -> ProvingBackend:
     if not _REGISTRY:
         from repro.zksnark.groth16 import Groth16Backend
         from repro.zksnark.mock import MockBackend
+        from repro.zksnark.service import ProvingService
 
         register_backend(Groth16Backend())
         register_backend(MockBackend())
+        register_backend(ProvingService())
     try:
         return _REGISTRY[name]
     except KeyError:

@@ -7,6 +7,8 @@ pairing usable.
 
 from __future__ import annotations
 
+from repro.zksnark.bn128.mont import MontContext
+
 #: The BN128 base-field modulus q (coordinates of curve points).
 FIELD_MODULUS = (
     21888242871839275222246405745257275088696311157297823662689037894645226208583
@@ -38,3 +40,24 @@ def fq_inv(a: int) -> int:
 
 def fq_neg(a: int) -> int:
     return -a % FIELD_MODULUS
+
+
+def fq_from_bytes(data: bytes) -> int:
+    """Decode a canonical 32-byte big-endian FQ element.
+
+    Rejects non-canonical limbs (value ≥ q): silently reducing them
+    would let distinct wire bytes decode to equal field elements — an
+    encoding-malleability hole in every point/proof codec above this.
+    """
+    if len(data) != 32:
+        raise ValueError("FQ encoding must be 32 bytes")
+    value = int.from_bytes(data, "big")
+    if value >= FIELD_MODULUS:
+        raise ValueError("non-canonical FQ encoding (limb >= field modulus)")
+    return value
+
+
+#: Montgomery context for FQ (R = 2^256).  The Montgomery-domain fast
+#: paths in :mod:`repro.zksnark.bn128.curve` run on these helpers and
+#: are differential-tested against the plain ``% q`` arithmetic above.
+MONT = MontContext(FIELD_MODULUS, 256)

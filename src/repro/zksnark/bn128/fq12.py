@@ -1,15 +1,18 @@
 """FQ12 = FQ[w] / (w^12 − 18·w^6 + 82): the pairing target field.
 
-Elements are fixed 12-tuples of base-field ints.  Multiplication is
-schoolbook followed by reduction against the sparse modulus polynomial;
-inversion runs the extended Euclid algorithm in FQ[w].
+Elements are fixed 12-tuples of base-field ints.  Multiplication splits
+the operands at w^6 and runs one level of Karatsuba (three 6-coefficient
+schoolbook products, 108 base multiplies instead of 144) with lazy
+reduction — coefficients stay unreduced integers until a single ``% q``
+pass in the constructor; squaring additionally exploits product symmetry
+(63 multiplies).  Inversion runs the extended Euclid algorithm in FQ[w].
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
-from repro.zksnark.bn128.fq import FIELD_MODULUS
+from repro.zksnark.bn128.fq import FIELD_MODULUS, MONT
 
 _Q = FIELD_MODULUS
 _DEGREE = 12
@@ -53,28 +56,30 @@ class FQ12:
             return FQ12([a * other for a in self.coeffs])
         a = self.coeffs
         b = other.coeffs
-        # Schoolbook product, degree 22, reduced lazily at the end.
-        prod: List[int] = [0] * (2 * _DEGREE - 1)
-        for i in range(_DEGREE):
-            ai = a[i]
-            if ai == 0:
-                continue
-            for j in range(_DEGREE):
-                prod[i + j] += ai * b[j]
-        # Reduce against w^12 = 18 w^6 - 82, from the top down.
-        for i in range(2 * _DEGREE - 2, _DEGREE - 1, -1):
-            top = prod[i]
-            if top == 0:
-                continue
-            prod[i] = 0
-            prod[i - 6] += 18 * top
-            prod[i - 12] -= 82 * top
-        return FQ12(prod[:_DEGREE])
+        # One Karatsuba level at the w^6 split: three 6-coefficient
+        # schoolbook products (108 base multiplies vs 144), coefficients
+        # kept as unreduced ints until the constructor's single % q pass.
+        a_lo, a_hi = a[:6], a[6:]
+        b_lo, b_hi = b[:6], b[6:]
+        t0 = _poly6_mul(a_lo, b_lo)
+        t2 = _poly6_mul(a_hi, b_hi)
+        tm = _poly6_mul(
+            tuple(x + y for x, y in zip(a_lo, a_hi)),
+            tuple(x + y for x, y in zip(b_lo, b_hi)),
+        )
+        return FQ12(_combine_karatsuba(t0, tm, t2))
 
     __rmul__ = __mul__
 
     def square(self) -> "FQ12":
-        return self * self
+        # Karatsuba split with symmetric 6-coefficient squares: 63 base
+        # multiplies instead of the general product's 108.
+        a = self.coeffs
+        a_lo, a_hi = a[:6], a[6:]
+        t0 = _poly6_sqr(a_lo)
+        t2 = _poly6_sqr(a_hi)
+        tm = _poly6_sqr(tuple(x + y for x, y in zip(a_lo, a_hi)))
+        return FQ12(_combine_karatsuba(t0, tm, t2))
 
     def __pow__(self, exponent: int) -> "FQ12":
         if exponent < 0:
@@ -84,7 +89,7 @@ class FQ12:
         while exponent:
             if exponent & 1:
                 result = result * base
-            base = base * base
+            base = base.square()
             exponent >>= 1
         return result
 
@@ -160,6 +165,87 @@ class FQ12:
 
     def to_bytes(self) -> bytes:
         return b"".join(c.to_bytes(32, "big") for c in self.coeffs)
+
+
+def _poly6_mul(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Unreduced schoolbook product of two 6-coefficient halves."""
+    out = [0] * 11
+    for i in range(6):
+        ai = a[i]
+        if ai:
+            for j in range(6):
+                out[i + j] += ai * b[j]
+    return out
+
+
+def _poly6_sqr(a: Sequence[int]) -> List[int]:
+    """Unreduced square of a 6-coefficient half (21 multiplies)."""
+    out = [0] * 11
+    for i in range(6):
+        ai = a[i]
+        if ai:
+            out[2 * i] += ai * ai
+            doubled = 2 * ai
+            for j in range(i + 1, 6):
+                out[i + j] += doubled * a[j]
+    return out
+
+
+def _combine_karatsuba(
+    t0: Sequence[int], tm: Sequence[int], t2: Sequence[int]
+) -> List[int]:
+    """Assemble t0 + (tm−t0−t2)·w^6 + t2·w^12 and fold w^12 = 18w^6 − 82."""
+    prod = [0] * 23
+    for i in range(11):
+        prod[i] += t0[i]
+        prod[i + 6] += tm[i] - t0[i] - t2[i]
+        prod[i + 12] += t2[i]
+    for i in range(22, 11, -1):
+        top = prod[i]
+        if top:
+            prod[i - 6] += 18 * top
+            prod[i - 12] -= 82 * top
+    return prod[:12]
+
+
+# ----- Montgomery-domain coefficient vectors ----------------------------------
+#
+# Provided for the representation-level toggle axis: FQ12 products in
+# the Montgomery domain pay one REDC per base multiply, whereas the lazy
+# schoolbook above pays raw integer multiplies plus a single % q pass
+# per output coefficient — measurably cheaper on CPython big ints.  The
+# helpers exist so the differential sweep can pin both representations
+# to each other; the pairing hot path intentionally stays lazy.
+
+
+def fq12_to_mont(value: "FQ12") -> Tuple[int, ...]:
+    """An FQ12 element as a tuple of Montgomery-domain coefficients."""
+    return tuple(MONT.to_mont(c) for c in value.coeffs)
+
+
+def fq12_from_mont(coeffs: Sequence[int]) -> "FQ12":
+    """Rebuild an FQ12 element from Montgomery-domain coefficients."""
+    return FQ12([MONT.from_mont(c) for c in coeffs])
+
+
+def fq12_mont_mul(a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    """Schoolbook FQ12 product with per-multiply Montgomery reduction."""
+    prod = [0] * (2 * _DEGREE - 1)
+    for i in range(_DEGREE):
+        ai = a[i]
+        if ai == 0:
+            continue
+        for j in range(_DEGREE):
+            bj = b[j]
+            if bj:
+                prod[i + j] = (prod[i + j] + MONT.mul(ai, bj)) % _Q
+    for i in range(2 * _DEGREE - 2, _DEGREE - 1, -1):
+        top = prod[i]
+        if top:
+            prod[i] = 0
+            prod[i - 6] = (prod[i - 6] + 18 * top) % _Q
+            prod[i - 12] = (prod[i - 12] - 82 * top) % _Q
+    return tuple(prod[:_DEGREE])
 
 
 #: power → tuple of 12 coefficient-tuples: the images (w^(q^power))^i.

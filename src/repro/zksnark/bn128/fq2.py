@@ -1,8 +1,17 @@
-"""FQ2 = FQ[i] / (i^2 + 1): the quadratic extension hosting G2."""
+"""FQ2 = FQ[i] / (i^2 + 1): the quadratic extension hosting G2.
+
+Multiplication is 3-multiply Karatsuba over the complex structure;
+:meth:`FQ2.from_bytes` rejects non-canonical limbs so each field
+element has exactly one wire encoding.  Montgomery-domain helpers
+(:func:`fq2_to_mont` / :func:`fq2_mont_mul` / …) mirror the plain
+arithmetic for the representation-level fast paths in ``curve.py``.
+"""
 
 from __future__ import annotations
 
-from repro.zksnark.bn128.fq import FIELD_MODULUS
+from typing import Tuple
+
+from repro.zksnark.bn128.fq import FIELD_MODULUS, MONT, fq_from_bytes
 
 _Q = FIELD_MODULUS
 
@@ -40,9 +49,12 @@ class FQ2:
     def __mul__(self, other) -> "FQ2":
         if isinstance(other, int):
             return FQ2(self.c0 * other, self.c1 * other)
-        # (a0 + a1 i)(b0 + b1 i) = (a0 b0 - a1 b1) + (a0 b1 + a1 b0) i
+        # Karatsuba: (a0 + a1 i)(b0 + b1 i) costs 3 multiplies, not 4 —
+        # the cross term is (a0+a1)(b0+b1) − a0b0 − a1b1.
         a0, a1, b0, b1 = self.c0, self.c1, other.c0, other.c1
-        return FQ2(a0 * b0 - a1 * b1, a0 * b1 + a1 * b0)
+        t0 = a0 * b0
+        t1 = a1 * b1
+        return FQ2(t0 - t1, (a0 + a1) * (b0 + b1) - t0 - t1)
 
     __rmul__ = __mul__
 
@@ -89,6 +101,46 @@ class FQ2:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "FQ2":
+        """Decode a canonical 64-byte encoding.
+
+        Limbs ≥ the field modulus are rejected rather than silently
+        reduced: accepting them would give every element many distinct
+        wire encodings, an encoding-malleability hole in G2/proof/vk
+        deserialization (distinct bytes decoding to equal elements).
+        """
         if len(data) != 64:
             raise ValueError("FQ2 encoding must be 64 bytes")
-        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+        return cls(fq_from_bytes(data[:32]), fq_from_bytes(data[32:]))
+
+
+# ----- Montgomery-domain coefficient pairs ------------------------------------
+#
+# The G2 hot paths in ``curve.py`` run on raw (c0, c1) int pairs rather
+# than FQ2 instances; these helpers provide the Montgomery counterpart
+# of the Karatsuba product above.  All values are canonical ([0, q)).
+
+
+def fq2_to_mont(value: "FQ2") -> Tuple[int, int]:
+    """An FQ2 element as a Montgomery-domain coefficient pair."""
+    return (MONT.to_mont(value.c0), MONT.to_mont(value.c1))
+
+
+def fq2_from_mont(pair: Tuple[int, int]) -> "FQ2":
+    """Rebuild an FQ2 element from a Montgomery-domain pair."""
+    return FQ2(MONT.from_mont(pair[0]), MONT.from_mont(pair[1]))
+
+
+def fq2_mont_mul(a: Tuple[int, int], b: Tuple[int, int]) -> Tuple[int, int]:
+    """Karatsuba product of two Montgomery-domain pairs."""
+    a0, a1 = a
+    b0, b1 = b
+    t0 = MONT.mul(a0, b0)
+    t1 = MONT.mul(a1, b1)
+    cross = MONT.mul(a0 + a1, b0 + b1)
+    return ((t0 - t1) % _Q, (cross - t0 - t1) % _Q)
+
+
+def fq2_mont_square(a: Tuple[int, int]) -> Tuple[int, int]:
+    """Square of a Montgomery-domain pair (2 multiplies)."""
+    a0, a1 = a
+    return (MONT.mul(a0 + a1, a0 - a1 + _Q), MONT.mul(2 * a0, a1))

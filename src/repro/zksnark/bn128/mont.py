@@ -1,0 +1,102 @@
+"""Montgomery-form modular arithmetic (generic over an odd modulus).
+
+Residues are stored as ``aR mod q`` with ``R = 2^bits``; multiplication
+is a REDC (Montgomery reduction) instead of a division.  On CPython's
+big ints a REDC (three multiplies plus shifts/masks) runs slightly
+faster than one ``(a*b) % q`` for 254-bit operands, and — more
+importantly — the *lazy* variant skips the final conditional
+subtraction so chained formulas (Jacobian point addition) keep values
+in ``[0, 2q)`` and pay one canonicalization at the end.
+
+Every fast path built on this module stays pinned to the plain
+``% q`` oracle through the differential sweep
+(``tests/zksnark/test_differential.py``) with the Montgomery axis
+toggled on and off.
+"""
+
+from __future__ import annotations
+
+
+class MontContext:
+    """Precomputed Montgomery constants for one odd modulus."""
+
+    __slots__ = ("modulus", "bits", "mask", "r1", "r2", "neg_qinv")
+
+    def __init__(self, modulus: int, bits: int | None = None) -> None:
+        if modulus < 3 or modulus % 2 == 0:
+            raise ValueError("Montgomery arithmetic needs an odd modulus >= 3")
+        if bits is None:
+            # Round up to a whole limb-ish power of two above the modulus.
+            bits = ((modulus.bit_length() + 63) // 64) * 64
+        if (1 << bits) <= modulus:
+            raise ValueError("R = 2^bits must exceed the modulus")
+        self.modulus = modulus
+        self.bits = bits
+        r = 1 << bits
+        self.mask = r - 1
+        self.r1 = r % modulus  # the residue of 1
+        self.r2 = r * r % modulus  # to_mont multiplier
+        self.neg_qinv = (-pow(modulus, -1, r)) % r  # -q^-1 mod R
+
+    # -- core reduction ------------------------------------------------------
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: ``t * R^-1 mod q`` for t < qR."""
+        q = self.modulus
+        u = (t + ((t & self.mask) * self.neg_qinv & self.mask) * q) >> self.bits
+        return u - q if u >= q else u
+
+    def mul(self, a: int, b: int) -> int:
+        """Product of two Montgomery residues, canonical in [0, q)."""
+        q = self.modulus
+        t = a * b
+        u = (t + ((t & self.mask) * self.neg_qinv & self.mask) * q) >> self.bits
+        return u - q if u >= q else u
+
+    def mul_lazy(self, a: int, b: int) -> int:
+        """Product without the final subtraction; result in [0, 2q).
+
+        Safe to chain: for a, b < 2q the intermediate t = a·b < 4q² < qR
+        (since 4q < R for a 254-bit q with R = 2^256), so the REDC
+        quotient stays below 2q.
+        """
+        t = a * b
+        return (
+            t + ((t & self.mask) * self.neg_qinv & self.mask) * self.modulus
+        ) >> self.bits
+
+    # -- domain conversion ---------------------------------------------------
+
+    def to_mont(self, a: int) -> int:
+        """Map a plain residue into the Montgomery domain (a·R mod q)."""
+        return self.mul(a % self.modulus, self.r2)
+
+    def from_mont(self, a: int) -> int:
+        """Map a Montgomery residue back to a plain one (a·R⁻¹ mod q)."""
+        return self.redc(a)
+
+    def canon(self, a: int) -> int:
+        """Canonicalize a lazy value from [0, 2q) into [0, q)."""
+        return a - self.modulus if a >= self.modulus else a
+
+    # -- derived helpers -----------------------------------------------------
+
+    def inv(self, a: int) -> int:
+        """Inverse of a Montgomery residue, in the Montgomery domain."""
+        plain = self.from_mont(a)
+        if plain == 0:
+            raise ZeroDivisionError("inverse of zero in Montgomery domain")
+        return self.to_mont(pow(plain, -1, self.modulus))
+
+    def pow(self, a: int, e: int) -> int:
+        """a^e for a Montgomery residue a, staying in the domain."""
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        result = self.r1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result

@@ -84,8 +84,27 @@ class PrimeField:
     def to_bytes(self, value: int) -> bytes:
         return (value % self.modulus).to_bytes(self.byte_length(), "big")
 
-    def from_bytes(self, data: bytes) -> int:
-        return int.from_bytes(data, "big") % self.modulus
+    def from_bytes(self, data: bytes, strict: bool = True) -> int:
+        """Decode a big-endian field element.
+
+        Strict (the default) enforces the canonical encoding: exactly
+        :meth:`byte_length` bytes and a value below the modulus.
+        Accepting out-of-range values and reducing them — the old
+        behaviour, still reachable with ``strict=False`` for hash-to-
+        field style callers — makes every element decodable from many
+        distinct byte strings, an encoding-malleability hole wherever
+        the bytes are signed, committed to, or deduplicated.
+        """
+        if not strict:
+            return int.from_bytes(data, "big") % self.modulus
+        if len(data) != self.byte_length():
+            raise ValueError(
+                f"{self.name} encoding must be exactly {self.byte_length()} bytes"
+            )
+        value = int.from_bytes(data, "big")
+        if value >= self.modulus:
+            raise ValueError(f"non-canonical {self.name} encoding (>= modulus)")
+        return value
 
 
 @dataclass(frozen=True)
@@ -142,6 +161,13 @@ class FieldElement:
         return FieldElement(self.field, -self.value % self.field.modulus)
 
     def __pow__(self, exponent: int):
+        if exponent < 0:
+            # Route through field.inv so 0 ** -n raises ZeroDivisionError
+            # (matching division) instead of CPython's bare ValueError.
+            base = self.field.inv(self.value)
+            return FieldElement(
+                self.field, pow(base, -exponent, self.field.modulus)
+            )
         return FieldElement(self.field, pow(self.value, exponent, self.field.modulus))
 
     def inverse(self) -> "FieldElement":

@@ -172,13 +172,43 @@ def vanishing_polynomial(field: PrimeField, points: Sequence[int]) -> List[int]:
     return leaves[0]
 
 
+#: Domain-keyed cache of normalized Lagrange basis rows.  The QAP
+#: prover interpolates three vectors per proof over the SAME fixed
+#: domain [1..n]; rebuilding Z(x) and running n synthetic divisions on
+#: every call dominated prove time (~42% in profile), while the rows
+#: themselves only depend on (modulus, points).
+_INTERP_CACHE: dict = {}
+_INTERP_CACHE_MAX = 8
+
+
+def _interpolation_rows(field: PrimeField, points: Sequence[int]) -> List[List[int]]:
+    """Rows ``basis_j(x) / Z'(x_j)`` for every x_j, cached per domain."""
+    key = (field.modulus, tuple(points))
+    rows = _INTERP_CACHE.get(key)
+    if rows is None:
+        p = field.modulus
+        z = vanishing_polynomial(field, points)
+        rows = []
+        for xj in points:
+            # basis_j = Z(x) / (x - x_j), computed by synthetic division.
+            basis = _divide_by_linear(field, z, xj)
+            inv_denom = field.inv(poly_eval(field, basis, xj))  # 1 / Z'(x_j)
+            rows.append([c * inv_denom % p for c in basis])
+        if len(_INTERP_CACHE) >= _INTERP_CACHE_MAX:
+            _INTERP_CACHE.pop(next(iter(_INTERP_CACHE)))
+        _INTERP_CACHE[key] = rows
+    return rows
+
+
 def lagrange_interpolate(
     field: PrimeField, points: Sequence[int], values: Sequence[int]
 ) -> List[int]:
     """Interpolate the unique degree-<n polynomial through (points, values).
 
     Uses the barycentric-ish construction: build Z(x), then each basis
-    polynomial is Z(x)/(x - x_j) scaled by 1/Z'(x_j).  O(n^2) total.
+    polynomial is Z(x)/(x - x_j) scaled by 1/Z'(x_j).  O(n^2) total,
+    with the normalized basis rows cached per domain and the row
+    combination accumulated as raw ints (one ``% p`` pass at the end).
     """
     if len(points) != len(values):
         raise ValueError("points/values length mismatch")
@@ -188,18 +218,16 @@ def lagrange_interpolate(
     n = len(points)
     if n == 0:
         return []
-    z = vanishing_polynomial(field, points)
+    rows = _interpolation_rows(field, points)
     result = [0] * n
     for j in range(n):
-        if values[j] == 0:
+        v = values[j] % p
+        if v == 0:
             continue
-        # basis_j = Z(x) / (x - x_j), computed by synthetic division.
-        basis = _divide_by_linear(field, z, points[j])
-        denom = poly_eval(field, basis, points[j])  # = Z'(x_j)
-        scale = (values[j] * field.inv(denom)) % p
-        for i, c in enumerate(basis):
-            result[i] = (result[i] + c * scale) % p
-    return trim(result)
+        row = rows[j]
+        for i in range(n):
+            result[i] += v * row[i]
+    return trim([c % p for c in result])
 
 
 def _divide_by_linear(field: PrimeField, coeffs: Sequence[int], root: int) -> List[int]:

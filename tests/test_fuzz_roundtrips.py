@@ -552,3 +552,117 @@ def test_checkpoint_truncation_fuzz() -> None:
     for cut in sorted(rng.sample(range(len(wire)), 50)):
         with pytest.raises(CheckpointError):
             decode_checkpoint(wire[:cut])
+
+
+# ----- canonical field/point encodings (malleability regression) --------------
+#
+# Every 32-byte limb in the G1/G2/proof/vk codecs must have exactly one
+# accepted encoding.  Before the fix, limbs >= q were silently reduced,
+# so x and x+q decoded to the SAME element from DIFFERENT bytes — an
+# encoding-malleability hole wherever proof bytes are hashed, signed,
+# or deduplicated.  These vectors pin the strict behaviour.
+
+
+def _noncanonical_limbs(value: int):
+    """The classic over-field encodings of ``value``: +q, and all-0xFF."""
+    from repro.zksnark.bn128.fq import FIELD_MODULUS
+
+    vectors = [b"\xff" * 32]
+    if value + FIELD_MODULUS < 1 << 256:
+        vectors.append((value + FIELD_MODULUS).to_bytes(32, "big"))
+    return vectors
+
+
+def test_fq_from_bytes_rejects_noncanonical() -> None:
+    from repro.zksnark.bn128.fq import FIELD_MODULUS, fq_from_bytes
+
+    assert fq_from_bytes((FIELD_MODULUS - 1).to_bytes(32, "big")) == FIELD_MODULUS - 1
+    for bad in (FIELD_MODULUS, FIELD_MODULUS + 1, (1 << 256) - 1):
+        with pytest.raises(ValueError):
+            fq_from_bytes(bad.to_bytes(32, "big"))
+    with pytest.raises(ValueError):
+        fq_from_bytes(b"\x00" * 31)  # wrong length
+
+
+def test_fq2_from_bytes_rejects_noncanonical_limbs() -> None:
+    from repro.zksnark.bn128.fq import FIELD_MODULUS
+    from repro.zksnark.bn128.fq2 import FQ2
+
+    element = FQ2(5, 7)
+    wire = element.to_bytes()
+    assert FQ2.from_bytes(wire) == element
+    for limb_start in (0, 32):
+        value = int.from_bytes(wire[limb_start : limb_start + 32], "big")
+        for bad_limb in [
+            FIELD_MODULUS.to_bytes(32, "big"),
+            (FIELD_MODULUS + 1).to_bytes(32, "big"),
+            *_noncanonical_limbs(value),
+        ]:
+            mutated = wire[:limb_start] + bad_limb + wire[limb_start + 32 :]
+            with pytest.raises(ValueError):
+                FQ2.from_bytes(mutated)
+
+
+def test_g1_from_bytes_rejects_noncanonical_limbs() -> None:
+    point = g1_mul(G1, 0xA11CE)
+    wire = g1_to_bytes(point)
+    assert g1_from_bytes(wire) == point
+    # x+q (resp. y+q) encodes the same curve point in non-canonical
+    # bytes — exactly the malleability vector; must now be rejected.
+    for limb_start in (0, 32):
+        value = int.from_bytes(wire[limb_start : limb_start + 32], "big")
+        for bad_limb in _noncanonical_limbs(value):
+            mutated = wire[:limb_start] + bad_limb + wire[limb_start + 32 :]
+            with pytest.raises(ValueError):
+                g1_from_bytes(mutated)
+
+
+def test_g2_from_bytes_rejects_noncanonical_limbs() -> None:
+    point = g2_mul(G2, 0xB0B)
+    wire = g2_to_bytes(point)
+    assert g2_from_bytes(wire) == point
+    for limb_start in (0, 32, 64, 96):
+        value = int.from_bytes(wire[limb_start : limb_start + 32], "big")
+        for bad_limb in _noncanonical_limbs(value):
+            mutated = wire[:limb_start] + bad_limb + wire[limb_start + 32 :]
+            with pytest.raises(ValueError):
+                g2_from_bytes(mutated)
+
+
+def test_groth16_proof_rejects_noncanonical_encoding(groth16_material) -> None:
+    """A proof re-encoded with a +q limb must not verify.
+
+    This is the end-to-end consequence of limb canonicality: without
+    it, one valid proof has many byte representations that all verify,
+    so any dedup/replay protection keyed on proof bytes is bypassable.
+    """
+    backend, keys, proof = groth16_material
+    from repro.zksnark.bn128.fq import FIELD_MODULUS
+
+    for limb_start in range(0, len(proof.payload), 32):
+        value = int.from_bytes(proof.payload[limb_start : limb_start + 32], "big")
+        if value + FIELD_MODULUS >= 1 << 256:
+            continue
+        mutated = (
+            proof.payload[:limb_start]
+            + (value + FIELD_MODULUS).to_bytes(32, "big")
+            + proof.payload[limb_start + 32 :]
+        )
+        bad = Proof(backend=proof.backend, payload=mutated)
+        assert backend.verify(keys.verifying_key, [16], bad) is False
+
+
+def test_groth16_vk_bytes_reject_noncanonical_limbs(groth16_material) -> None:
+    from repro.zksnark.bn128.fq import FIELD_MODULUS
+
+    _, keys, _ = groth16_material
+    wire = keys.verifying_key.to_bytes()
+    # alpha G1 occupies the first 64 bytes; beta G2 the next 128.
+    for limb_start, codec, width in ((0, g1_from_bytes, 64), (64, g2_from_bytes, 128)):
+        chunk = wire[limb_start : limb_start + width]
+        value = int.from_bytes(chunk[:32], "big")
+        if value + FIELD_MODULUS >= 1 << 256:
+            continue
+        mutated = (value + FIELD_MODULUS).to_bytes(32, "big") + chunk[32:]
+        with pytest.raises(ValueError):
+            codec(mutated)

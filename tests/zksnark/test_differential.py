@@ -253,3 +253,59 @@ def test_batch_verify_rejects_one_wrong_statement(optimized, keys) -> None:
     ]
     statements[2] = [(statements[2][0] + 1) % CURVE_ORDER, statements[2][1]]
     assert optimized.batch_verify(keys.verifying_key, statements, proofs) is False
+
+
+# ----- representation toggles: Montgomery x GLV axes (24 + 4 cases) ---------------
+#
+# The Montgomery-domain G1 core and the GLV decomposition are runtime
+# toggles; every combination must agree with the naive oracle (which
+# always runs the plain %-q double-and-add core, independent of the
+# toggles).
+
+
+_TOGGLE_AXES = [(False, False), (False, True), (True, False), (True, True)]
+
+
+@pytest.mark.parametrize("montgomery,glv", _TOGGLE_AXES)
+@pytest.mark.parametrize("case", range(6))
+def test_g1_paths_match_naive_under_toggles(
+    case: int, montgomery: bool, glv: bool
+) -> None:
+    from repro.zksnark.bn128.curve import set_fast_opts
+
+    prior = set_fast_opts(montgomery=montgomery, glv=glv)
+    try:
+        rng = random.Random(11000 + case)
+        size = rng.randrange(1, 10)
+        points = _g1_points(rng, size)
+        # Full-width scalars so the GLV split actually engages.
+        scalars = [rng.randrange(0, CURVE_ORDER) for _ in range(size)]
+        assert g1_msm(points, scalars) == g1_msm_naive(points, scalars)
+        k = rng.randrange(1, CURVE_ORDER)
+        point = points[0]
+        set_fast_opts(montgomery=False, glv=False)
+        reference = g1_mul(point, k)
+        set_fast_opts(montgomery=montgomery, glv=glv)
+        assert g1_mul(point, k) == reference
+    finally:
+        set_fast_opts(*prior)
+
+
+@pytest.mark.parametrize("montgomery,glv", _TOGGLE_AXES)
+def test_verify_accepts_proof_under_every_toggle_combo(
+    optimized, keys, montgomery: bool, glv: bool
+) -> None:
+    """Proof produced under one toggle combo verifies under every other."""
+    from repro.zksnark.bn128.curve import set_fast_opts
+
+    rng = random.Random(12000)
+    instance = _instance(rng)
+    statement = [instance["out"], instance["a"]]
+    prior = set_fast_opts(montgomery=montgomery, glv=glv)
+    try:
+        proof = optimized.prove(keys.proving_key, ProductCircuit(), instance)
+        assert optimized.verify(keys.verifying_key, statement, proof) is True
+    finally:
+        set_fast_opts(*prior)
+    # Cross-check: the proof from this combo verifies with defaults too.
+    assert optimized.verify(keys.verifying_key, statement, proof) is True

@@ -1,0 +1,302 @@
+"""Unit tests for the Montgomery context, GLV decomposition, and the
+persistent proving service — plus the cheap 10-case representation
+sweep that CI's fast lane runs (naive backend vs the full fast path
+with every toggle enabled).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.zksnark import Groth16Backend
+from repro.zksnark.backend import get_backend
+from repro.zksnark.bn128.curve import (
+    g1_mul,
+    g1_msm,
+    g1_msm_naive,
+    get_fast_opts,
+    set_fast_opts,
+    G1,
+)
+from repro.zksnark.bn128.fq import CURVE_ORDER, FIELD_MODULUS
+from repro.zksnark.bn128.glv import GLVParams, cube_root_of_unity
+from repro.zksnark.bn128.mont import MontContext
+from repro.zksnark.service import ProvingService
+
+from tests.zksnark.test_differential import ProductCircuit
+
+SECP256K1_ORDER = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+
+
+def _g1_mul_naive(point, scalar):
+    """Naive G1 oracle: single-pair naive MSM (plain double-and-add)."""
+    return g1_msm_naive([point], [scalar])
+
+
+# ----- MontContext ----------------------------------------------------------------
+
+
+class TestMontContext:
+    def setup_method(self) -> None:
+        self.ctx = MontContext(FIELD_MODULUS, 256)
+
+    def test_roundtrip(self) -> None:
+        rng = random.Random(1)
+        for _ in range(50):
+            a = rng.randrange(FIELD_MODULUS)
+            assert self.ctx.from_mont(self.ctx.to_mont(a)) == a
+
+    def test_mul_matches_plain_modmul(self) -> None:
+        rng = random.Random(2)
+        for _ in range(50):
+            a = rng.randrange(FIELD_MODULUS)
+            b = rng.randrange(FIELD_MODULUS)
+            got = self.ctx.from_mont(
+                self.ctx.mul(self.ctx.to_mont(a), self.ctx.to_mont(b))
+            )
+            assert got == a * b % FIELD_MODULUS
+
+    def test_mul_lazy_bound_and_congruence(self) -> None:
+        """Lazy products stay below 2q and reduce to the canonical value."""
+        rng = random.Random(3)
+        q = FIELD_MODULUS
+        for _ in range(50):
+            # Feed lazy (possibly >= q) inputs back in, as chained
+            # point-addition formulas do.
+            a = rng.randrange(2 * q)
+            b = rng.randrange(2 * q)
+            lazy = self.ctx.mul_lazy(a, b)
+            assert 0 <= lazy < 2 * q
+            assert self.ctx.canon(lazy) == self.ctx.mul(a % q, b % q) % q
+            assert lazy % q == self.ctx.mul(a % q, b % q) % q
+
+    def test_redc_edge_values(self) -> None:
+        assert self.ctx.redc(0) == 0
+        # redc(a * R) == a for any canonical a (t = aR < qR is in range).
+        assert self.ctx.redc((FIELD_MODULUS - 1) << 256) == FIELD_MODULUS - 1
+        assert self.ctx.from_mont(self.ctx.r1) == 1
+
+    def test_inv_and_pow(self) -> None:
+        rng = random.Random(4)
+        for _ in range(10):
+            a = rng.randrange(1, FIELD_MODULUS)
+            am = self.ctx.to_mont(a)
+            assert self.ctx.mul(am, self.ctx.inv(am)) == self.ctx.r1
+            e = rng.randrange(1, 1 << 64)
+            assert self.ctx.from_mont(self.ctx.pow(am, e)) == pow(
+                a, e, FIELD_MODULUS
+            )
+            assert self.ctx.from_mont(self.ctx.pow(am, -e)) == pow(
+                a, -e, FIELD_MODULUS
+            )
+
+    def test_inv_zero_raises(self) -> None:
+        with pytest.raises(ZeroDivisionError):
+            self.ctx.inv(0)
+
+    def test_rejects_even_or_tiny_modulus(self) -> None:
+        with pytest.raises(ValueError):
+            MontContext(16)
+        with pytest.raises(ValueError):
+            MontContext(1)
+        with pytest.raises(ValueError):
+            MontContext(FIELD_MODULUS, bits=128)  # R <= q
+
+    def test_default_bits_round_up_to_limb(self) -> None:
+        assert MontContext(FIELD_MODULUS).bits == 256
+
+
+# ----- GLV decomposition ----------------------------------------------------------
+
+
+class TestGLV:
+    @pytest.mark.parametrize("order", [CURVE_ORDER, SECP256K1_ORDER])
+    def test_decompose_congruence_exact(self, order: int) -> None:
+        """k1 + k2*lam == k (mod n) — the soundness anchor — for seeded k."""
+        params = GLVParams.for_order(order)
+        bound_bits = params.max_component_bits()
+        assert bound_bits <= order.bit_length() // 2 + 3
+        rng = random.Random(order & 0xFFFF)
+        cases = [0, 1, order - 1, params.lam, order // 2]
+        cases += [rng.randrange(order) for _ in range(60)]
+        for k in cases:
+            k1, k2 = params.decompose(k)
+            assert (k1 + k2 * params.lam) % order == k % order
+            assert abs(k1).bit_length() <= bound_bits
+            assert abs(k2).bit_length() <= bound_bits
+
+    def test_cube_root_of_unity_properties(self) -> None:
+        for modulus in (CURVE_ORDER, SECP256K1_ORDER, FIELD_MODULUS):
+            root = cube_root_of_unity(modulus)
+            assert root != 1
+            assert pow(root, 3, modulus) == 1
+        with pytest.raises(ValueError):
+            cube_root_of_unity(5)  # 5 % 3 == 2: no primitive cube root
+
+    def test_other_root_is_conjugate(self) -> None:
+        params = GLVParams.for_order(CURVE_ORDER)
+        other = params.other_root()
+        assert other.lam == params.lam * params.lam % CURVE_ORDER
+        k = 0xDEADBEEF << 200
+        k1, k2 = other.decompose(k)
+        assert (k1 + k2 * other.lam) % CURVE_ORDER == k % CURVE_ORDER
+
+    def test_rejects_non_cube_root_lambda(self) -> None:
+        with pytest.raises(ValueError):
+            GLVParams(CURVE_ORDER, 2)
+
+    def test_g1_glv_mul_matches_naive(self) -> None:
+        prior = set_fast_opts(glv=True)
+        try:
+            rng = random.Random(99)
+            for _ in range(8):
+                k = rng.randrange(CURVE_ORDER)
+                p = _g1_mul_naive(G1, rng.randrange(1, CURVE_ORDER))
+                assert g1_mul(p, k) == _g1_mul_naive(p, k)
+        finally:
+            set_fast_opts(*prior)
+
+    def test_set_fast_opts_returns_prior_state(self) -> None:
+        before = get_fast_opts()
+        prior = set_fast_opts(montgomery=True, glv=False)
+        assert prior == before
+        assert get_fast_opts() == (True, False)
+        set_fast_opts(*prior)
+        assert get_fast_opts() == before
+
+
+# ----- secp256k1 ECDSA GLV --------------------------------------------------------
+
+
+class TestEcdsaGLV:
+    def test_point_mul_glv_matches_windowed(self) -> None:
+        from repro.crypto import ecdsa
+
+        rng = random.Random(7)
+        base = ecdsa._windowed_mul(rng.randrange(1, ecdsa.N), ecdsa.GENERATOR)
+        try:
+            for _ in range(6):
+                k = rng.randrange(ecdsa.N)
+                ecdsa.set_glv(True)
+                fast = ecdsa.point_mul(k, base)
+                ecdsa.set_glv(False)
+                slow = ecdsa.point_mul(k, base)
+                assert fast == slow == ecdsa._windowed_mul(k, base)
+        finally:
+            ecdsa.set_glv(True)
+
+    def test_sign_verify_roundtrip_under_both_modes(self) -> None:
+        from repro.crypto import ecdsa
+        from repro.crypto.hashing import sha256
+
+        key = ecdsa.ECDSAKeyPair.from_seed(b"glv-roundtrip")
+        digest = sha256(b"glv differential")
+        try:
+            ecdsa.set_glv(True)
+            sig_fast = key.sign(digest)
+            ecdsa.set_glv(False)
+            sig_slow = key.sign(digest)
+            # Deterministic nonces: both modes must produce the identical
+            # signature, and each mode verifies the other's output.
+            assert sig_fast == sig_slow
+            assert ecdsa.verify(key.public_key, digest, sig_fast)
+            ecdsa.set_glv(True)
+            assert ecdsa.verify(key.public_key, digest, sig_slow)
+        finally:
+            ecdsa.set_glv(True)
+
+
+# ----- persistent proving service -------------------------------------------------
+
+
+class TestProvingService:
+    def test_registered_as_backend(self) -> None:
+        service = get_backend("groth16-service")
+        assert isinstance(service, ProvingService)
+
+    def test_setup_is_warm_cached_by_digest(self) -> None:
+        service = ProvingService(Groth16Backend(optimized=True, jobs=1))
+        first = service.setup(ProductCircuit(), seed=b"svc-test")
+        # A *different* circuit object with the same structure hits the
+        # same cache entry: keying is by digest, not object identity.
+        second = service.setup(ProductCircuit(), seed=b"other-seed")
+        assert first is second
+        assert len(service.warmed_digests()) == 1
+
+    def test_prove_verify_through_service(self) -> None:
+        service = ProvingService(Groth16Backend(optimized=True, jobs=1))
+        circuit = ProductCircuit()
+        keys = service.warm(circuit, seed=b"svc-prove")
+        instance = {"out": 35, "a": 5, "b": 7}
+        proof = service.prove(keys.proving_key, circuit, instance)
+        assert service.verify(keys.verifying_key, [35, 5], proof) is True
+        assert service.verify(keys.verifying_key, [36, 5], proof) is False
+
+    def test_prove_many_serial_path_and_key_adoption(self) -> None:
+        service = ProvingService(Groth16Backend(optimized=True, jobs=1), jobs=1)
+        circuit = ProductCircuit()
+        # Keys set up OUTSIDE the service get adopted into the warm cache.
+        external = Groth16Backend(optimized=True).setup(circuit, seed=b"ext")
+        requests = [
+            (external.proving_key, circuit, {"out": 6, "a": 2, "b": 3}),
+            (external.proving_key, circuit, {"out": 35, "a": 5, "b": 7}),
+        ]
+        proofs = service.prove_many(requests)
+        assert len(proofs) == 2
+        assert service.verify(external.verifying_key, [6, 2], proofs[0])
+        assert service.verify(external.verifying_key, [35, 5], proofs[1])
+        assert len(service.warmed_digests()) == 1
+
+    def test_prove_many_empty(self) -> None:
+        service = ProvingService(Groth16Backend(optimized=True, jobs=1))
+        assert service.prove_many([]) == []
+
+    def test_batch_verify_delegates(self) -> None:
+        service = ProvingService(Groth16Backend(optimized=True, jobs=1))
+        circuit = ProductCircuit()
+        keys = service.warm(circuit, seed=b"svc-batch")
+        instances = [
+            {"out": 6, "a": 2, "b": 3},
+            {"out": 35, "a": 5, "b": 7},
+        ]
+        proofs = [
+            service.prove(keys.proving_key, circuit, inst) for inst in instances
+        ]
+        statements = [[6, 2], [35, 5]]
+        assert service.batch_verify(keys.verifying_key, statements, proofs) is True
+        assert (
+            service.batch_verify(keys.verifying_key, [[6, 2], [34, 5]], proofs)
+            is False
+        )
+
+    def test_close_is_idempotent(self) -> None:
+        with ProvingService(Groth16Backend(optimized=True, jobs=1)) as service:
+            service.close()
+        service.close()
+
+
+# ----- cheap CI lane: 10-case naive-vs-full-fast-path sweep -----------------------
+
+
+@pytest.mark.parametrize("case", range(10))
+def test_cheap_lane_naive_vs_full_fast_path(case: int) -> None:
+    """10 seeded MSM cases: all toggles ON vs the naive oracle.
+
+    This is the sweep CI's cheap lane runs on every push (the full
+    ~100-case differential suite runs in the main lane); it exercises
+    the complete fast path — Montgomery representation, GLV split,
+    Pippenger — against the plain double-and-add reference.
+    """
+    prior = set_fast_opts(montgomery=True, glv=True)
+    try:
+        rng = random.Random(31000 + case)
+        size = rng.randrange(1, 8)
+        points = [
+            _g1_mul_naive(G1, rng.randrange(1, CURVE_ORDER)) for _ in range(size)
+        ]
+        scalars = [rng.randrange(CURVE_ORDER) for _ in range(size)]
+        assert g1_msm(points, scalars) == g1_msm_naive(points, scalars)
+    finally:
+        set_fast_opts(*prior)
