@@ -221,6 +221,26 @@ def attestation_statement(message: bytes, attestation: Attestation) -> list[int]
     ]
 
 
+def tag_link_statement(
+    prefix_a: bytes, prefix_b: bytes, attestation: Attestation
+) -> list[int]:
+    """The SNARK statement a tag-link verifier (e.g. the marketplace) checks.
+
+    Both public inputs go through :func:`prefix_digest`, so a valid
+    proof asserts t1 = PRF_sk(p̂_a) AND t2 = PRF_sk(p̂_b) for one
+    certified sk — the same-key bridge between two prefix tags.  As
+    with :func:`attestation_statement`, the caller must separately
+    confirm the recorded registry commitment is acceptable.
+    """
+    return [
+        prefix_digest(prefix_a),
+        prefix_digest(prefix_b),
+        attestation.registry_commitment,
+        attestation.t1,
+        attestation.t2,
+    ]
+
+
 class AnonymousAuthScheme:
     """The user/verifier-facing Auth, Verify and Link algorithms."""
 
@@ -304,3 +324,75 @@ class AnonymousAuthScheme:
         the contract's O(n²) Link sweep costs "nearly nothing".
         """
         return attestation_a.t1 == attestation_b.t1
+
+    # ----- tag-link attestations -------------------------------------------------
+
+    def prefix_tag(self, prefix: bytes, keypair: UserKeyPair) -> int:
+        """The deterministic tag this key produces under ``prefix``.
+
+        Equals the t1 of every attestation the key makes on messages
+        sharing the prefix — a client-side prediction used to locate
+        its own submissions (and, with the marketplace board's address
+        as the prefix, its stable pseudonymous reputation handle).
+        """
+        return mimc_hash_native(
+            [prefix_digest(prefix), keypair.secret_key], self.params.mimc
+        )
+
+    def auth_tag_link(
+        self,
+        prefix_a: bytes,
+        prefix_b: bytes,
+        keypair: UserKeyPair,
+        certificate: Certificate,
+        registry_commitment: int,
+    ) -> Attestation:
+        """Prove that ONE certified key owns the tags under two prefixes.
+
+        Reuses the Auth circuit unchanged: both public digests are fed
+        through :func:`prefix_digest` (its domain), so the statement
+        becomes t1 = PRF_sk(p̂_a), t2 = PRF_sk(p̂_b) — i.e. t1 is the
+        key's tag under ``prefix_a`` and t2 its tag under ``prefix_b``,
+        with the certificate check riding along.  The marketplace uses
+        this as an unforgeable claim binding a board-level reputation
+        handle (t1) to a per-task submission tag (t2): domain
+        separation between :func:`prefix_digest` and
+        :func:`message_digest` means no ordinary message attestation
+        can be replayed as a tag link or vice versa.
+        """
+        with obs.span("protocol.auth_tag_link", backend=self.params.backend_name):
+            mimc = self.params.mimc
+            a_digest = prefix_digest(prefix_a)
+            b_digest = prefix_digest(prefix_b)
+            t1 = mimc_hash_native([a_digest, keypair.secret_key], mimc)
+            t2 = mimc_hash_native([b_digest, keypair.secret_key], mimc)
+            instance = AuthInstance(
+                prefix_digest=a_digest,
+                message_digest=b_digest,
+                registry_commitment=registry_commitment,
+                t1=t1,
+                t2=t2,
+                secret_key=keypair.secret_key,
+                certificate=certificate,
+            )
+            proof = self._backend.prove(
+                self.params.keys.proving_key, self._circuit, instance
+            )
+        obs.count("auth.tag_links")
+        return Attestation(
+            t1=t1, t2=t2, proof=proof, registry_commitment=registry_commitment
+        )
+
+    def verify_tag_link(
+        self,
+        prefix_a: bytes,
+        prefix_b: bytes,
+        attestation: Attestation,
+        registry_commitment: int,
+    ) -> bool:
+        """Check a tag-link attestation against the two prefixes."""
+        statement = tag_link_statement(prefix_a, prefix_b, attestation)
+        statement[2] = registry_commitment
+        return self._backend.verify(
+            self.params.keys.verifying_key, statement, attestation.proof
+        )

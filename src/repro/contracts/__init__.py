@@ -7,7 +7,8 @@ registration-tree root), and each crowdsourcing task is its own
 """
 
 from repro.contracts.kvstore import KVStore
+from repro.contracts.marketplace import MarketplaceContract
 from repro.contracts.registry import RegistryContract
 from repro.contracts.task import TaskContract
 
-__all__ = ["KVStore", "RegistryContract", "TaskContract"]
+__all__ = ["KVStore", "MarketplaceContract", "RegistryContract", "TaskContract"]

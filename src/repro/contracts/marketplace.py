@@ -1,0 +1,901 @@
+"""The open task marketplace board: bidding, escrow, court, reputation.
+
+ZebraLancer's Algorithm 1 starts from a requester who already knows
+its workers.  The board contract supplies the missing front half — an
+*open* market — while keeping every participant behind the paper's
+anonymity machinery:
+
+- **Listings** walk ``bidding → matched → (disputed) → settled | void``
+  with block-height deadlines at every edge (no state waits forever).
+- **Bids** are anonymously authenticated with the BOARD's address as
+  the common prefix, so each certified worker owns exactly one stable
+  tag per board — the pseudonymous reputation handle — and the one-bid-
+  per-handle rule is a single Link() sweep, like the task contract's
+  double-submission check.
+- **Matching** ranks bids by ``bid_score = stake × reputation`` (see
+  :mod:`repro.core.reputation`); losers get their stakes back at once,
+  winners' stakes stay escrowed as performance bonds.
+- **Claims** bridge the anonymity gap between a bid (board-prefix
+  address/tag) and a task submission (task-prefix address/tag): a
+  *tag-link attestation* proves in zero knowledge that one certified
+  key owns both tags, so nobody can claim another worker's submission
+  and bonds/bonuses are attributed without linking chain addresses.
+- **Escrow** holds quality bonus + validator reward (+ bonds + any
+  dispute bond) and :meth:`_settle` provably drains it to zero in one
+  transaction — the conservation invariant the accounting layer
+  re-derives from chain data.
+- **Court**: only the listing's requester may dispute (posting a
+  bond); the arbiter's verdict splits the bonus by ``worker_share_ppm``
+  when upheld, and awards the bond to the claimed workers when the
+  dispute was frivolous — griefing costs exactly the bond.
+
+Quality bonuses split pro-rata over the task contract's SNARK-proved
+reward vector: the policy's judgment is already committed on-chain, so
+the board never needs to re-run (or trust) the policy evaluation.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro import observability as obs
+from repro.chain.contract import Contract, ContractRegistry, external, view
+from repro.anonauth.scheme import (
+    Attestation,
+    attestation_statement,
+    tag_link_statement,
+    task_prefix,
+)
+from repro.core.reputation import (
+    OUTCOME_COMPLETED,
+    OUTCOME_DEFAULTED,
+    OUTCOME_DISPUTE_LOST,
+    apply_outcome,
+    bid_score,
+    decayed_score,
+)
+from repro.serialization import framed_decode, framed_encode
+
+LISTING_BIDDING = "bidding"
+LISTING_MATCHED = "matched"
+LISTING_DISPUTED = "disputed"
+LISTING_SETTLED = "settled"
+LISTING_VOID = "void"
+
+#: Task-contract phases the board accepts as settled (see contracts/task.py).
+_TASK_SETTLED = ("completed", "defaulted", "aborted")
+
+PPM = 1_000_000
+
+_MAGIC_BID = b"ZLBD"
+_MAGIC_ESCROW = b"ZLES"
+_MAGIC_VERDICT = b"ZLDV"
+_WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One bid as announced off-chain / archived by indexers."""
+
+    listing_id: int
+    bidder: bytes
+    tag: int
+    stake: int
+    block: int
+
+    def to_wire(self) -> bytes:
+        return framed_encode(
+            _MAGIC_BID,
+            _WIRE_VERSION,
+            [self.listing_id, self.bidder, self.tag, self.stake, self.block],
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Bid":
+        fields = framed_decode(_MAGIC_BID, _WIRE_VERSION, data)
+        if not isinstance(fields, list) or len(fields) != 5:
+            raise ValueError("bid wire must hold exactly five fields")
+        listing_id, bidder, tag, stake, block = fields
+        for value in (listing_id, tag, stake, block):
+            if not isinstance(value, int) or value < 0:
+                raise ValueError("bid numeric fields must be non-negative ints")
+        if not isinstance(bidder, bytes) or len(bidder) != 20:
+            raise ValueError("bidder must be a 20-byte address")
+        if stake == 0:
+            raise ValueError("a bid must stake a positive amount")
+        return cls(
+            listing_id=listing_id, bidder=bidder, tag=tag, stake=stake, block=block
+        )
+
+
+@dataclass(frozen=True)
+class EscrowState:
+    """A listing's escrow decomposition at one instant."""
+
+    listing_id: int
+    bonus: int
+    validator_reward: int
+    stakes: int
+    dispute_bond: int
+    disbursed: int
+    settled: bool
+
+    @property
+    def locked(self) -> int:
+        return self.bonus + self.validator_reward + self.stakes + self.dispute_bond
+
+    def to_wire(self) -> bytes:
+        return framed_encode(
+            _MAGIC_ESCROW,
+            _WIRE_VERSION,
+            [
+                self.listing_id,
+                self.bonus,
+                self.validator_reward,
+                self.stakes,
+                self.dispute_bond,
+                self.disbursed,
+                int(self.settled),
+            ],
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "EscrowState":
+        fields = framed_decode(_MAGIC_ESCROW, _WIRE_VERSION, data)
+        if not isinstance(fields, list) or len(fields) != 7:
+            raise ValueError("escrow state wire must hold exactly seven fields")
+        for value in fields:
+            if not isinstance(value, int) or value < 0:
+                raise ValueError("escrow fields must be non-negative ints")
+        if fields[6] not in (0, 1):
+            raise ValueError("settled flag must be a bit")
+        return cls(
+            listing_id=fields[0],
+            bonus=fields[1],
+            validator_reward=fields[2],
+            stakes=fields[3],
+            dispute_bond=fields[4],
+            disbursed=fields[5],
+            settled=bool(fields[6]),
+        )
+
+
+@dataclass(frozen=True)
+class DisputeVerdict:
+    """The arbiter's ruling on one dispute.
+
+    ``worker_share_ppm`` is the fraction (parts per million) of the
+    quality bonus the claimed workers keep; ``upheld`` decides where
+    the requester's dispute bond goes (back when upheld, to the
+    claimed workers when frivolous).
+    """
+
+    listing_id: int
+    upheld: bool
+    worker_share_ppm: int
+    rationale: str
+
+    def to_wire(self) -> bytes:
+        return framed_encode(
+            _MAGIC_VERDICT,
+            _WIRE_VERSION,
+            [self.listing_id, int(self.upheld), self.worker_share_ppm, self.rationale],
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "DisputeVerdict":
+        fields = framed_decode(_MAGIC_VERDICT, _WIRE_VERSION, data)
+        if not isinstance(fields, list) or len(fields) != 4:
+            raise ValueError("verdict wire must hold exactly four fields")
+        listing_id, upheld, share, rationale = fields
+        if not isinstance(listing_id, int) or listing_id < 0:
+            raise ValueError("listing id must be a non-negative int")
+        if upheld not in (0, 1):
+            raise ValueError("upheld flag must be a bit")
+        if not isinstance(share, int) or not 0 <= share <= PPM:
+            raise ValueError("worker share must lie in [0, 1e6] ppm")
+        if not isinstance(rationale, str):
+            raise ValueError("rationale must be a string")
+        return cls(
+            listing_id=listing_id,
+            upheld=bool(upheld),
+            worker_share_ppm=share,
+            rationale=rationale,
+        )
+
+
+def bid_message(
+    board_address: bytes, bidder: bytes, listing_id: int, stake: int
+) -> bytes:
+    """The exact bytes a bid attestation must authenticate.
+
+    Board prefix first (that is what makes t1 the reputation handle),
+    then the bidding one-task address and the bid terms — so an
+    attestation cannot be replayed for another bidder, listing or
+    stake.
+    """
+    return (
+        task_prefix(board_address)
+        + bidder
+        + listing_id.to_bytes(8, "big")
+        + stake.to_bytes(16, "big")
+    )
+
+
+@ContractRegistry.register
+class MarketplaceContract(Contract):
+    """One open task board (many listings, one reputation table)."""
+
+    contract_name = "ZebraLancerMarketplace"
+
+    def init(self, registry_address: bytes, arbiter: bytes, config: dict) -> None:
+        for key in (
+            "bid_window",
+            "attach_window",
+            "claim_window",
+            "dispute_bond",
+            "rep_half_life",
+            "min_stake",
+        ):
+            self.require(
+                isinstance(config.get(key), int) and config[key] > 0,
+                f"config {key} must be a positive integer",
+            )
+        self.storage["registry"] = registry_address
+        self.storage["arbiter"] = arbiter
+        self.storage["config"] = dict(config)
+        self.storage["listings"] = []
+        #: handle tag → [score, completed, defaulted, disputes_lost, last_block]
+        self.storage["reputation"] = {}
+        self.emit("BoardDeployed", arbiter=arbiter)
+        obs.count("market.boards")
+
+    # ----- helpers -------------------------------------------------------------
+
+    def _listing(self, listing_id: int) -> dict:
+        listings = self.storage["listings"]
+        self.require(
+            isinstance(listing_id, int) and 0 <= listing_id < len(listings),
+            "unknown listing",
+        )
+        return listings[listing_id]
+
+    def _save(self, listing: dict) -> None:
+        listings = self.storage["listings"]
+        listings[listing["id"]] = listing
+        self.storage["listings"] = listings
+
+    def _decode_attestation(self, wire: bytes, context: str) -> Attestation:
+        try:
+            return Attestation.from_wire(wire)
+        except (ValueError, TypeError):
+            self.require(False, f"{context}: malformed attestation")
+
+    def _require_known_commitment(
+        self, attestation: Attestation, context: str
+    ) -> None:
+        known = self.static_read(
+            self.storage["registry"],
+            "is_known_commitment",
+            [attestation.registry_commitment],
+        )
+        self.require(known, f"{context}: unknown registry commitment")
+
+    def _auth_vk(self) -> Any:
+        return self.static_read(self.storage["registry"], "get_auth_vk", [])
+
+    def _pay(self, listing: dict, recipient: bytes, amount: int, leg: str) -> None:
+        """One escrow disbursement, recorded for conservation audits."""
+        if amount <= 0:
+            return
+        self.require(listing["escrow"] >= amount, "escrow underflow")
+        self.require(self.transfer(recipient, amount), f"{leg} transfer failed")
+        listing["escrow"] -= amount
+        listing["disbursed"] += amount
+        listing["payouts"].append([recipient, amount, leg])
+
+    def _reputation_update(self, tag: int, outcome: str) -> None:
+        table = self.storage["reputation"]
+        table[tag] = apply_outcome(
+            table.get(tag),
+            outcome,
+            self.block_number,
+            self.storage["config"]["rep_half_life"],
+        )
+        self.storage["reputation"] = table
+
+    # ----- listings -------------------------------------------------------------
+
+    @external
+    def post_task(
+        self,
+        description: str,
+        num_workers: int,
+        budget: int,
+        quality_bonus: int,
+        validator_reward: int,
+    ) -> int:
+        """Open a listing; escrow the bonus and validator reward now."""
+        self.require(
+            isinstance(num_workers, int) and num_workers >= 1,
+            "a listing needs at least one worker slot",
+        )
+        self.require(isinstance(budget, int) and budget > 0, "budget must be positive")
+        self.require(
+            isinstance(quality_bonus, int) and quality_bonus >= 0,
+            "quality bonus must be non-negative",
+        )
+        self.require(
+            isinstance(validator_reward, int) and validator_reward >= 0,
+            "validator reward must be non-negative",
+        )
+        self.require(
+            self.msg_value == quality_bonus + validator_reward,
+            "deposit must equal bonus plus validator reward",
+        )
+        listings = self.storage["listings"]
+        listing = {
+            "id": len(listings),
+            "requester": self.msg_sender,
+            "description": description,
+            "num_workers": num_workers,
+            "budget": budget,
+            "quality_bonus": quality_bonus,
+            "validator_reward": validator_reward,
+            "state": LISTING_BIDDING,
+            "posted_block": self.block_number,
+            "bid_deadline": self.block_number + self.storage["config"]["bid_window"],
+            "bids": [],
+            "matched": [],
+            "task": b"",
+            "attach_deadline": None,
+            "claims": {},
+            "validator": b"",
+            "audit_ok": None,
+            "dispute": None,
+            "escrow": quality_bonus + validator_reward,
+            "disbursed": 0,
+            "payouts": [],
+        }
+        listings.append(listing)
+        self.storage["listings"] = listings
+        self.emit(
+            "TaskListed",
+            listing_id=listing["id"],
+            num_workers=num_workers,
+            budget=budget,
+            quality_bonus=quality_bonus,
+            bid_deadline=listing["bid_deadline"],
+        )
+        obs.count("market.listings")
+        return listing["id"]
+
+    # ----- bidding --------------------------------------------------------------
+
+    @external
+    def place_bid(self, listing_id: int, stake: int, attestation_wire: bytes) -> int:
+        """Stake on a listing under an anonymously authenticated handle."""
+        listing = self._listing(listing_id)
+        self.require(listing["state"] == LISTING_BIDDING, "listing is not bidding")
+        self.require(
+            self.block_number <= listing["bid_deadline"], "bidding closed"
+        )
+        self.require(
+            isinstance(stake, int) and self.msg_value == stake,
+            "staked value must equal the declared stake",
+        )
+        self.require(
+            stake >= self.storage["config"]["min_stake"], "stake below the minimum"
+        )
+        attestation = self._decode_attestation(attestation_wire, "bid")
+        self._require_known_commitment(attestation, "bid")
+        message = bid_message(self.address, self.msg_sender, listing_id, stake)
+        statement = attestation_statement(message, attestation)
+        self.require(
+            self.snark_verify(self._auth_vk(), statement, attestation.proof),
+            "bid not authenticated",
+        )
+        # Link() over the listing's bid pool: one bid per handle, the
+        # board-prefix analogue of the task contract's double-submission
+        # defence (and what makes sybil flooding require fresh
+        # credentials, which start at zero reputation anyway).
+        self.require(
+            all(bid["tag"] != attestation.t1 for bid in listing["bids"]),
+            "one bid per handle",
+        )
+        bid = {
+            "bidder": self.msg_sender,
+            "tag": attestation.t1,
+            "stake": stake,
+            "block": self.block_number,
+            "claimed": None,
+            "refunded": False,
+        }
+        listing["bids"].append(bid)
+        listing["escrow"] += stake
+        self._save(listing)
+        self.emit(
+            "BidPlaced", listing_id=listing_id, tag=attestation.t1, stake=stake
+        )
+        obs.count("market.bids")
+        return len(listing["bids"]) - 1
+
+    @external
+    def match_workers(self, listing_id: int) -> List[int]:
+        """Rank bids by ``bid_score`` and lock in the winners.
+
+        Anyone may trigger matching once bidding closes; the ranking is
+        deterministic (score, then arrival order), so every node — and
+        every client predicting the outcome — agrees on the winner set.
+        """
+        listing = self._listing(listing_id)
+        self.require(listing["state"] == LISTING_BIDDING, "listing is not bidding")
+        self.require(
+            self.block_number > listing["bid_deadline"], "bidding still open"
+        )
+        bids = listing["bids"]
+        if not bids:
+            # Nobody came: hand the deposit back and close the listing.
+            self._pay(
+                listing,
+                listing["requester"],
+                listing["quality_bonus"] + listing["validator_reward"],
+                "no-bids-refund",
+            )
+            listing["state"] = LISTING_VOID
+            self._save(listing)
+            self.emit("ListingVoided", listing_id=listing_id, reason="no bids")
+            return []
+        table = self.storage["reputation"]
+        half_life = self.storage["config"]["rep_half_life"]
+        scores = []
+        for index, bid in enumerate(bids):
+            record = table.get(bid["tag"])
+            reputation = (
+                decayed_score(record[0], record[4], self.block_number, half_life)
+                if record is not None
+                else 0
+            )
+            scores.append((bid_score(bid["stake"], reputation), index))
+        order = sorted(range(len(bids)), key=lambda i: (-scores[i][0], i))
+        winners = sorted(order[: listing["num_workers"]])
+        losers = order[listing["num_workers"] :]
+        for index in losers:
+            bid = bids[index]
+            bid["refunded"] = True
+            self._pay(listing, bid["bidder"], bid["stake"], "losing-stake-refund")
+        listing["matched"] = winners
+        listing["state"] = LISTING_MATCHED
+        listing["attach_deadline"] = (
+            self.block_number + self.storage["config"]["attach_window"]
+        )
+        self._save(listing)
+        self.emit(
+            "WorkersMatched",
+            listing_id=listing_id,
+            tags=[bids[i]["tag"] for i in winners],
+            scores=[scores[i][0] for i in winners],
+        )
+        obs.count("market.matches")
+        return winners
+
+    # ----- task attachment ------------------------------------------------------
+
+    @external
+    def attach_task(self, listing_id: int, task_address: bytes) -> None:
+        """Bind the listing to its deployed Algorithm-1 task contract.
+
+        The board checks the announced terms against the task's own
+        storage — budget at least the listed amount, exactly one answer
+        slot per matched worker — so matched workers can trust the
+        listing without trusting the (anonymous) requester.
+        """
+        listing = self._listing(listing_id)
+        self.require(
+            self.msg_sender == listing["requester"], "only the lister attaches"
+        )
+        self.require(listing["state"] == LISTING_MATCHED, "listing is not matched")
+        self.require(not listing["task"], "task already attached")
+        self.require(
+            self.block_number <= listing["attach_deadline"],
+            "attach window closed",
+        )
+        params = self.static_read(task_address, "get_params", [])
+        self.require(
+            params["budget"] >= listing["budget"],
+            "task budget below the listed amount",
+        )
+        self.require(
+            params["num_answers"] == len(listing["matched"]),
+            "task slots must equal the matched worker count",
+        )
+        listing["task"] = task_address
+        self._save(listing)
+        self.emit("TaskAttached", listing_id=listing_id, task=task_address)
+
+    @external
+    def void_unattached(self, listing_id: int) -> None:
+        """Unwind a matched listing whose requester never attached a task.
+
+        Anyone may call it after the attach deadline: matched workers
+        get their bonds back, the requester its deposit — the workers'
+        protection against a lister who matched and walked away.
+        """
+        listing = self._listing(listing_id)
+        self.require(listing["state"] == LISTING_MATCHED, "listing is not matched")
+        self.require(not listing["task"], "a task was attached")
+        self.require(
+            self.block_number > listing["attach_deadline"],
+            "attach window still open",
+        )
+        for index in listing["matched"]:
+            bid = listing["bids"][index]
+            self._pay(listing, bid["bidder"], bid["stake"], "unattached-bond-return")
+        self._pay(
+            listing,
+            listing["requester"],
+            listing["quality_bonus"] + listing["validator_reward"],
+            "unattached-refund",
+        )
+        listing["state"] = LISTING_VOID
+        self._save(listing)
+        self.emit("ListingVoided", listing_id=listing_id, reason="no task attached")
+
+    # ----- claims ---------------------------------------------------------------
+
+    @external
+    def report_work(
+        self, listing_id: int, answer_index: int, link_attestation_wire: bytes
+    ) -> None:
+        """Claim a task submission for a matched bid, in zero knowledge.
+
+        The tag-link attestation proves one certified key owns BOTH the
+        bid's board tag (t1) and the task submission's tag (t2) — so
+        the claim is unforgeable without ever revealing which one-task
+        address belongs to which bidder.  Front-running is harmless:
+        the claim is keyed to the tags, not to ``msg_sender``.
+        """
+        listing = self._listing(listing_id)
+        self.require(
+            listing["state"] in (LISTING_MATCHED, LISTING_DISPUTED),
+            "listing does not accept claims",
+        )
+        self.require(listing["task"], "no task attached")
+        tags = self.static_read(listing["task"], "get_tags", [])
+        # tags[0] is the requester's; submissions sit at answer_index+1.
+        self.require(
+            isinstance(answer_index, int)
+            and 0 <= answer_index < len(tags) - 1,
+            "no such submission",
+        )
+        attestation = self._decode_attestation(link_attestation_wire, "claim")
+        self._require_known_commitment(attestation, "claim")
+        statement = tag_link_statement(
+            task_prefix(self.address), task_prefix(listing["task"]), attestation
+        )
+        self.require(
+            self.snark_verify(self._auth_vk(), statement, attestation.proof),
+            "tag link not proven",
+        )
+        self.require(
+            attestation.t2 == tags[answer_index + 1],
+            "claim does not match the submission tag",
+        )
+        bid_index = next(
+            (
+                index
+                for index in listing["matched"]
+                if listing["bids"][index]["tag"] == attestation.t1
+            ),
+            None,
+        )
+        self.require(bid_index is not None, "claimant did not win a bid slot")
+        self.require(
+            listing["bids"][bid_index]["claimed"] is None,
+            "handle already claimed a submission",
+        )
+        self.require(
+            answer_index not in listing["claims"], "submission already claimed"
+        )
+        listing["bids"][bid_index]["claimed"] = answer_index
+        listing["claims"][answer_index] = bid_index
+        self._save(listing)
+        self.emit(
+            "WorkClaimed",
+            listing_id=listing_id,
+            answer_index=answer_index,
+            tag=attestation.t1,
+        )
+        obs.count("market.claims")
+
+    @external
+    def validate_task(self, listing_id: int) -> bool:
+        """Audit the attached task's submissions; first auditor earns the fee.
+
+        Delegates to the task contract's batched re-verification
+        (``audit_submissions``) — the validator reward pays whoever
+        spends the gas to anchor that audit on-chain.
+        """
+        listing = self._listing(listing_id)
+        self.require(
+            listing["state"] in (LISTING_MATCHED, LISTING_DISPUTED),
+            "listing is not awaiting validation",
+        )
+        self.require(listing["task"], "no task attached")
+        self.require(not listing["validator"], "already validated")
+        closed = self.static_read(listing["task"], "is_collection_closed", [])
+        self.require(closed, "collection still in progress")
+        result = bool(
+            self.static_read(listing["task"], "audit_submissions", [])
+        )
+        listing["validator"] = self.msg_sender
+        listing["audit_ok"] = result
+        self._save(listing)
+        self.emit("TaskValidated", listing_id=listing_id, passed=result)
+        obs.count("market.validations")
+        return result
+
+    # ----- court ----------------------------------------------------------------
+
+    @external
+    def open_dispute(self, listing_id: int) -> None:
+        """The requester contests the delivered quality, posting a bond."""
+        listing = self._listing(listing_id)
+        self.require(
+            self.msg_sender == listing["requester"], "only the lister disputes"
+        )
+        self.require(listing["state"] == LISTING_MATCHED, "dispute window closed")
+        self.require(listing["task"], "no task attached")
+        phase = self.static_read(listing["task"], "get_phase", [])
+        self.require(
+            phase in ("completed", "defaulted"),
+            "nothing to dispute before the task settles",
+        )
+        bond = self.storage["config"]["dispute_bond"]
+        self.require(self.msg_value == bond, "dispute bond must be deposited")
+        listing["dispute"] = {
+            "disputer": self.msg_sender,
+            "bond": bond,
+            "verdict": b"",
+        }
+        listing["escrow"] += bond
+        listing["state"] = LISTING_DISPUTED
+        self._save(listing)
+        self.emit("DisputeOpened", listing_id=listing_id, bond=bond)
+        obs.count("market.disputes")
+
+    @external
+    def rule_dispute(self, listing_id: int, verdict_wire: bytes) -> None:
+        """The arbiter rules; settlement follows in the same transaction."""
+        listing = self._listing(listing_id)
+        self.require(self.msg_sender == self.storage["arbiter"], "only the court rules")
+        self.require(listing["state"] == LISTING_DISPUTED, "no dispute to rule on")
+        try:
+            verdict = DisputeVerdict.from_wire(verdict_wire)
+        except (ValueError, TypeError):
+            self.require(False, "malformed verdict")
+        self.require(
+            verdict.listing_id == listing_id, "verdict names the wrong listing"
+        )
+        listing["dispute"]["verdict"] = verdict_wire
+        self.emit(
+            "DisputeRuled",
+            listing_id=listing_id,
+            upheld=verdict.upheld,
+            worker_share_ppm=verdict.worker_share_ppm,
+        )
+        self._settle(listing, verdict)
+
+    # ----- settlement -----------------------------------------------------------
+
+    @external
+    def settle(self, listing_id: int) -> None:
+        """Drain the escrow exactly once, after the claim window closes.
+
+        Anyone may settle (the task's own deadlines already bounded
+        every earlier stage); the claim window past the task's
+        instruction deadline guarantees workers the time to report
+        their submissions before unclaimed bonds forfeit.
+        """
+        listing = self._listing(listing_id)
+        self.require(
+            listing["state"] == LISTING_MATCHED,
+            "dispute pending" if listing["state"] == LISTING_DISPUTED
+            else "listing is not settleable",
+        )
+        self.require(listing["task"], "no task attached")
+        phase = self.static_read(listing["task"], "get_phase", [])
+        self.require(phase in _TASK_SETTLED, "task not settled yet")
+        status = self.static_read(listing["task"], "get_status", [])
+        deadline = status["instruction_deadline"]
+        self.require(deadline is not None, "collection still in progress")
+        self.require(
+            self.block_number > deadline + self.storage["config"]["claim_window"],
+            "claim window still open",
+        )
+        self._settle(listing, None)
+
+    def _settle(self, listing: dict, verdict: Optional[DisputeVerdict]) -> None:
+        rewards = self.static_read(listing["task"], "get_rewards", [])
+        bonus = listing["quality_bonus"]
+        requester = listing["requester"]
+        claimed = sorted(listing["claims"].items())  # (answer_index, bid_index)
+
+        # Quality-bonus leg: pro-rata over the SNARK-proved task rewards
+        # of the claimed slots (the committed policy judgment).  An
+        # upheld dispute shrinks the workers' pool to the ruled share.
+        worker_pool = bonus
+        if verdict is not None and verdict.upheld:
+            worker_pool = bonus * verdict.worker_share_ppm // PPM
+        weights = [
+            rewards[answer_index] if answer_index < len(rewards) else 0
+            for answer_index, _ in claimed
+        ]
+        total_weight = sum(weights)
+        paid_bonus = 0
+        for (answer_index, bid_index), weight in zip(claimed, weights):
+            if total_weight > 0:
+                share = worker_pool * weight // total_weight
+            elif claimed:
+                share = worker_pool // len(claimed)
+            else:
+                share = 0
+            bid = listing["bids"][bid_index]
+            self._pay(listing, bid["bidder"], share, "quality-bonus")
+            paid_bonus += share
+        # Rounding dust and any withheld share return to the requester.
+        self._pay(listing, requester, bonus - paid_bonus, "bonus-remainder")
+
+        # Performance bonds: claimed handles get theirs back, no-shows
+        # (matched but never claimed) forfeit to the requester.
+        for index in listing["matched"]:
+            bid = listing["bids"][index]
+            if bid["claimed"] is not None:
+                self._pay(listing, bid["bidder"], bid["stake"], "bond-return")
+            else:
+                self._pay(listing, requester, bid["stake"], "bond-forfeit")
+
+        # Validator leg: paid only for an anchored, passing audit.
+        if listing["validator"] and listing["audit_ok"]:
+            self._pay(
+                listing,
+                listing["validator"],
+                listing["validator_reward"],
+                "validator-reward",
+            )
+        else:
+            self._pay(
+                listing, requester, listing["validator_reward"], "validator-refund"
+            )
+
+        # Dispute bond: back to the disputer when upheld; split over the
+        # claimed workers when frivolous (griefing costs the full bond).
+        if listing["dispute"] is not None:
+            bond = listing["dispute"]["bond"]
+            if verdict is not None and verdict.upheld:
+                self._pay(
+                    listing,
+                    listing["dispute"]["disputer"],
+                    bond,
+                    "dispute-bond-return",
+                )
+            elif claimed:
+                share = bond // len(claimed)
+                for position, (_, bid_index) in enumerate(claimed):
+                    amount = share + (bond - share * len(claimed) if position == 0 else 0)
+                    bid = listing["bids"][bid_index]
+                    self._pay(listing, bid["bidder"], amount, "griefing-bond-award")
+            else:
+                self._pay(
+                    listing, self.storage["arbiter"], bond, "court-fee"
+                )
+
+        # Reputation: the handle tags earn or lose standing; chain
+        # addresses are never keys in this table.
+        upheld = verdict is not None and verdict.upheld
+        for index in listing["matched"]:
+            bid = listing["bids"][index]
+            if bid["claimed"] is None:
+                self._reputation_update(bid["tag"], OUTCOME_DEFAULTED)
+                continue
+            weight = (
+                rewards[bid["claimed"]] if bid["claimed"] < len(rewards) else 0
+            )
+            if upheld:
+                self._reputation_update(bid["tag"], OUTCOME_DISPUTE_LOST)
+            elif weight > 0:
+                self._reputation_update(bid["tag"], OUTCOME_COMPLETED)
+            else:
+                self._reputation_update(bid["tag"], OUTCOME_DEFAULTED)
+
+        self.require(listing["escrow"] == 0, "escrow not fully disbursed")
+        listing["state"] = LISTING_SETTLED
+        self._save(listing)
+        self.emit(
+            "ListingSettled",
+            listing_id=listing["id"],
+            disbursed=listing["disbursed"],
+            disputed=listing["dispute"] is not None,
+        )
+        obs.count("market.settlements")
+
+    # ----- views ----------------------------------------------------------------
+
+    @view
+    def num_listings(self) -> int:
+        return len(self.storage["listings"])
+
+    @view
+    def get_config(self) -> dict:
+        return dict(self.storage["config"])
+
+    @view
+    def get_arbiter(self) -> bytes:
+        return self.storage["arbiter"]
+
+    @view
+    def get_listing(self, listing_id: int) -> dict:
+        return copy.deepcopy(self._listing(listing_id))
+
+    @view
+    def get_open_listings(self) -> List[dict]:
+        """What a worker browses: every listing still taking bids."""
+        return [
+            {
+                "id": listing["id"],
+                "description": listing["description"],
+                "num_workers": listing["num_workers"],
+                "budget": listing["budget"],
+                "quality_bonus": listing["quality_bonus"],
+                "bid_deadline": listing["bid_deadline"],
+                "bids": len(listing["bids"]),
+            }
+            for listing in self.storage["listings"]
+            if listing["state"] == LISTING_BIDDING
+            and self.block_number <= listing["bid_deadline"]
+        ]
+
+    @view
+    def get_escrow_state(self, listing_id: int) -> dict:
+        """The escrow decomposition :class:`EscrowState` transports."""
+        listing = self._listing(listing_id)
+        settled = listing["state"] in (LISTING_SETTLED, LISTING_VOID)
+        stakes = sum(
+            bid["stake"]
+            for bid in listing["bids"]
+            if not bid["refunded"] and not settled
+        )
+        dispute_bond = (
+            listing["dispute"]["bond"]
+            if listing["dispute"] is not None and not settled
+            else 0
+        )
+        return {
+            "listing_id": listing["id"],
+            "bonus": 0 if settled else listing["quality_bonus"],
+            "validator_reward": 0 if settled else listing["validator_reward"],
+            "stakes": stakes,
+            "dispute_bond": dispute_bond,
+            "disbursed": listing["disbursed"],
+            "settled": settled,
+            "escrow": listing["escrow"],
+        }
+
+    @view
+    def get_payouts(self, listing_id: int) -> List[List[Any]]:
+        """Every escrow disbursement of a listing: [recipient, amount, leg]."""
+        return copy.deepcopy(self._listing(listing_id)["payouts"])
+
+    @view
+    def get_reputation(self, tag: int) -> List[int]:
+        """A handle's raw record (zeros for an unseen tag)."""
+        record = self.storage["reputation"].get(tag)
+        if record is None:
+            return [0, 0, 0, 0, 0]
+        return list(record)
+
+    @view
+    def get_all_reputation(self) -> Dict[int, List[int]]:
+        return copy.deepcopy(self.storage["reputation"])

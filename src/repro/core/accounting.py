@@ -106,3 +106,82 @@ def assert_exactly_once_payouts(system, specs, outcomes) -> None:
                 f"task {outcome.index}: contract retains "
                 f"{node.balance_of(outcome.address)}"
             )
+
+
+# ----- open-market escrow conservation ------------------------------------------------
+
+
+def market_inflows(node, board_address: bytes) -> int:
+    """Total value successfully deposited into a board by external txs.
+
+    Unlike :func:`external_flows` this filters on receipt status: a
+    reverted bid (e.g. a foiled snipe) bounces its value back with the
+    revert, so only successful transactions fund the escrow.
+    """
+    total = 0
+    for block in node.canonical_blocks(1, node.height):
+        receipts = node.receipts_for_block(block.block_hash) or ()
+        for stx, receipt in zip(block.transactions, receipts):
+            if stx.transaction.to == board_address and receipt.success:
+                total += stx.transaction.value
+    return total
+
+
+def assert_market_conservation(system, report) -> None:
+    """Every token that entered the board escrow left it exactly once.
+
+    Takes a :class:`~repro.core.engine.MarketReport` and re-derives,
+    from chain data alone:
+
+    - per listing: recorded payouts sum to the disbursed total, and a
+      settled/void listing holds zero escrow;
+    - board-level: successful inflows == disbursed + still-open escrow,
+      and the board's balance is exactly the open escrow;
+    - per recipient: the net contract credit on every payout address
+      equals the sum of its recorded payout legs — a doubled or dropped
+      disbursement fails here even if the totals happen to balance.
+
+    Raises :class:`ProtocolError` on the first violation.
+    """
+    node = system.node
+    board = report.board_address
+    open_escrow = 0
+    expected: dict = {}
+    total_disbursed = 0
+    # Audit EVERY listing the board ever carried, from chain state — a
+    # report from one wave must not hide leaks from an earlier one.
+    for listing_id in range(node.call(board, "num_listings")):
+        listing = node.call(board, "get_listing", [listing_id])
+        legs = sum(amount for _, amount, _ in listing["payouts"])
+        if legs != listing["disbursed"]:
+            raise ProtocolError(
+                f"listing {listing_id}: payout legs sum to {legs}, "
+                f"disbursed counter says {listing['disbursed']}"
+            )
+        if listing["state"] in ("settled", "void") and listing["escrow"] != 0:
+            raise ProtocolError(
+                f"listing {listing_id}: terminal state "
+                f"{listing['state']!r} retains escrow {listing['escrow']}"
+            )
+        open_escrow += listing["escrow"]
+        total_disbursed += listing["disbursed"]
+        for recipient, amount, _ in listing["payouts"]:
+            expected[recipient] = expected.get(recipient, 0) + amount
+
+    inflows = market_inflows(node, board)
+    if inflows != total_disbursed + open_escrow:
+        raise ProtocolError(
+            f"board escrow leak: {inflows} flowed in, "
+            f"{total_disbursed} disbursed + {open_escrow} still locked"
+        )
+    if node.balance_of(board) != open_escrow:
+        raise ProtocolError(
+            f"board balance {node.balance_of(board)} != open escrow {open_escrow}"
+        )
+    for recipient, amount in expected.items():
+        paid = contract_payment(node, recipient)
+        if paid != amount:
+            raise ProtocolError(
+                f"recipient {recipient.hex()} received {paid} from contracts, "
+                f"payout ledger promised exactly {amount}"
+            )

@@ -293,3 +293,98 @@ class SelfColludingRequester(Requester):
             data=data,
         )
         return system.send_and_confirm(tx.sign(account.keypair))
+
+
+class BidSniper(Worker):
+    """Watches a listing's open bid pool, then underbids after the close.
+
+    Bids are public the moment they land, so a sniper CAN observe every
+    (tag, stake) pair and compute exactly what it would take to win —
+    but the board checks ``block_number <= bid_deadline`` before
+    anything else, so knowledge arriving after the deadline is
+    worthless: the snipe reverts with "bidding closed" and the observed
+    pool settles untouched.
+    """
+
+    def observe_pool(self, board_address: bytes, listing_id: int):
+        """Everything the chain reveals about the standing bids."""
+        listing = self.system.node.call(board_address, "get_listing", [listing_id])
+        return [(bid["tag"], bid["stake"]) for bid in listing["bids"]]
+
+    def attempt_snipe(
+        self, board_address: bytes, listing_id: int, stake: int
+    ) -> Receipt:
+        """Fire a perfectly-formed late bid (only its timing is wrong)."""
+        from repro.contracts.marketplace import bid_message
+
+        system = self.system
+        account = self.board_account(board_address)
+        certificate = system.current_certificate(self.keys.public_key)
+        commitment = system.registry_commitment()
+        attestation = system.scheme.auth(
+            bid_message(board_address, account.address, listing_id, stake),
+            self.keys,
+            certificate,
+            commitment,
+        )
+        system.fund_anonymous(account.address)
+        system.fund_anonymous(account.address, stake)
+        tx = Transaction(
+            nonce=system.node.nonce_of(account.address),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=board_address,
+            value=stake,
+            data=encode_call(
+                "place_bid", [listing_id, stake, attestation.to_wire()]
+            ),
+        )
+        return system.send_and_confirm(tx.sign(account.keypair))
+
+
+class ReputationFarmer:
+    """Splits one stake over k freshly certified sybil credentials.
+
+    Re-registering IS possible (the RA certifies any new key), but a
+    fresh credential's board tag is fresh too — the common-prefix PRF
+    makes reputation non-transferable — so every sybil starts at score
+    zero and multiplier 1.0.  k bids of stake S/k therefore each score
+    strictly below the single bid of stake S they were split from:
+    farming buys nothing, and an established handle beats the whole
+    swarm at equal total stake.
+    """
+
+    def __init__(self, system, identity: str = "farmer", count: int = 3) -> None:
+        self.system = system
+        self.sybils = [
+            Worker(system, f"{identity}-sybil-{i}") for i in range(count)
+        ]
+
+    def handle_tags(self, board_address: bytes) -> List[int]:
+        return [sybil.handle_tag(board_address) for sybil in self.sybils]
+
+    def flood_bids(
+        self, board_address: bytes, listing_id: int, total_stake: int
+    ) -> List[Receipt]:
+        """Bid the split stake from every sybil (all perfectly valid)."""
+        share = total_stake // len(self.sybils)
+        return [
+            sybil.place_bid(board_address, listing_id, share)
+            for sybil in self.sybils
+        ]
+
+
+class DisputeGriefer(Requester):
+    """Disputes flawless delivered work, hoping to claw back the bonus.
+
+    The dispute itself is admissible (the board cannot pre-judge
+    quality), but the verdict is a pure function of the SNARK-committed
+    reward vector: with every claimed slot rewarded the dispute is
+    ruled frivolous, the workers keep the full bonus, AND they split
+    the griefer's bond — so griefing has strictly negative expected
+    value.
+    """
+
+    def grief(self, board_address: bytes, listing_id: int) -> Receipt:
+        """Open the frivolous dispute (bond posted like any disputer)."""
+        return self.open_dispute(board_address, listing_id)

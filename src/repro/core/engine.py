@@ -1491,3 +1491,359 @@ def run_serial(system: ZebraLancerSystem, specs: Sequence[TaskSpec]) -> EngineRe
         sim_seconds=system.testnet.clock.now - sim_start,
         blocks=block_lines,
     )
+
+
+# ----- open marketplace layer --------------------------------------------------------
+
+
+@dataclass
+class MarketSpec:
+    """One listing's full open-market lifecycle, declaratively.
+
+    ``bidders`` pairs each candidate worker with its stake; ``answers``
+    maps worker identity → the answer it will submit IF matched (None
+    models an absent winner, who then forfeits its bond).  The same
+    worker objects may appear across many specs — that is the point:
+    their board handle accrues reputation listing over listing.
+    """
+
+    requester: Requester
+    bidders: List[Tuple[Worker, int]]
+    answers: Dict[str, Optional[Sequence[int]]]
+    policy: RewardPolicy
+    description: str = "listing"
+    num_workers: int = 3
+    budget: int = 1_200
+    quality_bonus: int = 600
+    validator_reward: int = 120
+    answer_window: int = 32
+    instruction_window: int = 32
+    rsa_bits: int = 1024
+    #: Whether the requester contests the outcome (routing settlement
+    #: through the court instead of the timeout settle path).
+    dispute: bool = False
+
+
+@dataclass
+class ListingOutcome:
+    """One listing's terminal market state, chain-derived."""
+
+    listing_id: int
+    state: str
+    task_address: bytes
+    matched_tags: List[int]
+    claims: Dict[int, int]
+    disputed: bool
+    payouts: List[List[Any]]
+    disbursed: int
+    escrow: int
+
+
+@dataclass
+class MarketReport:
+    """Everything one open-market wave produced.
+
+    ``task_specs``/``engine.outcomes`` feed the existing exactly-once
+    payout check; ``listings`` feeds the market-side escrow
+    conservation check (:func:`repro.core.accounting
+    .assert_market_conservation`).
+    """
+
+    board_address: bytes
+    arbiter_address: bytes
+    auditor_address: bytes
+    listing_ids: List[int]
+    listings: List[ListingOutcome]
+    engine: EngineReport
+    task_specs: List[TaskSpec]
+
+    @property
+    def outcomes(self) -> List[TaskOutcome]:
+        return self.engine.outcomes
+
+
+def make_market_specs(
+    system: ZebraLancerSystem,
+    num_listings: int,
+    pool_size: int,
+    slots_per_listing: int = 3,
+    num_choices: int = 4,
+    seed: int = 0,
+    budget: int = 1_200,
+    quality_bonus: int = 600,
+    validator_reward: int = 120,
+    accuracy: float = 0.9,
+    base_stake: int = 100,
+    dispute_listings: Sequence[int] = (),
+) -> List[MarketSpec]:
+    """N listings bidding over ONE shared certified worker pool.
+
+    Every pool worker bids on every listing (stakes jittered by the
+    seeded rng so rankings are not degenerate), so the same handles
+    compete repeatedly — the reputation-accrual shape the linkability
+    property tests sweep.  ``dispute_listings`` name listings whose
+    workers all answer out of range (zero policy rewards) and whose
+    requester then takes the court path.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    requesters = [
+        Requester(system, f"market-requester-{i}", register=False)
+        for i in range(num_listings)
+    ]
+    pool = [
+        Worker(system, f"market-worker-{j}", register=False)
+        for j in range(pool_size)
+    ]
+    _register_cohort(system, requesters, [pool])
+
+    from repro.core.simulation import sample_answer
+
+    specs: List[MarketSpec] = []
+    for i in range(num_listings):
+        truth = rng.randrange(num_choices)
+        bidders = [
+            (worker, base_stake + rng.randrange(base_stake)) for worker in pool
+        ]
+        answers: Dict[str, Optional[Sequence[int]]] = {}
+        for worker in pool:
+            if i in dispute_listings:
+                # Junk work: out-of-range answers earn zero policy
+                # reward, so the dispute is upheld.
+                answers[worker.identity] = [num_choices]
+            else:
+                answer = sample_answer(rng, truth, num_choices, accuracy, 0.0)
+                answers[worker.identity] = answer
+        if i not in dispute_listings and all(
+            answers[w.identity] is None for w in pool
+        ):
+            answers[pool[0].identity] = [truth]
+        specs.append(
+            MarketSpec(
+                requester=requesters[i],
+                bidders=bidders,
+                answers=answers,
+                policy=MajorityVotePolicy(num_choices=num_choices),
+                description=f"market-listing-{i}",
+                num_workers=min(slots_per_listing, pool_size),
+                budget=budget,
+                quality_bonus=quality_bonus,
+                validator_reward=validator_reward,
+                dispute=i in dispute_listings,
+            )
+        )
+    return specs
+
+
+def run_open_market(
+    system: ZebraLancerSystem,
+    specs: Sequence[MarketSpec],
+    board_address: Optional[bytes] = None,
+    arbiter: Optional[Any] = None,
+    max_rounds: int = 512,
+    auditor_seed: bytes = b"market-auditor",
+) -> MarketReport:
+    """Drive N listings through the complete open lifecycle.
+
+    Phase A (serial): post each listing, let its bidders stake, mine
+    past the bid deadline, and match.  Phase B: run every matched
+    cohort's Algorithm-1 task concurrently under the existing
+    :class:`ProtocolEngine`.  Phase C (serial): attach each task to its
+    listing, let winners claim their submissions by tag-link proof,
+    anchor the validator audit, mine out the claim window, and settle —
+    through the court for disputed listings.
+
+    When no board is supplied one is deployed with windows sized to
+    this wave (its attach window must outlast the engine run).
+    """
+    from repro.core.anonymity import derive_one_task_account
+    from repro.core.market import Arbiter, board_config, deploy_marketplace
+
+    specs = list(specs)
+    if not specs:
+        raise ProtocolError("nothing to run on the market")
+    node = system.node
+    testnet = system.testnet
+    if arbiter is None:
+        arbiter = Arbiter(system)
+    if board_address is None:
+        # Each bid costs ~3 blocks serially (two funding txs + the bid).
+        bid_window = 8 + 4 * max(len(spec.bidders) for spec in specs)
+        board_address = deploy_marketplace(
+            system,
+            arbiter.address,
+            board_config(attach_window=max_rounds + 256, bid_window=bid_window),
+        )
+
+    with obs.span("market.run", listings=len(specs)):
+        report = _run_open_market(
+            system, specs, board_address, arbiter, max_rounds, auditor_seed
+        )
+    obs.count("market.waves")
+    return report
+
+
+def _run_open_market(
+    system: ZebraLancerSystem,
+    specs: List[MarketSpec],
+    board_address: bytes,
+    arbiter: Any,
+    max_rounds: int,
+    auditor_seed: bytes,
+) -> MarketReport:
+    from repro.core.anonymity import derive_one_task_account
+
+    node = system.node
+    testnet = system.testnet
+
+    # ----- Phase A: post, discover, bid, match ------------------------------
+    listing_ids: List[int] = []
+    for spec in specs:
+        listing_id = spec.requester.post_listing(
+            board_address,
+            spec.description,
+            spec.num_workers,
+            spec.budget,
+            spec.quality_bonus,
+            spec.validator_reward,
+        )
+        listing_ids.append(listing_id)
+        if spec.bidders:
+            # Workers genuinely *discover* the listing on the board
+            # rather than being handed it out of band.
+            browsed = spec.bidders[0][0].discover_listings(board_address)
+            if listing_id not in {entry["id"] for entry in browsed}:
+                raise ProtocolError(
+                    f"listing {listing_id} not discoverable while bidding"
+                )
+        for worker, stake in spec.bidders:
+            receipt = worker.place_bid(board_address, listing_id, stake)
+            if not receipt.success:
+                raise ProtocolError(
+                    f"bid on listing {listing_id} failed: {receipt.error}"
+                )
+
+    last_deadline = max(
+        node.call(board_address, "get_listing", [listing_id])["bid_deadline"]
+        for listing_id in listing_ids
+    )
+    if testnet.height <= last_deadline:
+        testnet.mine_blocks(last_deadline - testnet.height + 1)
+
+    matched_workers: List[List[Worker]] = []
+    for spec, listing_id in zip(specs, listing_ids):
+        spec.requester.match_listing(board_address, listing_id)
+        listing = node.call(board_address, "get_listing", [listing_id])
+        by_tag = {
+            worker.handle_tag(board_address): worker
+            for worker, _ in spec.bidders
+        }
+        matched_workers.append(
+            [by_tag[listing["bids"][i]["tag"]] for i in listing["matched"]]
+        )
+
+    # ----- Phase B: Algorithm 1 for every matched cohort --------------------
+    task_specs = [
+        TaskSpec(
+            requester=spec.requester,
+            workers=winners,
+            answers=[spec.answers.get(worker.identity) for worker in winners],
+            policy=spec.policy,
+            description=f"market:{spec.description}",
+            budget=spec.budget,
+            answer_window=spec.answer_window,
+            instruction_window=spec.instruction_window,
+            rsa_bits=spec.rsa_bits,
+        )
+        for spec, winners in zip(specs, matched_workers)
+    ]
+    engine_report = ProtocolEngine(system, task_specs, max_rounds=max_rounds).run()
+
+    # ----- Phase C: attach, claim, validate, settle -------------------------
+    auditor = derive_one_task_account(
+        auditor_seed, f"auditor:{board_address.hex()}"
+    )
+    outcome_by_index = {outcome.index: outcome for outcome in engine_report.outcomes}
+    for index, (spec, listing_id, winners) in enumerate(
+        zip(specs, listing_ids, matched_workers)
+    ):
+        outcome = outcome_by_index[index]
+        spec.requester.attach_listing_task(
+            board_address, listing_id, outcome.address
+        )
+        for worker in winners:
+            if spec.answers.get(worker.identity) is None:
+                continue  # never submitted; nothing to claim
+            receipt = worker.report_work(
+                board_address, listing_id, outcome.address
+            )
+            if not receipt.success:
+                raise ProtocolError(
+                    f"claim on listing {listing_id} failed: {receipt.error}"
+                )
+        system.fund_anonymous(auditor.address)
+        validate_tx = Transaction(
+            nonce=node.nonce_of(auditor.address),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=board_address,
+            value=0,
+            data=encode_call("validate_task", [listing_id]),
+        )
+        receipt = system.send_reliable(validate_tx, auditor.keypair)
+        if not receipt.success:
+            raise ProtocolError(
+                f"validation of listing {listing_id} failed: {receipt.error}"
+            )
+
+    claim_window = node.call(board_address, "get_config")["claim_window"]
+    deadlines = [
+        node.call(outcome_by_index[i].address, "get_status")["instruction_deadline"]
+        for i in range(len(specs))
+    ]
+    last_deadline = max(d for d in deadlines if d is not None) + claim_window
+    if testnet.height <= last_deadline:
+        testnet.mine_blocks(last_deadline - testnet.height + 1)
+
+    listings: List[ListingOutcome] = []
+    for spec, listing_id in zip(specs, listing_ids):
+        if spec.dispute:
+            receipt = spec.requester.open_dispute(board_address, listing_id)
+            if not receipt.success:
+                raise ProtocolError(
+                    f"dispute on listing {listing_id} failed: {receipt.error}"
+                )
+            arbiter.rule(board_address, listing_id)
+        else:
+            receipt = spec.requester.settle_listing(board_address, listing_id)
+            if not receipt.success:
+                raise ProtocolError(
+                    f"settlement of listing {listing_id} failed: {receipt.error}"
+                )
+        listing = node.call(board_address, "get_listing", [listing_id])
+        listings.append(
+            ListingOutcome(
+                listing_id=listing_id,
+                state=listing["state"],
+                task_address=listing["task"],
+                matched_tags=[
+                    listing["bids"][i]["tag"] for i in listing["matched"]
+                ],
+                claims=dict(listing["claims"]),
+                disputed=listing["dispute"] is not None,
+                payouts=listing["payouts"],
+                disbursed=listing["disbursed"],
+                escrow=listing["escrow"],
+            )
+        )
+
+    return MarketReport(
+        board_address=board_address,
+        arbiter_address=arbiter.address,
+        auditor_address=auditor.address,
+        listing_ids=listing_ids,
+        listings=listings,
+        engine=engine_report,
+        task_specs=task_specs,
+    )

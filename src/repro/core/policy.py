@@ -52,6 +52,24 @@ class RewardPolicy(abc.ABC):
         """Parameters for digests and on-chain storage."""
         return {"name": self.name}
 
+    def quality_scores(
+        self, answers: Sequence[Answer], budget: int, scale: int = 1_000_000
+    ) -> List[int]:
+        """Per-slot quality weights in parts of ``scale``.
+
+        The marketplace's bonus splits and dispute verdicts consume
+        relative quality, not absolute token amounts; normalizing the
+        policy's own reward vector keeps the quality judgment identical
+        to the one the reward SNARK already committed on-chain.  Slots
+        sum to ``scale`` (up to flooring) unless nothing earned a
+        reward, in which case all slots are zero.
+        """
+        rewards = self.compute_rewards(answers, budget)
+        total = sum(rewards)
+        if total == 0:
+            return [0] * len(rewards)
+        return [reward * scale // total for reward in rewards]
+
     def validate_answers(self, answers: Sequence[Answer]) -> None:
         for answer in answers:
             if answer is not None and len(answer) != self.answer_arity:

@@ -1,0 +1,244 @@
+"""Pseudonymous reputation over common-prefix-linkable tags.
+
+ZebraLancer's tags t1 = PRF_sk(prefix) are deterministic per (key,
+prefix): with the marketplace board's address as the common prefix,
+every certified worker owns exactly ONE stable tag on that board — a
+pseudonymous handle that accrues reputation across listings — while
+its per-task tags (task-address prefixes) remain pairwise unlinkable.
+Reputation therefore attaches to the handle tag, never to a chain
+address or a certificate, and deanonymizes nothing beyond what the
+tags already reveal (see DESIGN.md §12).
+
+The scoring functions are pure integer arithmetic over plain lists so
+the marketplace contract can evaluate them on-chain (deterministically,
+gas-metered) and clients can predict match outcomes off-chain from the
+same code.  A record is ``[score, completed, defaulted, disputes_lost,
+last_block]``.
+
+Sybil resistance falls out of the fixed-point multiplier: a fresh
+handle scores :data:`REP_SCALE` exactly (multiplier 1.0), so splitting
+stake across k fresh credentials yields k bids each strictly weaker
+than the single combined bid — reputation farming via re-registration
+buys nothing (asserted by the ReputationFarmer attack suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.serialization import framed_decode, framed_encode
+
+#: Fixed-point scale for the reputation multiplier (1000 = 1.0x).
+REP_SCALE = 1_000
+#: Score delta for a claimed slot the policy actually rewarded.
+GAIN_COMPLETED = 100
+#: Score penalty for a matched slot that earned nothing (junk or no-show).
+LOSS_DEFAULTED = 150
+#: Additional penalty when a dispute against the work is upheld.
+LOSS_DISPUTE = 250
+#: Score ceiling, bounding the multiplier at (REP_SCALE + MAX_SCORE)/REP_SCALE.
+MAX_SCORE = 5_000
+
+#: Record layout indices (plain list, contract-storage friendly).
+SCORE, COMPLETED, DEFAULTED, DISPUTES_LOST, LAST_BLOCK = range(5)
+
+OUTCOME_COMPLETED = "completed"
+OUTCOME_DEFAULTED = "defaulted"
+OUTCOME_DISPUTE_LOST = "dispute-lost"
+
+_MAGIC_RECORD = b"ZLRP"
+_MAGIC_REGISTRY = b"ZLRR"
+_WIRE_VERSION = 1
+
+
+def fresh_record(block: int = 0) -> List[int]:
+    """The record every unseen handle implicitly holds."""
+    return [0, 0, 0, 0, block]
+
+
+def decayed_score(score: int, last_block: int, now_block: int, half_life: int) -> int:
+    """``score`` halved once per ``half_life`` blocks of inactivity.
+
+    Pure integer halving keeps the on-chain and client evaluations
+    bit-identical; a dormant veteran converges to a fresh handle
+    instead of hoarding an eternal advantage.
+    """
+    if half_life <= 0:
+        return score
+    age = max(0, now_block - last_block)
+    halvings = age // half_life
+    if halvings >= score.bit_length():
+        return 0
+    return score >> halvings
+
+
+def bid_score(stake: int, score: int) -> int:
+    """``stake × reputation`` in :data:`REP_SCALE` fixed point.
+
+    A fresh handle (score 0) ranks purely by stake; an established one
+    multiplies its stake by up to (REP_SCALE + MAX_SCORE)/REP_SCALE.
+    """
+    return stake * (REP_SCALE + min(score, MAX_SCORE)) // REP_SCALE
+
+
+def apply_outcome(
+    record: Optional[List[int]], outcome: str, block: int, half_life: int
+) -> List[int]:
+    """Fold one listing outcome into a record (returns a NEW list)."""
+    if record is None:
+        record = fresh_record(block)
+    score = decayed_score(record[SCORE], record[LAST_BLOCK], block, half_life)
+    completed = record[COMPLETED]
+    defaulted = record[DEFAULTED]
+    disputes_lost = record[DISPUTES_LOST]
+    if outcome == OUTCOME_COMPLETED:
+        score = min(score + GAIN_COMPLETED, MAX_SCORE)
+        completed += 1
+    elif outcome == OUTCOME_DEFAULTED:
+        score = max(score - LOSS_DEFAULTED, 0)
+        defaulted += 1
+    elif outcome == OUTCOME_DISPUTE_LOST:
+        score = max(score - LOSS_DISPUTE, 0)
+        disputes_lost += 1
+    else:
+        raise ValueError(f"unknown reputation outcome {outcome!r}")
+    return [score, completed, defaulted, disputes_lost, block]
+
+
+@dataclass(frozen=True)
+class ReputationRecord:
+    """One handle's reputation, in transportable form."""
+
+    tag: int
+    score: int
+    completed: int
+    defaulted: int
+    disputes_lost: int
+    last_block: int
+
+    @classmethod
+    def from_storage(cls, tag: int, record: List[int]) -> "ReputationRecord":
+        return cls(
+            tag=tag,
+            score=record[SCORE],
+            completed=record[COMPLETED],
+            defaulted=record[DEFAULTED],
+            disputes_lost=record[DISPUTES_LOST],
+            last_block=record[LAST_BLOCK],
+        )
+
+    def to_storage(self) -> List[int]:
+        return [
+            self.score,
+            self.completed,
+            self.defaulted,
+            self.disputes_lost,
+            self.last_block,
+        ]
+
+    def to_wire(self) -> bytes:
+        return framed_encode(
+            _MAGIC_RECORD, _WIRE_VERSION, [self.tag] + self.to_storage()
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "ReputationRecord":
+        fields = framed_decode(_MAGIC_RECORD, _WIRE_VERSION, data)
+        if not isinstance(fields, list) or len(fields) != 6:
+            raise ValueError("reputation record must hold exactly six fields")
+        for value in fields:
+            if not isinstance(value, int) or value < 0:
+                raise ValueError("reputation record fields must be non-negative ints")
+        tag, score, completed, defaulted, disputes_lost, last_block = fields
+        if score > MAX_SCORE:
+            raise ValueError("reputation score exceeds the ceiling")
+        return cls(
+            tag=tag,
+            score=score,
+            completed=completed,
+            defaulted=defaulted,
+            disputes_lost=disputes_lost,
+            last_block=last_block,
+        )
+
+
+class ReputationRegistry:
+    """A tag-keyed mirror of the board's reputation state.
+
+    Clients rebuild it from the marketplace contract's view
+    (:meth:`from_board`) to predict match outcomes, and the
+    unlinkability property tests use it as the observer's complete
+    reputation knowledge: everything here is a function of handle tags
+    alone, so two transcripts that agree on tags agree on the registry.
+    """
+
+    def __init__(self, half_life: int = 64) -> None:
+        self.half_life = half_life
+        self._records: Dict[int, List[int]] = {}
+
+    def record_outcome(self, tag: int, outcome: str, block: int) -> ReputationRecord:
+        record = apply_outcome(
+            self._records.get(tag), outcome, block, self.half_life
+        )
+        self._records[tag] = record
+        return ReputationRecord.from_storage(tag, record)
+
+    def score(self, tag: int, block: int) -> int:
+        record = self._records.get(tag)
+        if record is None:
+            return 0
+        return decayed_score(
+            record[SCORE], record[LAST_BLOCK], block, self.half_life
+        )
+
+    def bid_score(self, tag: int, stake: int, block: int) -> int:
+        return bid_score(stake, self.score(tag, block))
+
+    def record(self, tag: int) -> Optional[ReputationRecord]:
+        stored = self._records.get(tag)
+        if stored is None:
+            return None
+        return ReputationRecord.from_storage(tag, stored)
+
+    def tags(self) -> List[int]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @classmethod
+    def from_board(cls, node, board_address: bytes) -> "ReputationRegistry":
+        """Mirror the on-chain reputation table of a marketplace board."""
+        config = node.call(board_address, "get_config")
+        registry = cls(half_life=config["rep_half_life"])
+        for tag, record in node.call(board_address, "get_all_reputation").items():
+            registry._records[tag] = list(record)
+        return registry
+
+    def to_wire(self) -> bytes:
+        rows = [
+            [tag] + list(self._records[tag]) for tag in sorted(self._records)
+        ]
+        return framed_encode(
+            _MAGIC_REGISTRY, _WIRE_VERSION, [self.half_life, rows]
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "ReputationRegistry":
+        fields = framed_decode(_MAGIC_REGISTRY, _WIRE_VERSION, data)
+        if not isinstance(fields, list) or len(fields) != 2:
+            raise ValueError("reputation registry wire must hold two fields")
+        half_life, rows = fields
+        if not isinstance(half_life, int) or half_life <= 0:
+            raise ValueError("half life must be a positive int")
+        registry = cls(half_life=half_life)
+        if not isinstance(rows, list):
+            raise ValueError("registry rows must be a list")
+        for row in rows:
+            if not isinstance(row, list) or len(row) != 6:
+                raise ValueError("registry row must hold exactly six fields")
+            if any(not isinstance(v, int) or v < 0 for v in row):
+                raise ValueError("registry row fields must be non-negative ints")
+            registry._records[row[0]] = row[1:]
+        return registry

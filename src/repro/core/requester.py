@@ -470,3 +470,90 @@ class Requester:
         if record is None:
             raise ProtocolError("this requester did not publish that task")
         return record
+
+    # ----- open marketplace -------------------------------------------------------------
+
+    def board_account(self, board_address: bytes) -> OneTaskAccount:
+        """This requester's one-board account (listings originate here)."""
+        return derive_one_task_account(self._seed, f"board:{board_address.hex()}")
+
+    def _board_transaction(
+        self,
+        board_address: bytes,
+        method: str,
+        args: List[Any],
+        value: int = 0,
+    ) -> Receipt:
+        system = self.system
+        account = self.board_account(board_address)
+        system.fund_anonymous(account.address)
+        if value:
+            system.fund_anonymous(account.address, value)
+        tx = Transaction(
+            nonce=system.node.nonce_of(account.address),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=board_address,
+            value=value,
+            data=encode_call(method, args),
+        )
+        return system.send_reliable(tx, account.keypair)
+
+    def post_listing(
+        self,
+        board_address: bytes,
+        description: str,
+        num_workers: int,
+        budget: int,
+        quality_bonus: int,
+        validator_reward: int,
+    ) -> int:
+        """Open a listing on the board, escrowing bonus + validator fee."""
+        receipt = self._board_transaction(
+            board_address,
+            "post_task",
+            [description, num_workers, budget, quality_bonus, validator_reward],
+            value=quality_bonus + validator_reward,
+        )
+        if not receipt.success:
+            raise ProtocolError(f"listing rejected: {receipt.error}")
+        for log in receipt.logs:
+            if log.event == "TaskListed":
+                obs.count("market.client.listings")
+                return log.fields["listing_id"]
+        raise ProtocolError("board did not announce the listing")
+
+    def match_listing(self, board_address: bytes, listing_id: int) -> List[int]:
+        """Trigger matching once bidding closed (anyone may; we do)."""
+        receipt = self._board_transaction(
+            board_address, "match_workers", [listing_id]
+        )
+        if not receipt.success:
+            raise ProtocolError(f"matching failed: {receipt.error}")
+        listing = self.system.node.call(board_address, "get_listing", [listing_id])
+        return list(listing["matched"])
+
+    def attach_listing_task(
+        self, board_address: bytes, listing_id: int, task_address: bytes
+    ) -> Receipt:
+        """Bind the listing to this requester's deployed task contract."""
+        receipt = self._board_transaction(
+            board_address, "attach_task", [listing_id, task_address]
+        )
+        if not receipt.success:
+            raise ProtocolError(f"attach failed: {receipt.error}")
+        return receipt
+
+    def open_dispute(self, board_address: bytes, listing_id: int) -> Receipt:
+        """Contest the delivered quality, posting the board's dispute bond."""
+        bond = self.system.node.call(board_address, "get_config")["dispute_bond"]
+        receipt = self._board_transaction(
+            board_address, "open_dispute", [listing_id], value=bond
+        )
+        if receipt.success:
+            obs.count("market.client.disputes")
+        return receipt
+
+    def settle_listing(self, board_address: bytes, listing_id: int) -> Receipt:
+        """Settle an undisputed listing after the claim window closes."""
+        return self._board_transaction(board_address, "settle", [listing_id])

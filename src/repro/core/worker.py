@@ -219,3 +219,116 @@ class Worker:
         """The balance sitting on this worker's one-task address."""
         account = derive_one_task_account(self._seed, f"task:{task_address.hex()}")
         return self.system.node.balance_of(account.address)
+
+    # ----- open marketplace -----------------------------------------------------------
+
+    def board_account(self, board_address: bytes) -> OneTaskAccount:
+        """This worker's one-board account (bids and claims originate here).
+
+        One fresh address per board, exactly like the one-task accounts:
+        the board learns a stable *tag* (the reputation handle) but
+        never a stable address shared with any task.
+        """
+        return derive_one_task_account(self._seed, f"board:{board_address.hex()}")
+
+    def handle_tag(self, board_address: bytes) -> int:
+        """The pseudonymous reputation handle this worker owns on a board.
+
+        t1 = PRF_sk(board prefix) — deterministic per (key, board), so
+        the worker can predict its own handle (e.g. to find its bid in
+        the pool) without any on-chain interaction.
+        """
+        return self.system.scheme.prefix_tag(task_prefix(board_address), self.keys)
+
+    def task_tag(self, task_address: bytes) -> int:
+        """This worker's per-task linkability tag (to locate its answer)."""
+        return self.system.scheme.prefix_tag(task_prefix(task_address), self.keys)
+
+    def discover_listings(self, board_address: bytes) -> List[dict]:
+        """Browse the board: every listing still accepting bids."""
+        return self.system.node.call(board_address, "get_open_listings")
+
+    def place_bid(
+        self, board_address: bytes, listing_id: int, stake: int
+    ) -> Receipt:
+        """Stake on a listing under this worker's anonymous handle."""
+        from repro.contracts.marketplace import bid_message
+
+        system = self.system
+        account = self.board_account(board_address)
+        certificate = system.current_certificate(self.keys.public_key)
+        commitment = system.registry_commitment()
+        message = bid_message(board_address, account.address, listing_id, stake)
+        attestation = system.scheme.auth(
+            message, self.keys, certificate, commitment
+        )
+        system.fund_anonymous(account.address)
+        system.fund_anonymous(account.address, stake)
+        tx = Transaction(
+            nonce=system.node.nonce_of(account.address),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=board_address,
+            value=stake,
+            data=encode_call(
+                "place_bid", [listing_id, stake, attestation.to_wire()]
+            ),
+        )
+        receipt = system.send_reliable(tx, account.keypair)
+        obs.count("market.client.bids")
+        return receipt
+
+    def find_submission_index(self, task_address: bytes) -> int:
+        """Locate this worker's answer slot by its per-task tag."""
+        tags = self.system.node.call(task_address, "get_tags")
+        tag = self.task_tag(task_address)
+        for index, seen in enumerate(tags[1:]):  # tags[0] is the requester's
+            if seen == tag:
+                return index
+        raise ProtocolError("this worker has no submission on that task")
+
+    def report_work(
+        self,
+        board_address: bytes,
+        listing_id: int,
+        task_address: bytes,
+        answer_index: Optional[int] = None,
+    ) -> Receipt:
+        """Claim this worker's task submission for its matched bid.
+
+        Proves (in zero knowledge, via a tag-link attestation) that the
+        key behind the bid's board tag also owns the submission's task
+        tag — the two addresses involved stay unlinkable to everyone
+        else.
+        """
+        system = self.system
+        if answer_index is None:
+            answer_index = self.find_submission_index(task_address)
+        account = self.board_account(board_address)
+        certificate = system.current_certificate(self.keys.public_key)
+        commitment = system.registry_commitment()
+        attestation = system.scheme.auth_tag_link(
+            task_prefix(board_address),
+            task_prefix(task_address),
+            self.keys,
+            certificate,
+            commitment,
+        )
+        system.fund_anonymous(account.address)
+        tx = Transaction(
+            nonce=system.node.nonce_of(account.address),
+            gas_price=DEFAULT_GAS_PRICE,
+            gas_limit=DEFAULT_GAS_LIMIT,
+            to=board_address,
+            value=0,
+            data=encode_call(
+                "report_work", [listing_id, answer_index, attestation.to_wire()]
+            ),
+        )
+        receipt = system.send_reliable(tx, account.keypair)
+        obs.count("market.client.claims")
+        return receipt
+
+    def board_balance(self, board_address: bytes) -> int:
+        """The balance sitting on this worker's one-board address."""
+        return self.system.node.balance_of(self.board_account(board_address).address)

@@ -127,6 +127,38 @@ def _decode_one(view: memoryview):
     raise ValueError(f"unknown canonical tag {tag:#x}")
 
 
+def framed_encode(magic: bytes, version: int, value) -> bytes:
+    """Encode ``value`` under a ``magic|version|payload|sha256`` frame.
+
+    The strict framing the checkpoint (ZLCP) and marketplace wire
+    formats share: the checksum covers magic, version and payload, so
+    any bit flip, truncation or insertion is rejected at the frame
+    layer before the payload is even decoded.
+    """
+    import hashlib
+
+    body = magic + bytes([version]) + encode(value)
+    return body + hashlib.sha256(body).digest()
+
+
+def framed_decode(magic: bytes, version: int, data: bytes):
+    """Inverse of :func:`framed_encode`; raises ``ValueError`` on any
+    magic/version/checksum mismatch or malformed payload."""
+    import hashlib
+
+    overhead = len(magic) + 1 + 32
+    if len(data) < overhead:
+        raise ValueError("truncated frame")
+    if data[: len(magic)] != magic:
+        raise ValueError("bad frame magic")
+    if data[len(magic)] != version:
+        raise ValueError(f"unsupported frame version {data[len(magic)]}")
+    body, checksum = data[:-32], data[-32:]
+    if hashlib.sha256(body).digest() != checksum:
+        raise ValueError("frame checksum mismatch")
+    return decode(body[len(magic) + 1 :])
+
+
 def hex_str(data: bytes, prefix: bool = True) -> str:
     """Render bytes as a 0x-prefixed hex string (Ethereum style)."""
     return ("0x" if prefix else "") + data.hex()

@@ -113,3 +113,193 @@ def test_submission_counting_with_k_allowance(world) -> None:
             pool.append(attestation)
             accepted += 1
     assert accepted == k
+
+
+# ----- pseudonymous reputation: cross-task unlinkability (property) -----------------
+#
+# The marketplace accrues reputation on the BOARD-prefix tag (the
+# handle) while submissions ride TASK-prefix tags.  The property: an
+# observer holding the complete reputation registry plus every tag on
+# chain learns nothing about which per-task address belongs to which
+# worker beyond what the tags already reveal — formalized here as
+# invariance under address reassignment, swept over seeds.
+
+import random as _random
+
+from repro.anonauth.scheme import prefix_digest
+from repro.core.reputation import (
+    OUTCOME_COMPLETED,
+    OUTCOME_DEFAULTED,
+    ReputationRegistry,
+)
+
+_REP_SEEDS = pytest.mark.parametrize(
+    "seed", [0, 1, 2], ids=["seed0", "seed1", "seed2"]
+)
+
+
+def _rep_world(world, seed: int, count: int):
+    """``count`` registered workers plus board/task prefixes for one seed."""
+    params, authority, scheme = world
+    users = []
+    for index in range(count):
+        user = UserKeyPair.generate(
+            params.mimc, seed=b"rep-%d-%d" % (seed, index)
+        )
+        try:
+            authority.register(f"rep-{seed}-{index}", user.public_key)
+        except Exception:
+            pass  # already registered by a previous parametrization
+        users.append(user)
+    board_prefix = bytes([0x42 + seed]) * PREFIX_LENGTH
+    task_prefixes = [
+        bytes([0x90 + seed, task_index]) * (PREFIX_LENGTH // 2)
+        for task_index in range(4)
+    ]
+    return users, board_prefix, task_prefixes
+
+
+def _transcript(world, users, task_prefixes, assignment, commitment):
+    """Authenticate every (task, worker) pair from its assigned address."""
+    _, authority, scheme = world
+    rows = []
+    for task_index, task_prefix_bytes in enumerate(task_prefixes):
+        row = []
+        for worker_index, user in enumerate(users):
+            address = assignment[task_index][worker_index]
+            message = task_prefix_bytes + address + b"answer-%d" % task_index
+            attestation = scheme.auth(
+                message,
+                user,
+                authority.refresh_certificate(user.public_key),
+                commitment,
+            )
+            row.append(attestation)
+        rows.append(row)
+    return rows
+
+
+@_REP_SEEDS
+@pytest.mark.market
+def test_reputation_accrual_never_links_per_task_addresses(world, seed) -> None:
+    params, authority, scheme = world
+    users, board_prefix, task_prefixes = _rep_world(world, seed, 3)
+    commitment = authority.registry_commitment()
+    rng = _random.Random(seed)
+
+    addresses = [
+        [rng.randbytes(20) for _ in users] for _ in task_prefixes
+    ]
+    # World B reassigns every per-task address to a DIFFERENT worker
+    # (rotation); if tags or registry depended on addresses, the two
+    # worlds would diverge somewhere observable.
+    rotated = [row[1:] + row[:1] for row in addresses]
+
+    world_a = _transcript(world, users, task_prefixes, addresses, commitment)
+    world_b = _transcript(world, users, task_prefixes, rotated, commitment)
+
+    # Per-task tags are address-INVARIANT: both worlds show the exact
+    # same t1 transcript, so the observer's view cannot separate them.
+    for row_a, row_b in zip(world_a, world_b):
+        assert [a.t1 for a in row_a] == [b.t1 for b in row_b]
+
+    # No per-task tag repeats anywhere: not across this worker's other
+    # tasks, not across other workers — there is nothing to link on.
+    flat_a = [attestation.t1 for row in world_a for attestation in row]
+    assert len(set(flat_a)) == len(flat_a)
+    for row in world_a:
+        for a, b in combinations(row, 2):
+            assert not scheme.link(a, b)
+    for worker_index in range(len(users)):
+        per_worker = [row[worker_index] for row in world_a]
+        for a, b in combinations(per_worker, 2):
+            assert not scheme.link(a, b)
+
+    # The ONLY deliberate cross-context repetition is the board handle:
+    # the same key under the board prefix always lands on its handle tag.
+    handles = [scheme.prefix_tag(board_prefix, user) for user in users]
+    assert len(set(handles)) == len(handles)
+    for user, handle in zip(users, handles):
+        bid_a = scheme.auth(
+            board_prefix + b"bid-a", user,
+            authority.refresh_certificate(user.public_key), commitment,
+        )
+        bid_b = scheme.auth(
+            board_prefix + b"bid-b", user,
+            authority.refresh_certificate(user.public_key), commitment,
+        )
+        assert bid_a.t1 == handle == bid_b.t1
+        assert scheme.link(bid_a, bid_b)
+        assert handle not in flat_a  # the handle never appears task-side
+
+    # Reputation accrual over K tasks is a function of (handle, outcome)
+    # ONLY: fed the same outcomes, both worlds produce byte-identical
+    # registries — the registry adds zero address information.
+    registry_a = ReputationRegistry(half_life=64)
+    registry_b = ReputationRegistry(half_life=64)
+    for task_index in range(len(task_prefixes)):
+        for handle in handles:
+            outcome = (
+                OUTCOME_COMPLETED if rng.random() < 0.8 else OUTCOME_DEFAULTED
+            )
+            block = 10 * task_index
+            registry_a.record_outcome(handle, outcome, block)
+            registry_b.record_outcome(handle, outcome, block)
+    assert registry_a.to_wire() == registry_b.to_wire()
+    assert set(registry_a.tags()) == set(handles)
+
+
+@_REP_SEEDS
+@pytest.mark.market
+def test_tag_link_claims_are_sound_and_domain_separated(world, seed) -> None:
+    """The bridge between a handle and a task tag cannot be forged.
+
+    A tag-link attestation proves ONE certified key owns both tags; an
+    attacker with its own (valid) credential can neither claim a
+    victim's task tag nor replay a normal attestation as a tag link
+    (prefix and message digests live in different hash domains).
+    """
+    params, authority, scheme = world
+    users, board_prefix, task_prefixes = _rep_world(world, seed, 2)
+    victim, attacker = users
+    commitment = authority.registry_commitment()
+    task_prefix_bytes = task_prefixes[0]
+
+    link = scheme.auth_tag_link(
+        board_prefix, task_prefix_bytes, victim,
+        authority.refresh_certificate(victim.public_key), commitment,
+    )
+    assert scheme.verify_tag_link(
+        board_prefix, task_prefix_bytes, link, commitment
+    )
+    assert link.t1 == scheme.prefix_tag(board_prefix, victim)
+    assert link.t2 == scheme.prefix_tag(task_prefix_bytes, victim)
+
+    # Soundness: the attacker's own honest link lands on ITS tags, and
+    # tampering the claim toward the victim's tags kills the proof.
+    forged = scheme.auth_tag_link(
+        board_prefix, task_prefix_bytes, attacker,
+        authority.refresh_certificate(attacker.public_key), commitment,
+    )
+    assert forged.t2 != link.t2
+    from repro.anonauth.scheme import Attestation as _Attestation
+
+    grafted = _Attestation(
+        t1=forged.t1, t2=link.t2, proof=forged.proof,
+        registry_commitment=forged.registry_commitment,
+    )
+    assert not scheme.verify_tag_link(
+        board_prefix, task_prefix_bytes, grafted, commitment
+    )
+
+    # Domain separation: a normal attestation whose MESSAGE happens to
+    # be the other prefix does not verify as a tag link (and the link
+    # does not verify as a normal attestation on that message).
+    normal = scheme.auth(
+        board_prefix + task_prefix_bytes, victim,
+        authority.refresh_certificate(victim.public_key), commitment,
+    )
+    assert not scheme.verify_tag_link(
+        board_prefix, task_prefix_bytes, normal, commitment
+    )
+    assert not scheme.verify(board_prefix + task_prefix_bytes, link, commitment)

@@ -1,0 +1,195 @@
+"""Adversarial suite for the open marketplace.
+
+Three economic attacks, each modeled as an actor in
+:mod:`repro.core.attacks` and asserted foiled on-chain:
+
+- **bid sniping** — observe the full pool, underbid after the close:
+  the deadline check reverts it and the observed pool settles as-is;
+- **reputation farming** — split stake over fresh sybil credentials:
+  fresh handles carry fresh tags, start at score zero, and lose the
+  slot to an established handle at equal total stake;
+- **dispute griefing** — contest flawless work: the verdict follows
+  the SNARK-committed reward vector, so the dispute is ruled frivolous
+  and the griefer's bond lands with the workers it tried to stiff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accounting import contract_payment
+from repro.core.attacks import BidSniper, DisputeGriefer, ReputationFarmer
+from repro.core.engine import (
+    MarketSpec,
+    engine_system,
+    run_open_market,
+)
+from repro.core.market import Arbiter, board_config, deploy_marketplace
+from repro.core.policy import MajorityVotePolicy
+from repro.core.requester import Requester
+from repro.core.reputation import REP_SCALE, bid_score
+from repro.core.worker import Worker
+
+pytestmark = pytest.mark.market
+
+SEEDS = [0, 1]
+POLICY = MajorityVotePolicy(num_choices=4)
+
+
+def _market_system(tag: str, seed: int):
+    return engine_system(2, 3, seed=f"attack-{tag}-{seed}".encode())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bid_sniping_foiled_by_deadline(seed: int) -> None:
+    system = _market_system("snipe", seed)
+    arbiter = Arbiter(system)
+    board = deploy_marketplace(
+        system, arbiter.address, board_config(bid_window=30)
+    )
+    requester = Requester(system, f"lister-{seed}")
+    honest = [Worker(system, f"honest-{seed}-{j}") for j in range(2)]
+    sniper = BidSniper(system, f"sniper-{seed}")
+    listing_id = requester.post_listing(
+        board, "snipe-target", num_workers=1, budget=600,
+        quality_bonus=300, validator_reward=60,
+    )
+    stakes = [120 + 10 * seed, 100]
+    for worker, stake in zip(honest, stakes):
+        assert worker.place_bid(board, listing_id, stake).success
+
+    # The pool is public — the sniper reads every (tag, stake) pair and
+    # knows exactly what would win...
+    pool = sniper.observe_pool(board, listing_id)
+    assert len(pool) == 2
+    winning_stake = max(stake for _, stake in pool) + 500
+
+    # ...but only after the deadline has passed.
+    deadline = system.node.call(board, "get_listing", [listing_id])["bid_deadline"]
+    while system.testnet.height <= deadline:
+        system.testnet.mine_blocks(1)
+    receipt = sniper.attempt_snipe(board, listing_id, winning_stake)
+    assert not receipt.success
+    assert "bidding closed" in receipt.error
+
+    # The observed pool settles untouched: the snipe neither entered
+    # the pool nor its value the escrow.
+    matched = requester.match_listing(board, listing_id)
+    listing = system.node.call(board, "get_listing", [listing_id])
+    matched_tags = {listing["bids"][i]["tag"] for i in matched}
+    assert matched_tags == {honest[0].handle_tag(board)}
+    assert sniper.handle_tag(board) not in {b["tag"] for b in listing["bids"]}
+    assert listing["escrow"] == 300 + 60 + stakes[0]  # winner's bond only
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reputation_farming_starts_at_zero(seed: int) -> None:
+    system = _market_system("farm", seed)
+    arbiter = Arbiter(system)
+    # Long half-life: the veteran's accrual must survive wave 1's blocks.
+    board = deploy_marketplace(
+        system,
+        arbiter.address,
+        board_config(bid_window=60, attach_window=1024, rep_half_life=4096),
+    )
+    veteran = Worker(system, f"veteran-{seed}")
+    requester = Requester(system, f"farm-lister-{seed}")
+
+    # Wave 1: the veteran completes one solo listing and earns standing.
+    spec = MarketSpec(
+        requester=requester,
+        bidders=[(veteran, 100)],
+        answers={veteran.identity: [1 + seed % 3]},
+        policy=POLICY,
+        description="rep-builder",
+        num_workers=1,
+        budget=400,
+        quality_bonus=200,
+        validator_reward=40,
+    )
+    report = run_open_market(
+        system, [spec], board_address=board, arbiter=arbiter, max_rounds=256
+    )
+    assert report.listings[0].state == "settled"
+    veteran_tag = veteran.handle_tag(board)
+    veteran_score = system.node.call(board, "get_reputation", [veteran_tag])[0]
+    assert veteran_score > 0
+
+    # Wave 2: a farmer splits the veteran's total stake over fresh
+    # sybil credentials (all legitimately certified, all fresh tags).
+    farmer = ReputationFarmer(system, identity=f"farmer-{seed}", count=3)
+    listing_id = requester.post_listing(
+        board, "farm-target", num_workers=1, budget=400,
+        quality_bonus=200, validator_reward=40,
+    )
+    total_stake = 300
+    assert veteran.place_bid(board, listing_id, total_stake).success
+    receipts = farmer.flood_bids(board, listing_id, total_stake)
+    assert all(receipt.success for receipt in receipts)  # sybils ARE admitted
+
+    # Fresh credentials ⇒ fresh tags ⇒ zero on-board reputation.
+    for tag in farmer.handle_tags(board):
+        assert tag != veteran_tag
+        assert system.node.call(board, "get_reputation", [tag]) == [0] * 5
+        assert bid_score(total_stake // 3, 0) == total_stake // 3  # 1.0x
+
+    deadline = system.node.call(board, "get_listing", [listing_id])["bid_deadline"]
+    while system.testnet.height <= deadline:
+        system.testnet.mine_blocks(1)
+    matched = requester.match_listing(board, listing_id)
+    listing = system.node.call(board, "get_listing", [listing_id])
+    matched_tags = {listing["bids"][i]["tag"] for i in matched}
+    # The established handle takes the slot: its multiplier beats every
+    # split bid AND a hypothetical full-stake fresh bid.
+    assert matched_tags == {veteran_tag}
+    assert bid_score(total_stake, veteran_score) > bid_score(total_stake, 0)
+    assert veteran_score * total_stake // REP_SCALE > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dispute_griefing_loses_the_bond(seed: int) -> None:
+    system = _market_system("grief", seed)
+    griefer = DisputeGriefer(system, f"griefer-{seed}")
+    workers = [Worker(system, f"grief-worker-{seed}-{j}") for j in range(3)]
+    answer = [seed % 4]
+    spec = MarketSpec(
+        requester=griefer,
+        bidders=[(worker, 100 + 10 * j) for j, worker in enumerate(workers)],
+        # Unanimous correct answers: every claimed slot earns a reward.
+        answers={worker.identity: list(answer) for worker in workers},
+        policy=POLICY,
+        description="griefed-listing",
+        num_workers=3,
+        budget=600,
+        quality_bonus=300,
+        validator_reward=60,
+        dispute=True,  # the griefer contests the flawless delivery
+    )
+    report = run_open_market(system, [spec], max_rounds=256)
+    listing = report.listings[0]
+    assert listing.state == "settled"
+    assert listing.disputed
+
+    legs = {}
+    for recipient, amount, leg in listing.payouts:
+        legs.setdefault(leg, 0)
+        legs[leg] += amount
+    bond = system.node.call(report.board_address, "get_config")["dispute_bond"]
+    # The bond went to the claimed workers, not back to the disputer.
+    assert "dispute-bond-return" not in legs
+    assert legs["griefing-bond-award"] == bond
+    # The workers kept the full bonus (up to flooring dust).
+    assert legs["quality-bonus"] + legs.get("bonus-remainder", 0) == 300
+    award_recipients = {
+        bytes(recipient)
+        for recipient, _, leg in listing.payouts
+        if leg == "griefing-bond-award"
+    }
+    worker_accounts = {
+        worker.board_account(report.board_address).address for worker in workers
+    }
+    assert award_recipients <= worker_accounts
+    # Net: the griefer's board account got back strictly less than the
+    # bond it posted on top of its other deposits.
+    griefer_account = griefer.board_account(report.board_address).address
+    assert contract_payment(system.node, griefer_account) < bond

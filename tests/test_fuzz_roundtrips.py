@@ -666,3 +666,135 @@ def test_groth16_vk_bytes_reject_noncanonical_limbs(groth16_material) -> None:
         mutated = (value + FIELD_MODULUS).to_bytes(32, "big") + chunk[32:]
         with pytest.raises(ValueError):
             codec(mutated)
+
+
+# ----- marketplace wire formats (bid / escrow / verdict / reputation) ----------------
+#
+# All four ride the ZLCP-style checksummed frame, so ANY mutation —
+# bit flip, truncation, insertion — must surface as ValueError; a
+# mutated frame never silently decodes (the sha256 trailer would have
+# to collide).
+
+from repro.contracts.marketplace import Bid, DisputeVerdict, EscrowState
+from repro.core.reputation import MAX_SCORE, ReputationRecord, ReputationRegistry
+
+
+def _random_bid(rng: random.Random) -> Bid:
+    return Bid(
+        listing_id=rng.randrange(1 << 32),
+        bidder=rng.randbytes(20),
+        tag=rng.getrandbits(rng.randrange(1, 254)),
+        stake=rng.randrange(1, 1 << 48),
+        block=rng.randrange(1 << 32),
+    )
+
+
+def _random_escrow(rng: random.Random) -> EscrowState:
+    return EscrowState(
+        listing_id=rng.randrange(1 << 32),
+        bonus=rng.randrange(1 << 32),
+        validator_reward=rng.randrange(1 << 24),
+        stakes=rng.randrange(1 << 40),
+        dispute_bond=rng.randrange(1 << 24),
+        disbursed=rng.randrange(1 << 40),
+        settled=rng.random() < 0.5,
+    )
+
+
+def _random_verdict(rng: random.Random) -> DisputeVerdict:
+    alphabet = "abcdef .-é中"
+    return DisputeVerdict(
+        listing_id=rng.randrange(1 << 32),
+        upheld=rng.random() < 0.5,
+        worker_share_ppm=rng.randrange(1_000_001),
+        rationale="".join(rng.choice(alphabet) for _ in range(rng.randrange(48))),
+    )
+
+
+def _random_record(rng: random.Random) -> ReputationRecord:
+    return ReputationRecord(
+        tag=rng.getrandbits(rng.randrange(1, 254)),
+        score=rng.randrange(MAX_SCORE + 1),
+        completed=rng.randrange(1 << 16),
+        defaulted=rng.randrange(1 << 16),
+        disputes_lost=rng.randrange(1 << 16),
+        last_block=rng.randrange(1 << 32),
+    )
+
+
+_MARKET_CODECS = [
+    ("bid", _random_bid, Bid.from_wire),
+    ("escrow", _random_escrow, EscrowState.from_wire),
+    ("verdict", _random_verdict, DisputeVerdict.from_wire),
+    ("reputation", _random_record, ReputationRecord.from_wire),
+]
+
+
+@pytest.mark.parametrize(
+    "sampler,parser", [(s, p) for _, s, p in _MARKET_CODECS],
+    ids=[name for name, _, _ in _MARKET_CODECS],
+)
+def test_market_wire_roundtrip_fuzz(sampler, parser) -> None:
+    rng = random.Random(0xB1D)
+    for _ in range(CASES):
+        value = sampler(rng)
+        assert parser(value.to_wire()) == value
+
+
+@pytest.mark.parametrize(
+    "sampler,parser", [(s, p) for _, s, p in _MARKET_CODECS],
+    ids=[name for name, _, _ in _MARKET_CODECS],
+)
+def test_market_wire_mutation_fuzz(sampler, parser) -> None:
+    rng = random.Random(0xD15)
+    for _ in range(CASES):
+        wire = sampler(rng).to_wire()
+        mutated = _mutate(rng, wire)
+        if mutated == wire:
+            continue
+        with pytest.raises(ValueError):
+            parser(mutated)
+
+
+def test_market_wire_rejects_truncation_prefixes() -> None:
+    """Every proper prefix of a valid frame is rejected (no partial reads)."""
+    rng = random.Random(0x7A9)
+    for sampler, parser in [
+        (_random_bid, Bid.from_wire),
+        (_random_verdict, DisputeVerdict.from_wire),
+    ]:
+        wire = sampler(rng).to_wire()
+        for cut in range(len(wire)):
+            with pytest.raises(ValueError):
+                parser(wire[:cut])
+
+
+def test_market_wire_rejects_cross_codec_frames() -> None:
+    """A frame of one type never decodes as another (magic mismatch)."""
+    rng = random.Random(0xC0DE)
+    wires = {name: sampler(rng).to_wire() for name, sampler, _ in _MARKET_CODECS}
+    for name, _, parser in _MARKET_CODECS:
+        for other, wire in wires.items():
+            if other == name:
+                continue
+            with pytest.raises(ValueError):
+                parser(wire)
+
+
+def test_reputation_registry_wire_roundtrip_and_mutation() -> None:
+    rng = random.Random(0x12E9)
+    for _ in range(CASES // 4):
+        registry = ReputationRegistry(half_life=rng.randrange(1, 512))
+        for _ in range(rng.randrange(6)):
+            record = _random_record(rng)
+            registry._records[record.tag] = record.to_storage()
+        wire = registry.to_wire()
+        rebuilt = ReputationRegistry.from_wire(wire)
+        assert rebuilt.half_life == registry.half_life
+        assert rebuilt.tags() == registry.tags()
+        assert rebuilt.to_wire() == wire
+        mutated = _mutate(rng, wire)
+        if mutated == wire:
+            continue
+        with pytest.raises(ValueError):
+            ReputationRegistry.from_wire(mutated)
