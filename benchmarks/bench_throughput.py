@@ -40,6 +40,7 @@ import pytest
 import repro.contracts  # noqa: F401  (registers KVStore for the parallel workload)
 from repro import observability as obs
 from repro.crypto import ecdsa
+from repro.crypto.hashing import keccak256
 from repro.chain.contract import BlockContext
 from repro.chain.parallel import execute_block
 from repro.chain.receipts import encode_receipt
@@ -374,6 +375,137 @@ def measure_parallel_block_execution(
     }
 
 
+# ----- static sharding: tasks partitioned by contract address ------------------------
+
+
+def _shard_task_address(index: int) -> bytes:
+    return keccak256(b"bench-shard-task", index.to_bytes(4, "big"))[:20]
+
+
+def measure_sharded_throughput(
+    n_tasks: int = 64,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    value: int = 1_000,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """One settlement transaction per task, swept over shard counts.
+
+    The workload is the sharding model itself: task ``i`` lives at a
+    derived contract-style address, its one-task account is funded
+    ``near=`` that address (so account and task share a shard), and the
+    settlement transfer executes on the task's home shard.  The *same*
+    signed transactions run at every shard count, so per-account final
+    balances are byte-equal across the sweep (asserted here).
+
+    Two timings per shard count:
+
+    - ``wall_seconds``: in-process wall clock for the settlement rounds
+      (shards execute sequentially in this simulation, so this cannot
+      beat serial — it honestly shows the facade's overhead).
+    - ``critical_path_seconds``: sum over rounds of the *slowest*
+      shard's block-build critical path — the round time a deployment
+      with one host per shard would observe.  The speedup gate asserts
+      on this modeled number, mirroring the parallel-execution bench.
+    """
+    from repro.chain.sharding import ShardedChain, home_shard
+
+    keypairs = [
+        ecdsa.ECDSAKeyPair.from_seed(b"bench-shard-worker-%d" % i)
+        for i in range(n_tasks)
+    ]
+    tasks = [_shard_task_address(i) for i in range(n_tasks)]
+    baseline: Optional[Dict[bytes, int]] = None
+    serial_modeled: Optional[float] = None
+    shards_out: Dict[str, Any] = {}
+    for shards in shard_counts:
+        walls: List[float] = []
+        modeleds: List[float] = []
+        rounds = 0
+        for _ in range(max(1, repeats)):
+            chain = ShardedChain(shards=shards, miners=1, full_nodes=1)
+            pendings = [
+                chain.fund_async(keypair.address(), 10**9, near=task)
+                for keypair, task in zip(keypairs, tasks)
+            ]
+            chain.tx_sender.confirm_all(pendings)
+            # The settlement transactions are identical at every shard
+            # count: nonce 0, same recipient, same chain id — the sweep
+            # varies only where they execute.
+            for keypair, task in zip(keypairs, tasks):
+                tx = Transaction(
+                    nonce=0, gas_price=1, gas_limit=50_000, to=task, value=value,
+                )
+                chain.send_transaction(tx.sign(keypair))
+
+            def backlog() -> int:
+                return sum(
+                    len(net.any_node.mempool) for net in chain.shard_testnets
+                )
+
+            rounds = 0
+            modeled = 0.0
+            started = time.perf_counter()
+            while backlog() > 0:
+                chain.mine_block()
+                rounds += 1
+                modeled += max(
+                    (
+                        net.miners[0].last_build_stats.critical_path_seconds
+                        if net.miners[0].last_build_stats is not None
+                        else 0.0
+                    )
+                    for net in chain.shard_testnets
+                )
+                if rounds > 64:
+                    raise AssertionError("sharded settlement did not drain")
+            walls.append(time.perf_counter() - started)
+            modeleds.append(modeled)
+
+            balances = {
+                task: chain.any_node.balance_of(task) for task in tasks
+            }
+            for keypair in keypairs:
+                balances[keypair.address()] = chain.any_node.balance_of(
+                    keypair.address()
+                )
+            if baseline is None:
+                baseline = balances
+            elif balances != baseline:
+                raise AssertionError(
+                    f"shard count {shards} changed final balances — "
+                    "shard-vs-serial equivalence is broken"
+                )
+        modeled = min(modeleds)
+        occupancy = [0] * shards
+        for task in tasks:
+            occupancy[home_shard(task, shards)] += 1
+        entry: Dict[str, Any] = {
+            "rounds": rounds,
+            "wall_seconds": round(min(walls), 4),
+            "critical_path_seconds": round(modeled, 4),
+            "tasks_per_shard": occupancy,
+        }
+        if shards == 1:
+            serial_modeled = modeled
+        else:
+            assert serial_modeled is not None, "shard_counts must start at 1"
+            entry["speedup_modeled"] = round(serial_modeled / modeled, 4)
+        shards_out[str(shards)] = entry
+    return {
+        "workload": "sharded-settlement",
+        "num_tasks": n_tasks,
+        "repeats": repeats,
+        "serial_seconds": round(serial_modeled, 4),
+        "shards": shards_out,
+        "model": (
+            "speedup_modeled = serial critical path / sum over rounds of the "
+            "slowest shard's block-build critical path, i.e. one host per "
+            f"shard; wall_seconds is in-process on this host "
+            f"(cpu_count={os.cpu_count()})"
+        ),
+    }
+
+
 # ----- asserted gates (run from CI) --------------------------------------------------
 
 
@@ -419,6 +551,40 @@ def test_parallel_block_execution_smoke() -> None:
     assert stats["reexecutions"] >= stats["conflicts"]
 
 
+@pytest.mark.sharding
+def test_sharding_speedup_smoke() -> None:
+    """CI gate for the sharded chain at N=64.
+
+    Four shards must model >=1.5x the single-shard critical path, the
+    hash assignment must actually spread tasks (no empty shard at
+    S=4 with 64 uniform tasks is overwhelmingly likely and asserted),
+    and the sweep itself asserts balance equality across shard counts.
+    """
+    record = measure_sharded_throughput(n_tasks=64, shard_counts=(1, 2, 4))
+    write_record(record, key="sharding-n64")
+    four = record["shards"]["4"]
+    assert four["speedup_modeled"] >= 1.5, (
+        f"modeled 4-shard speedup {four['speedup_modeled']}x below the 1.5x "
+        f"floor (serial {record['serial_seconds']}s, sharded "
+        f"{four['critical_path_seconds']}s)"
+    )
+    assert all(count > 0 for count in four["tasks_per_shard"]), (
+        f"degenerate shard assignment: {four['tasks_per_shard']}"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.sharding
+def test_sharding_sweep_n256() -> None:
+    """The full N=256 tasks x shards 1/2/4/8 sweep from the roadmap."""
+    record = measure_sharded_throughput(n_tasks=256, shard_counts=(1, 2, 4, 8))
+    write_record(record, key="sharding-n256")
+    assert record["shards"]["4"]["speedup_modeled"] >= 1.5
+    assert record["shards"]["8"]["speedup_modeled"] >= record["shards"]["2"][
+        "speedup_modeled"
+    ] * 0.9  # more shards must not collapse the model
+
+
 @pytest.mark.slow
 def test_throughput_gate_n32() -> None:
     """The headline gate: >=3x tasks/sec at N=32 on the mock backend."""
@@ -458,7 +624,26 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--parallel-exec", action="store_true",
         help="also sweep optimistic block execution over lanes 1/2/4/8",
     )
+    parser.add_argument(
+        "--sharding-sweep", type=int, metavar="N", default=None,
+        help="run the N-task settlement sweep over shards 1/2/4/8 and exit",
+    )
     args = parser.parse_args(argv)
+    if args.sharding_sweep is not None:
+        record = measure_sharded_throughput(
+            n_tasks=args.sharding_sweep, shard_counts=(1, 2, 4, 8)
+        )
+        write_record(record, key=f"sharding-n{args.sharding_sweep}")
+        for shards, entry in record["shards"].items():
+            modeled = entry.get("speedup_modeled", 1.0)
+            print(
+                f"shards={shards}: rounds {entry['rounds']} "
+                f"critical path {entry['critical_path_seconds']:.3f}s "
+                f"modeled speedup {modeled:.2f}x "
+                f"occupancy {entry['tasks_per_shard']}"
+            )
+        print(f"wrote {_BENCH_PATH}")
+        return
     if args.parallel_exec:
         for contended in (False, True):
             record = measure_parallel_block_execution(

@@ -352,6 +352,9 @@ class Testnet:
         execution_lanes: int = 1,
         execution_workers: int = 1,
         mempool_capacity: Optional[int] = None,
+        faucet_seed: bytes = b"testnet-faucet",
+        extra_allocations: Optional[Dict[bytes, int]] = None,
+        genesis_contracts: Optional[Dict[bytes, Tuple[str, Dict[str, Any]]]] = None,
     ) -> None:
         if miners < 1:
             raise ValueError("need at least one miner")
@@ -359,15 +362,24 @@ class Testnet:
         self.clock = SimClock()
         self.network = Network(self.clock, fault_plan=fault_plan)
         self.tx_sender = TxSender(self)
-        self.faucet_key = ecdsa.ECDSAKeyPair.from_seed(b"testnet-faucet")
+        # Sharded deployments give every shard a distinct faucet seed so
+        # no honest account holds balance on two shards (the cross-shard
+        # replay guard); the default seed keeps single-chain genesis
+        # byte-identical to every chain built before sharding existed.
+        self.faucet_key = ecdsa.ECDSAKeyPair.from_seed(faucet_seed)
 
         miner_keys = [
             ecdsa.ECDSAKeyPair.from_seed(f"miner-{i}".encode()) for i in range(miners)
         ]
         self.engine = engine or PoAEngine([k.address() for k in miner_keys])
+        allocations = {self.faucet_key.address(): initial_faucet_balance}
+        if extra_allocations:
+            for address, balance in extra_allocations.items():
+                allocations[address] = allocations.get(address, 0) + balance
         genesis = GenesisConfig(
-            allocations={self.faucet_key.address(): initial_faucet_balance},
+            allocations=allocations,
             gas_limit=gas_limit,
+            contracts=dict(genesis_contracts) if genesis_contracts else {},
         )
         self.genesis = genesis
         self.miners: List[Node] = [
@@ -477,8 +489,20 @@ class Testnet:
             chain_id=self.genesis.chain_id,
         )
 
-    def fund(self, address: bytes, amount: int, mine: bool = True) -> None:
-        """Faucet-transfer ``amount`` to ``address`` (mining one block)."""
+    def fund(
+        self,
+        address: bytes,
+        amount: int,
+        mine: bool = True,
+        near: Optional[bytes] = None,
+    ) -> None:
+        """Faucet-transfer ``amount`` to ``address`` (mining one block).
+
+        ``near`` is a co-location hint consumed by the sharded facade
+        (fund the account on the shard owning ``near``); a single-chain
+        testnet has one shard, so it is accepted and ignored here.
+        """
+        del near
         tx = self._faucet_tx(address, amount)
         if mine:
             # Resilient path: confirmed even if the first broadcast drops.
@@ -486,14 +510,16 @@ class Testnet:
         else:
             self.send_transaction(tx.sign(self.faucet_key))
 
-    def fund_async(self, address: bytes, amount: int):
+    def fund_async(self, address: bytes, amount: int, near: Optional[bytes] = None):
         """Broadcast a faucet transfer without mining (batched funding).
 
         Returns the :class:`~repro.chain.txsender.PendingTx`; concurrent
         callers get consecutive faucet nonces from the shared
         :class:`~repro.chain.txsender.NonceManager`, so a whole funding
-        wave coexists in the mempool and lands in one block.
+        wave coexists in the mempool and lands in one block.  ``near``
+        is the sharded facade's co-location hint, ignored here.
         """
+        del near
         return self.tx_sender.broadcast(
             self._faucet_tx(address, amount), self.faucet_key
         )

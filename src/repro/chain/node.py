@@ -45,11 +45,20 @@ class GenesisConfig:
     gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT
     chain_id: int = 1337
     timestamp: int = 1_500_000_000
+    #: Pre-installed contracts: address -> (registered contract name,
+    #: initial storage).  Used by the sharded chain to place the
+    #: cross-shard outbox/inbox at fixed addresses in every shard's
+    #: genesis; empty for ordinary chains.
+    contracts: Dict[bytes, Tuple[str, Dict[str, Any]]] = field(default_factory=dict)
 
     def build_state(self) -> WorldState:
         state = WorldState()
         for address, balance in self.allocations.items():
             state.credit(address, balance)
+        for address, (contract_name, storage) in self.contracts.items():
+            account = state.account(address)
+            account.contract_name = contract_name
+            account.storage = {key: value for key, value in storage.items()}
         return state
 
     def build_genesis_block(self) -> Block:
@@ -100,6 +109,9 @@ class Node:
         #: Counters for recovery tests: accepted imports / import calls.
         self.blocks_imported = 0
         self.import_attempts = 0
+        #: Execution stats of the last block this node built (the shard
+        #: throughput bench reads critical-path timings from here).
+        self.last_build_stats = None
         self._reset_in_memory_state()
 
     def _reset_in_memory_state(self) -> None:
@@ -231,6 +243,7 @@ class Node:
             )
             included = execution.included
             gas_used = execution.gas_used
+            self.last_build_stats = execution.stats
             header = BlockHeader(
                 number=parent.number + 1,
                 parent_hash=parent.block_hash,

@@ -315,6 +315,7 @@ def _execute_serial(
 ) -> BlockExecution:
     included: List[SignedTransaction] = []
     receipts: List[Receipt] = []
+    started = time.perf_counter()
     for stx in txs:
         try:
             receipt = vm.execute_transaction(state, stx, block_ctx)
@@ -325,6 +326,10 @@ def _execute_serial(
             continue
         receipts.append(receipt)
         included.append(stx)
+    # One "lane" spanning the whole block, so critical_path_seconds is
+    # meaningful for serial blocks too (the sharding bench compares
+    # per-shard serial block builds against a single serial chain).
+    stats.lane_seconds.append(time.perf_counter() - started)
     return BlockExecution(included=included, receipts=receipts, stats=stats)
 
 

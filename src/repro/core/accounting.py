@@ -26,6 +26,17 @@ from repro.core.anonymity import derive_one_task_account
 SETTLED_STATUSES = ("completed", "defaulted", "aborted")
 
 
+def _resident_node(node, address: bytes):
+    """The node actually holding an address's chain segment.
+
+    On a sharded chain the routed view exposes ``for_address`` so
+    conservation scans run against the owning shard; a plain node is
+    its own resident.
+    """
+    resolve = getattr(node, "for_address", None)
+    return resolve(address) if resolve is not None else node
+
+
 def external_flows(node, address: bytes) -> Tuple[int, int]:
     """(credits, debits) of an address from external transactions only.
 
@@ -33,6 +44,7 @@ def external_flows(node, address: bytes) -> Tuple[int, int]:
     plus values of transactions it signed.  Anything else on its
     balance was put there by contract execution.
     """
+    node = _resident_node(node, address)
     credits = 0
     debits = 0
     for block in node.canonical_blocks(1, node.height):
@@ -118,6 +130,7 @@ def market_inflows(node, board_address: bytes) -> int:
     reverted bid (e.g. a foiled snipe) bounces its value back with the
     revert, so only successful transactions fund the escrow.
     """
+    node = _resident_node(node, board_address)
     total = 0
     for block in node.canonical_blocks(1, node.height):
         receipts = node.receipts_for_block(block.block_hash) or ()
@@ -185,3 +198,44 @@ def assert_market_conservation(system, report) -> None:
                 f"recipient {recipient.hex()} received {paid} from contracts, "
                 f"payout ledger promised exactly {amount}"
             )
+
+
+# ----- cross-shard value conservation -------------------------------------------------
+
+
+def assert_shard_conservation(chain) -> None:
+    """No mint or burn at shard boundaries.
+
+    On a :class:`~repro.chain.sharding.ShardedChain`, every cross-shard
+    send burns value at the source outbox and mints it exactly once at
+    the destination inbox, so at every instant
+
+        sum(per-shard total supplies) + in-flight value == initial supply
+
+    where the in-flight term is the pairwise difference between
+    cumulative outbox ``sent`` and inbox ``received`` counters.  Also
+    checks the in-flight term is non-negative per channel (a negative
+    channel means a double delivery slipped past the inbound nonce).
+    Accepts a plain Testnet too (zero shards in flight, supply fixed
+    since genesis) so callers can assert unconditionally.
+    """
+    if not hasattr(chain, "in_flight_value"):
+        supply = chain.any_node.head_state.total_supply()
+        expected = sum(chain.genesis.allocations.values())
+        if supply != expected:
+            raise ProtocolError(
+                f"supply drift on unsharded chain: {supply} != {expected}"
+            )
+        return
+    in_flight = chain.in_flight_value()
+    if in_flight < 0:
+        raise ProtocolError(
+            f"negative in-flight value {in_flight}: an inbox received more "
+            "than its source outbox ever sent (double delivery)"
+        )
+    total = chain.total_supply() + in_flight
+    if total != chain.initial_supply():
+        raise ProtocolError(
+            f"cross-shard conservation violated: supply {chain.total_supply()} "
+            f"+ in-flight {in_flight} != initial {chain.initial_supply()}"
+        )

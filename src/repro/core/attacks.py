@@ -63,7 +63,7 @@ class FreeRiderWorker(Worker):
         """Resubmit someone else's ciphertext under a fresh valid attestation."""
         system = self.system
         account = derive_one_task_account(self._seed, f"task:{task_address.hex()}")
-        system.fund_anonymous(account.address)
+        system.fund_anonymous(account.address, near=task_address)
         certificate = system.current_certificate(self.keys.public_key)
         commitment = system.registry_commitment()
         message = task_prefix(task_address) + account.address + ciphertext_wire
@@ -106,7 +106,7 @@ class MultiSubmissionWorker(Worker):
             account = derive_one_task_account(
                 self._seed, f"task:{task_address.hex()}:sybil-{attempt}"
             )
-            system.fund_anonymous(account.address)
+            system.fund_anonymous(account.address, near=task_address)
             epk = self.read_task_epk(task_address)
             rng = random.Random(attempt + 7)
             from repro.core.encryption import encrypt_answer
@@ -264,7 +264,7 @@ class SelfColludingRequester(Requester):
         system = self.system
         task_address = handle.address
         account = derive_one_task_account(self._seed, f"collude:{task_address.hex()}")
-        system.fund_anonymous(account.address)
+        system.fund_anonymous(account.address, near=task_address)
         epk_wire = system.node.call(task_address, "get_epk")
         from repro.crypto.rsa import RSAPublicKey
         from repro.core.encryption import encrypt_answer
@@ -327,8 +327,8 @@ class BidSniper(Worker):
             certificate,
             commitment,
         )
-        system.fund_anonymous(account.address)
-        system.fund_anonymous(account.address, stake)
+        system.fund_anonymous(account.address, near=board_address)
+        system.fund_anonymous(account.address, stake, near=board_address)
         tx = Transaction(
             nonce=system.node.nonce_of(account.address),
             gas_price=DEFAULT_GAS_PRICE,

@@ -167,6 +167,10 @@ class TaskSpec:
     audit: bool = False
     requester_mode: str = REQUESTER_HONEST
     equivocators: List[int] = field(default_factory=list)
+    #: Sharded chains only: pin this task's contract to the shard of
+    #: another address (a marketplace board static-reads its listed
+    #: tasks, so they must share its shard).  Ignored off shards.
+    colocate: Optional[bytes] = None
 
     def __post_init__(self) -> None:
         if len(self.workers) != len(self.answers):
@@ -394,11 +398,16 @@ class _TaskRunner:
             if not self.engine.admitting():
                 return
             self._started = True
+            if self.spec.colocate is not None:
+                bind = getattr(self.engine.testnet, "bind", None)
+                if bind is not None:
+                    bind(self.prepared.predicted_address, self.spec.colocate)
             self._broadcast(
                 [
                     self.engine.testnet.fund_async(
                         self.prepared.account.address,
                         DEFAULT_GAS_ALLOWANCE + self.spec.budget,
+                        near=self.prepared.predicted_address,
                     )
                 ]
             )
@@ -442,14 +451,16 @@ class _TaskRunner:
             self._submissions.append((worker, answer, prepared))
             pendings.append(
                 self.engine.testnet.fund_async(
-                    prepared.account.address, DEFAULT_GAS_ALLOWANCE
+                    prepared.account.address,
+                    DEFAULT_GAS_ALLOWANCE,
+                    near=self.handle.address,
                 )
             )
         self._stage_equivocations()
         for account, _ in self._byzantine_staged:
             pendings.append(
                 self.engine.testnet.fund_async(
-                    account.address, DEFAULT_GAS_ALLOWANCE
+                    account.address, DEFAULT_GAS_ALLOWANCE, near=self.handle.address
                 )
             )
         self._broadcast(pendings)
@@ -892,7 +903,7 @@ class ProtocolEngine:
         self.supervisors: List[TaskSupervisor] = []
         self._prove_queue: List[_TaskRunner] = []
         self._janitor: Optional[ecdsa.ECDSAKeyPair] = None
-        self._janitor_funding: Optional[PendingTx] = None
+        self._janitor_funding: Optional[List[PendingTx]] = None
         self._restore_checkpoint: Optional[EngineCheckpoint] = None
 
     @property
@@ -947,18 +958,29 @@ class ProtocolEngine:
         runs ever need a janitor) and shared by every quarantined task.
         """
         key = self.janitor_key()
-        if self.node.balance_of(key.address()) > 0:
-            return key
         if self._janitor_funding is None:
-            self._janitor_funding = self.testnet.fund_async(
-                key.address(), DEFAULT_GAS_ALLOWANCE
-            )
-        else:
-            try:
-                self.tx_sender.service([self._janitor_funding])
-            except RECOVERABLE:
-                self._janitor_funding = None
-        return None
+            if self.node.balance_of(key.address()) > 0:
+                return key
+            # On a sharded chain the janitor is a replicated sender: it
+            # may have to settle a task on any shard, so it is funded on
+            # all of them and its transactions broadcast everywhere.
+            fund_all = getattr(self.testnet, "fund_all_async", None)
+            if fund_all is not None:
+                self._janitor_funding = fund_all(key.address(), DEFAULT_GAS_ALLOWANCE)
+            else:
+                self._janitor_funding = [
+                    self.testnet.fund_async(key.address(), DEFAULT_GAS_ALLOWANCE)
+                ]
+            return None
+        try:
+            remaining = self.tx_sender.service(self._janitor_funding)
+        except RECOVERABLE:
+            self._janitor_funding = None
+            return None
+        if remaining:
+            return None
+        self._janitor_funding = None
+        return key
 
     def enqueue_proof(self, runner: _TaskRunner) -> None:
         self._prove_queue.append(runner)
@@ -1232,6 +1254,7 @@ def engine_system(
     execution_workers: int = 1,
     fault_plan=None,
     mempool_capacity: Optional[int] = None,
+    shards: Optional[int] = None,
     **system_kwargs: Any,
 ) -> ZebraLancerSystem:
     """A :class:`ZebraLancerSystem` sized for a concurrent wave.
@@ -1244,7 +1267,11 @@ def engine_system(
     ``fault_plan`` wires a seeded :class:`~repro.chain.faults.FaultPlan`
     into the testnet (chaos runs); ``mempool_capacity`` bounds each
     node's pool, which is what the engine's backpressure gate pushes
-    against.
+    against.  ``shards`` puts the whole system on a
+    :class:`~repro.chain.sharding.ShardedChain`: each Algorithm-1 task
+    runs on the home shard of its task contract, with rewards settled
+    cross-shard through the receipt-proven bridge (``shards=1`` is
+    byte-identical to the plain testnet).
     """
     import repro.contracts  # noqa: F401  (side effect: registers contract classes)
     from dataclasses import replace
@@ -1254,13 +1281,19 @@ def engine_system(
     from repro.profiles import TEST
 
     wave = max(1, num_tasks * (workers_per_task + 2))
-    testnet = Testnet(
+    chain_kwargs: Dict[str, Any] = dict(
         gas_limit=max(30_000_000, wave * DEFAULT_GAS_LIMIT),
         execution_lanes=execution_lanes,
         execution_workers=execution_workers,
         fault_plan=fault_plan,
         mempool_capacity=mempool_capacity,
     )
+    if shards is None:
+        testnet = Testnet(**chain_kwargs)
+    else:
+        from repro.chain.sharding import ShardedChain
+
+        testnet = ShardedChain(shards=shards, **chain_kwargs)
     # The registration tree must hold the whole cohort (N requesters +
     # N·M workers) with headroom for extra registrations by the tests.
     cohort = num_tasks * (workers_per_task + 1)
@@ -1755,6 +1788,7 @@ def _run_open_market(
             answer_window=spec.answer_window,
             instruction_window=spec.instruction_window,
             rsa_bits=spec.rsa_bits,
+            colocate=board_address,
         )
         for spec, winners in zip(specs, matched_workers)
     ]
@@ -1782,7 +1816,7 @@ def _run_open_market(
                 raise ProtocolError(
                     f"claim on listing {listing_id} failed: {receipt.error}"
                 )
-        system.fund_anonymous(auditor.address)
+        system.fund_anonymous(auditor.address, near=board_address)
         validate_tx = Transaction(
             nonce=node.nonce_of(auditor.address),
             gas_price=DEFAULT_GAS_PRICE,

@@ -162,7 +162,7 @@ class Arbiter:
         """Decide and anchor the verdict (settlement happens in-call)."""
         verdict = self.decide(board_address, listing_id)
         system = self.system
-        system.fund_anonymous(self.account.address)
+        system.fund_anonymous(self.account.address, near=board_address)
         tx = Transaction(
             nonce=system.node.nonce_of(self.account.address),
             gas_price=DEFAULT_GAS_PRICE,

@@ -108,7 +108,11 @@ class ZebraLancerSystem:
 
         # RA's chain identity and the on-chain registry contract.
         self._ra_key = ecdsa.ECDSAKeyPair.from_seed(sha256(seed, b"ra-chain-key"))
-        self.testnet.fund(self._ra_key.address(), 10**24)
+        # On a sharded chain the RA is a *replicated* sender: its
+        # registry (and every registry update) must exist on all shards
+        # because task and board contracts static-read it locally.
+        fund_system = getattr(self.testnet, "fund_system", self.testnet.fund)
+        fund_system(self._ra_key.address(), 10**24)
         self.registry_address = self._deploy_registry()
 
         # Reward-circuit establishments, cached per (policy, n).
@@ -127,9 +131,19 @@ class ZebraLancerSystem:
     def mine(self, blocks: int = 1) -> None:
         self.testnet.mine_blocks(blocks)
 
-    def fund_anonymous(self, address: bytes, amount: int = DEFAULT_GAS_ALLOWANCE) -> None:
-        """Fund a one-task account (stand-in for anonymous payments)."""
-        self.testnet.fund(address, amount)
+    def fund_anonymous(
+        self,
+        address: bytes,
+        amount: int = DEFAULT_GAS_ALLOWANCE,
+        near: Optional[bytes] = None,
+    ) -> None:
+        """Fund a one-task account (stand-in for anonymous payments).
+
+        ``near`` co-locates the account with the contract it will
+        transact against on a sharded chain (one-task accounts live on
+        their task's shard); ignored on a single chain.
+        """
+        self.testnet.fund(address, amount, near=near)
 
     def send_and_confirm(self, signed_tx) -> Receipt:
         """Confirm a pre-signed transaction (rebroadcast-only retries)."""

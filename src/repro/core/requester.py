@@ -157,8 +157,12 @@ class Requester:
             policy, description, num_answers, budget, answer_window,
             instruction_window, rsa_bits, submissions_per_worker,
         )
-        system.fund_anonymous(prepared.account.address)
-        system.fund_anonymous(prepared.account.address, budget)
+        system.fund_anonymous(
+            prepared.account.address, near=prepared.predicted_address
+        )
+        system.fund_anonymous(
+            prepared.account.address, budget, near=prepared.predicted_address
+        )
         receipt = system.send_reliable(
             prepared.transaction, prepared.account.keypair
         )
@@ -486,9 +490,9 @@ class Requester:
     ) -> Receipt:
         system = self.system
         account = self.board_account(board_address)
-        system.fund_anonymous(account.address)
+        system.fund_anonymous(account.address, near=board_address)
         if value:
-            system.fund_anonymous(account.address, value)
+            system.fund_anonymous(account.address, value, near=board_address)
         tx = Transaction(
             nonce=system.node.nonce_of(account.address),
             gas_price=DEFAULT_GAS_PRICE,

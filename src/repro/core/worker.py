@@ -139,7 +139,7 @@ class Worker:
     ) -> SubmissionRecord:
         system = self.system
         prepared = self.prepare_submission(task_address, answer_fields, validate)
-        system.fund_anonymous(prepared.account.address)
+        system.fund_anonymous(prepared.account.address, near=task_address)
         receipt = system.send_reliable(
             prepared.transaction, prepared.account.keypair
         )
@@ -262,8 +262,8 @@ class Worker:
         attestation = system.scheme.auth(
             message, self.keys, certificate, commitment
         )
-        system.fund_anonymous(account.address)
-        system.fund_anonymous(account.address, stake)
+        system.fund_anonymous(account.address, near=board_address)
+        system.fund_anonymous(account.address, stake, near=board_address)
         tx = Transaction(
             nonce=system.node.nonce_of(account.address),
             gas_price=DEFAULT_GAS_PRICE,
@@ -314,7 +314,7 @@ class Worker:
             certificate,
             commitment,
         )
-        system.fund_anonymous(account.address)
+        system.fund_anonymous(account.address, near=board_address)
         tx = Transaction(
             nonce=system.node.nonce_of(account.address),
             gas_price=DEFAULT_GAS_PRICE,

@@ -798,3 +798,132 @@ def test_reputation_registry_wire_roundtrip_and_mutation() -> None:
             continue
         with pytest.raises(ValueError):
             ReputationRegistry.from_wire(mutated)
+
+
+# ----- cross-shard bridge wire formats (message / anchor / beacon block) --------------
+#
+# The sharding bridge codecs ride the same checksummed frame, with the
+# extra property that a forged or bit-flipped frame failing open would
+# mint value out of thin air on the destination shard — so every
+# mutation must raise ValueError, and no frame may parse as a sibling
+# codec.
+
+from repro.chain.sharding import BeaconBlock, ShardAnchor, XShardMessage
+
+
+def _random_xshard_message(rng: random.Random) -> XShardMessage:
+    shards = rng.randrange(2, 16)
+    source = rng.randrange(shards)
+    dest = (source + rng.randrange(1, shards)) % shards
+    return XShardMessage(
+        source_shard=source,
+        dest_shard=dest,
+        seq=rng.randrange(1 << 32),
+        source_block=rng.randrange(1 << 32),
+        sender=rng.randbytes(20),
+        recipient=rng.randbytes(20),
+        amount=rng.randrange(1, 1 << 64),
+    )
+
+
+def _random_shard_anchor(rng: random.Random) -> ShardAnchor:
+    return ShardAnchor(
+        shard=rng.randrange(16),
+        number=rng.randrange(1 << 32),
+        block_hash=rng.randbytes(32),
+        receipts_root=rng.randbytes(32),
+        state_root=rng.randbytes(32),
+    )
+
+
+def _random_beacon_block(rng: random.Random) -> BeaconBlock:
+    anchors = tuple(
+        (_random_shard_anchor(rng).to_wire(), rng.randbytes(65))
+        for _ in range(rng.randrange(1, 5))
+    )
+    return BeaconBlock(
+        number=rng.randrange(1 << 32),
+        parent=rng.randbytes(32),
+        anchors=anchors,
+    )
+
+
+_XSHARD_CODECS = [
+    ("xshard-message", _random_xshard_message, XShardMessage.from_wire),
+    ("shard-anchor", _random_shard_anchor, ShardAnchor.from_wire),
+    ("beacon-block", _random_beacon_block, BeaconBlock.from_wire),
+]
+
+
+@pytest.mark.parametrize(
+    "sampler,parser", [(s, p) for _, s, p in _XSHARD_CODECS],
+    ids=[name for name, _, _ in _XSHARD_CODECS],
+)
+def test_xshard_wire_roundtrip_fuzz(sampler, parser) -> None:
+    rng = random.Random(0x5A4D)
+    for _ in range(CASES):
+        value = sampler(rng)
+        assert parser(value.to_wire()) == value
+
+
+@pytest.mark.parametrize(
+    "sampler,parser", [(s, p) for _, s, p in _XSHARD_CODECS],
+    ids=[name for name, _, _ in _XSHARD_CODECS],
+)
+def test_xshard_wire_mutation_fuzz(sampler, parser) -> None:
+    rng = random.Random(0xF0E5)
+    for _ in range(CASES):
+        wire = sampler(rng).to_wire()
+        mutated = _mutate(rng, wire)
+        if mutated == wire:
+            continue
+        with pytest.raises(ValueError):
+            parser(mutated)
+
+
+def test_xshard_wire_rejects_truncation_prefixes() -> None:
+    rng = random.Random(0x7C21)
+    for _, sampler, parser in _XSHARD_CODECS:
+        wire = sampler(rng).to_wire()
+        for cut in range(len(wire)):
+            with pytest.raises(ValueError):
+                parser(wire[:cut])
+
+
+def test_xshard_wire_rejects_cross_codec_frames() -> None:
+    """No bridge frame parses as a sibling codec, nor as a market frame."""
+    rng = random.Random(0xAB1E)
+    wires = {name: sampler(rng).to_wire() for name, sampler, _ in _XSHARD_CODECS}
+    wires["bid"] = _random_bid(rng).to_wire()
+    for name, _, parser in _XSHARD_CODECS:
+        for other, wire in wires.items():
+            if other == name:
+                continue
+            with pytest.raises(ValueError):
+                parser(wire)
+
+
+def test_xshard_message_rejects_semantic_junk() -> None:
+    """Structurally valid frames with illegal field values are refused."""
+    good = XShardMessage(0, 1, 5, 9, b"\x01" * 20, b"\x02" * 20, 77)
+
+    def reframe(fields):
+        from repro.serialization import framed_encode
+
+        return framed_encode(b"ZLXM", 1, fields)
+
+    base = [0, 1, 5, 9, b"\x01" * 20, b"\x02" * 20, 77]
+    assert XShardMessage.from_wire(reframe(base)) == good
+    bad_variants = [
+        base[:6],                                  # missing field
+        base + [0],                                # extra field
+        [1, 1, 5, 9, base[4], base[5], 77],        # source == dest
+        [0, 1, 5, 9, b"\x01" * 19, base[5], 77],   # short address
+        [0, 1, 5, 9, base[4], base[5], 0],         # zero amount
+        [0, 1, 5, 9, base[4], base[5], -3],        # negative amount
+        [0, 1, -1, 9, base[4], base[5], 77],       # negative seq
+        ["0", 1, 5, 9, base[4], base[5], 77],      # stringly shard
+    ]
+    for fields in bad_variants:
+        with pytest.raises(ValueError):
+            XShardMessage.from_wire(reframe(fields))
